@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension bench: dead-block prediction as the eager-candidate
+ * selector, the paper's Section VII suggestion ("we believe that by
+ * using Dead Block Prediction, we can further improve the
+ * effectiveness of Eager Mellow Writes").
+ *
+ * Compares the paper's useless-LRU-position profiler against a decay
+ * dead-block predictor (a dirty line untouched for a whole profiling
+ * period is predicted dead) under BE-Mellow+SC.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+namespace
+{
+
+std::vector<SimReport>
+runWithSelector(const std::vector<std::string> &wl, EagerSelector sel,
+                const char *tag)
+{
+    auto reports =
+        runGrid(wl, {beMellow().withSC()}, [sel](SystemConfig &cfg) {
+            cfg.hierarchy.llc.selector = sel;
+        });
+    for (SimReport &r : reports)
+        r.policy = tag;
+    return reports;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("abl_dead_block",
+           "Eager candidate selection: useless-LRU vs dead-block "
+           "prediction",
+           "Section VII: dead block prediction should further improve "
+           "Eager Mellow Writes");
+
+    const auto &wl = workloadNames();
+    auto base = runGrid(wl, {norm()});
+    auto lru =
+        runWithSelector(wl, EagerSelector::UselessLru, "Eager-LRU");
+    auto dbp =
+        runWithSelector(wl, EagerSelector::DecayDeadBlock, "Eager-DBP");
+
+    std::vector<SimReport> all = base;
+    all.insert(all.end(), lru.begin(), lru.end());
+    all.insert(all.end(), dbp.begin(), dbp.end());
+
+    std::printf("%-12s %-10s %8s %9s %10s %10s %8s\n", "workload",
+                "selector", "ipc", "life_yrs", "eager", "wasted",
+                "waste%");
+    for (const std::string &w : wl) {
+        for (const char *tag : {"Eager-LRU", "Eager-DBP"}) {
+            const SimReport &r = findReport(all, w, tag);
+            double waste =
+                r.eagerSent ? 100.0 *
+                                  static_cast<double>(r.eagerWasted) /
+                                  static_cast<double>(r.eagerSent)
+                            : 0.0;
+            std::printf("%-12s %-10s %8.3f %9.2f %10llu %10llu "
+                        "%7.2f%%\n",
+                        w.c_str(), tag, r.ipc, r.lifetimeYears,
+                        static_cast<unsigned long long>(r.eagerSent),
+                        static_cast<unsigned long long>(r.eagerWasted),
+                        waste);
+        }
+    }
+
+    std::printf("\nGeomeans vs Norm:\n");
+    for (const char *tag : {"Eager-LRU", "Eager-DBP"}) {
+        std::printf("  %-10s ipc %.3fx  lifetime %.2fx\n", tag,
+                    geoMeanNormalized(all, wl, tag, "Norm", ipcOf),
+                    geoMeanNormalized(all, wl, tag, "Norm",
+                                      lifetimeOf));
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: eager mellow queue depth (the paper fixes it at 16
+ * entries; Section IV-B2 argues small is enough). Sweeps 4/8/16/32
+ * entries under BE-Mellow+SC on eager-friendly workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("abl_eager_queue_depth",
+           "Eager queue depth 4/8/16/32 (paper default: 16)",
+           "a small eager queue suffices; depth mainly moves the "
+           "eager-write share");
+
+    const std::vector<std::string> wl = {"stream", "lbm", "GemsFDTD",
+                                         "gups"};
+    std::printf("%-7s %-10s %8s %9s %10s %13s\n", "depth", "workload",
+                "ipc", "life_yrs", "eager", "demand_wb_pct");
+    for (unsigned depth : {4u, 8u, 16u, 32u}) {
+        auto reports = runGrid(wl, {beMellow().withSC()},
+                               [depth](SystemConfig &cfg) {
+                                   cfg.memory.eagerQueueSize = depth;
+                               });
+        for (const SimReport &r : reports) {
+            // Share of write backs that the eager queue failed to
+            // absorb (stayed demand write backs).
+            double demand_share =
+                100.0 * static_cast<double>(r.writebacksToMem) /
+                static_cast<double>(r.writebacksToMem + r.eagerSent +
+                                    1);
+            std::printf("%-7u %-10s %8.3f %9.2f %10llu %12.1f%%\n",
+                        depth, r.workload.c_str(), r.ipc,
+                        r.lifetimeYears,
+                        static_cast<unsigned long long>(r.eagerSent),
+                        demand_share);
+        }
+    }
+    return 0;
+}

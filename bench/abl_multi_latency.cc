@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension bench: multiple slow latencies (+ML), the paper's stated
+ * future work (Section VI-I). Instead of the fixed two-speed scheme,
+ * a slow write picks the largest factor from {1.5x, 2x, 3x} whose
+ * pulse fits the bank's observed quiet time.
+ *
+ * The paper motivates this with the three workloads where the fixed
+ * scheme loses to the best static policy: hmmer, lbm, stream.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("abl_multi_latency",
+           "+ML adaptive latency ladder vs the fixed 3x slow write",
+           "Section VI-I: 'a possible modification ... is to adopt "
+           "multiple write latencies'");
+
+    const auto &wl = workloadNames();
+    auto reports = runGrid(wl, {
+                                   norm(),
+                                   beMellow().withSC(),
+                                   beMellow().withSC().withML(),
+                               });
+
+    std::printf("IPC normalized to Norm:\n");
+    seriesHeader(wl);
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+SC+ML"}) {
+        series(p, wl, normalizedMetric(reports, wl, p, "Norm", ipcOf));
+    }
+    std::printf("\nLifetime normalized to Norm:\n");
+    seriesHeader(wl);
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+SC+ML"}) {
+        series(p, wl,
+               normalizedMetric(reports, wl, p, "Norm", lifetimeOf));
+    }
+
+    std::printf("\nGeomeans vs Norm:\n");
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+SC+ML"}) {
+        std::printf("  %-18s ipc %.3fx  lifetime %.2fx\n", p,
+                    geoMeanNormalized(reports, wl, p, "Norm", ipcOf),
+                    geoMeanNormalized(reports, wl, p, "Norm",
+                                      lifetimeOf));
+    }
+    std::printf("\nPaper's fixed-scheme loss cases (IPC vs Norm):\n");
+    for (const char *w : {"hmmer", "lbm", "stream"}) {
+        std::printf("  %-8s fixed %.3f -> ML %.3f\n", w,
+                    findReport(reports, w, "BE-Mellow+SC").ipc /
+                        findReport(reports, w, "Norm").ipc,
+                    findReport(reports, w, "BE-Mellow+SC+ML").ipc /
+                        findReport(reports, w, "Norm").ipc);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: the profiler/quota sample period T_sample (paper:
+ * 500,000 ns). Shorter periods adapt the useless-position verdict
+ * faster but on noisier counts.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("abl_sample_period",
+           "T_sample sweep 100us / 500us / 2ms (paper default: 500us)",
+           "Section IV-B1 profiling period sensitivity");
+
+    const std::vector<std::string> wl = {"stream", "hmmer", "mcf",
+                                         "lbm"};
+    std::printf("%-10s %-10s %8s %9s %10s %10s\n", "t_sample",
+                "workload", "ipc", "life_yrs", "eager", "wasted");
+    for (Tick period : {100 * kMicrosecond, 500 * kMicrosecond,
+                        2 * kMillisecond}) {
+        auto reports =
+            runGrid(wl, {beMellow().withSC()},
+                    [period](SystemConfig &cfg) {
+                        cfg.hierarchy.llc.profiler.samplePeriod = period;
+                        cfg.memory.quota.samplePeriod = period;
+                    });
+        for (const SimReport &r : reports) {
+            std::printf("%7.0fus %-10s %8.3f %9.2f %10llu %10llu\n",
+                        ticksToNs(period) / 1000.0,
+                        r.workload.c_str(), r.ipc, r.lifetimeYears,
+                        static_cast<unsigned long long>(r.eagerSent),
+                        static_cast<unsigned long long>(r.eagerWasted));
+        }
+    }
+    return 0;
+}

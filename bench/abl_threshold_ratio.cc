@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: the useless-position THRESHOLD_RATIO (paper: 1/32).
+ * A looser threshold marks more stack positions useless (more, but
+ * riskier, eager write backs); a tighter one starves the eager queue.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("abl_threshold_ratio",
+           "THRESHOLD_RATIO sweep 1/8 .. 1/128 (paper default: 1/32)",
+           "the eager-vs-wasted trade-off of Section IV-B1");
+
+    const std::vector<std::string> wl = {"stream", "hmmer", "zeusmp",
+                                         "milc"};
+    std::printf("%-10s %-10s %8s %9s %10s %10s %9s\n", "ratio",
+                "workload", "ipc", "life_yrs", "eager", "wasted",
+                "waste%");
+    for (double denom : {8.0, 32.0, 128.0}) {
+        auto reports = runGrid(wl, {beMellow().withSC()},
+                               [denom](SystemConfig &cfg) {
+                                   cfg.hierarchy.llc.profiler
+                                       .thresholdRatio = 1.0 / denom;
+                               });
+        for (const SimReport &r : reports) {
+            double waste =
+                r.eagerSent
+                    ? 100.0 * static_cast<double>(r.eagerWasted) /
+                          static_cast<double>(r.eagerSent)
+                    : 0.0;
+            std::printf("1/%-8.0f %-10s %8.3f %9.2f %10llu %10llu "
+                        "%8.2f%%\n",
+                        denom, r.workload.c_str(), r.ipc,
+                        r.lifetimeYears,
+                        static_cast<unsigned long long>(r.eagerSent),
+                        static_cast<unsigned long long>(r.eagerWasted),
+                        waste);
+        }
+    }
+    return 0;
+}

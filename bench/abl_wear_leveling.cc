@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: wear-leveling scheme under skewed write patterns.
+ *
+ * The lifetime extrapolation assumes the leveler keeps max block wear
+ * within 1/eta (eta = 0.9) of the mean. This bench drives the
+ * detailed per-block tracker with three write skews (uniform, 90/10
+ * hot-spot, single hot block) through no leveling, Start-Gap and
+ * Security Refresh, reporting max/mean wear and maintenance overhead
+ * — verifying the assumption rather than assuming it.
+ */
+
+#include <cstdio>
+
+#include "sim/rng.hh"
+#include "wear/endurance_model.hh"
+#include "wear/wear_leveler.hh"
+#include "wear/wear_tracker.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+constexpr std::uint64_t kBlocks = 4096;
+constexpr std::uint64_t kWrites = 4096 * 400;
+
+enum class Skew { Uniform, HotSpot, SingleBlock };
+
+const char *
+skewName(Skew s)
+{
+    switch (s) {
+      case Skew::Uniform: return "uniform";
+      case Skew::HotSpot: return "90/10-hot";
+      case Skew::SingleBlock: return "one-block";
+    }
+    return "?";
+}
+
+std::uint64_t
+nextBlock(Skew s, Rng &rng)
+{
+    switch (s) {
+      case Skew::Uniform:
+        return rng.nextBounded(kBlocks);
+      case Skew::HotSpot:
+        // 90% of writes to 10% of the blocks.
+        return rng.nextBool(0.9) ? rng.nextBounded(kBlocks / 10)
+                                 : rng.nextBounded(kBlocks);
+      case Skew::SingleBlock:
+        return 7;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("==============================================================\n");
+    std::printf("abl_wear_leveling: leveler comparison on skewed writes\n");
+    std::printf("paper: Start-Gap reaches ~95%% of ideal lifetime; the\n");
+    std::printf("lifetime model here budgets eta = 0.9\n");
+    std::printf("==============================================================\n\n");
+
+    EnduranceModel model;
+    std::printf("%-11s %-18s %10s %12s %12s\n", "skew", "leveler",
+                "max/mean", "maint_writes", "overhead%");
+
+    for (Skew skew : {Skew::Uniform, Skew::HotSpot, Skew::SingleBlock}) {
+        for (WearLevelerKind kind : {WearLevelerKind::None,
+                                     WearLevelerKind::StartGap,
+                                     WearLevelerKind::SecurityRefresh}) {
+            WearTrackerConfig c;
+            c.numBanks = 1;
+            c.blocksPerBank = kBlocks;
+            c.leveler = kind;
+            c.gapWritePeriod = 100;
+            c.detailedBlocks = true;
+            WearTracker t(c, model);
+
+            Rng rng(42);
+            for (std::uint64_t i = 0; i < kWrites; ++i) {
+                t.recordWrite(0, nextBlock(skew, rng),
+                              150 * kNanosecond, false);
+            }
+
+            double ratio = t.maxBlockWear(0) / t.meanBlockWear(0);
+            std::uint64_t maint = t.bankStats(0).gapMoveWrites;
+            std::printf("%-11s %-18s %10.2f %12llu %11.2f%%\n",
+                        skewName(skew), wearLevelerKindName(kind),
+                        ratio, static_cast<unsigned long long>(maint),
+                        100.0 * static_cast<double>(maint) /
+                            static_cast<double>(kWrites));
+        }
+    }
+
+    std::printf("\n(max/mean near 1.0 = ideal leveling; the lifetime "
+                "formula's eta=0.9 corresponds to max/mean <= ~1.11 "
+                "in steady state)\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension bench: write pausing (+WP) vs write cancellation (+SC).
+ *
+ * The paper (Section VII) notes that cancellation is also known as
+ * read preemption and cites Qureshi's write pausing as the companion
+ * technique. Pausing services the read just as fast but keeps the
+ * partial pulse, so it avoids both the wear of repeated attempts and
+ * the queue pressure of retries.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("abl_write_pausing",
+           "BE-Mellow with cancellation (+SC) vs pausing (+WP)",
+           "pausing preserves pulse time: same read latency relief, "
+           "none of the retry wear");
+
+    const auto &wl = workloadNames();
+    auto reports = runGrid(wl, {
+                                   norm(),
+                                   beMellow().withSC(),
+                                   beMellow().withWP(),
+                               });
+
+    std::printf("IPC normalized to Norm:\n");
+    seriesHeader(wl);
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+WP"})
+        series(p, wl, normalizedMetric(reports, wl, p, "Norm", ipcOf));
+
+    std::printf("\nLifetime normalized to Norm:\n");
+    seriesHeader(wl);
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+WP"}) {
+        series(p, wl,
+               normalizedMetric(reports, wl, p, "Norm", lifetimeOf));
+    }
+
+    std::printf("\nInterruption counts (sum over workloads):\n");
+    std::uint64_t canc = 0, paused = 0;
+    for (const std::string &w : wl) {
+        canc += findReport(reports, w, "BE-Mellow+SC").cancelledWrites;
+        paused += findReport(reports, w, "BE-Mellow+WP").pausedWrites;
+    }
+    std::printf("  +SC cancelled attempts: %llu\n",
+                static_cast<unsigned long long>(canc));
+    std::printf("  +WP paused writes:      %llu\n",
+                static_cast<unsigned long long>(paused));
+
+    std::printf("\nGeomeans vs Norm:\n");
+    for (const char *p : {"BE-Mellow+SC", "BE-Mellow+WP"}) {
+        std::printf("  %-14s ipc %.3fx  lifetime %.2fx\n", p,
+                    geoMeanNormalized(reports, wl, p, "Norm", ipcOf),
+                    geoMeanNormalized(reports, wl, p, "Norm",
+                                      lifetimeOf));
+    }
+    return 0;
+}

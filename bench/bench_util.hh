@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every fig*_ binary regenerates one artifact of the paper's
+ * evaluation: it prints the same rows/series the figure plots, plus
+ * the headline comparisons the paper calls out in prose, so
+ * paper-vs-measured can be recorded in EXPERIMENTS.md.
+ *
+ * Scaling knobs (environment):
+ *   MELLOWSIM_INSTRS  detailed instructions per run (default 2e7)
+ *   MELLOWSIM_WARMUP  functional warm-up instructions (default 5e6)
+ *   MELLOWSIM_JOBS    parallel simulations (default: all cores)
+ */
+
+#ifndef MELLOWSIM_BENCH_BENCH_UTIL_HH
+#define MELLOWSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mellow/policy.hh"
+#include "sim/stats.hh"
+#include "system/report.hh"
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "workload/workload.hh"
+
+namespace benchutil
+{
+
+using namespace mellowsim;
+
+/** Print the standard experiment banner. */
+inline void
+banner(const char *id, const char *title, const char *paperClaim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("paper: %s\n", paperClaim);
+    std::printf("==============================================================\n\n");
+}
+
+/** Print one named series of per-workload values. */
+inline void
+series(const std::string &name, const std::vector<std::string> &workloads,
+       const std::vector<double> &values, const char *fmt = "%8.3f")
+{
+    std::printf("%-18s", name.c_str());
+    for (double v : values) {
+        std::printf(" ");
+        std::printf(fmt, v);
+    }
+    std::printf("\n");
+    (void)workloads;
+}
+
+/** Print the workload header row aligned with series(). */
+inline void
+seriesHeader(const std::vector<std::string> &workloads, int width = 8)
+{
+    std::printf("%-18s", "");
+    for (const std::string &w : workloads)
+        std::printf(" %*s", width, w.substr(0, width).c_str());
+    std::printf("\n");
+}
+
+/** Gather a metric across workloads for one policy. */
+inline std::vector<double>
+metricRow(const std::vector<SimReport> &reports,
+          const std::vector<std::string> &workloads,
+          const std::string &policy, double (*metric)(const SimReport &))
+{
+    std::vector<double> out;
+    for (const std::string &w : workloads)
+        out.push_back(metric(findReport(reports, w, policy)));
+    return out;
+}
+
+inline double
+ipcOf(const SimReport &r)
+{
+    return r.ipc;
+}
+
+inline double
+lifetimeOf(const SimReport &r)
+{
+    return r.lifetimeYears;
+}
+
+} // namespace benchutil
+
+#endif // MELLOWSIM_BENCH_BENCH_UTIL_HH

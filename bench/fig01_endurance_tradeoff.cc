@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 1: write latency vs endurance for Expo_Factor 1.0 .. 3.0.
+ *
+ * Pure analytic model (Equation 2), no simulation. Baseline: 150 ns
+ * normal write, 5e6 endurance.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "wear/endurance_model.hh"
+
+using namespace mellowsim;
+
+int
+main()
+{
+    benchutil::banner(
+        "fig01", "Endurance vs write latency (Equation 2)",
+        "150ns/5e6 baseline; quadratic default gives 1.5x->1.125e7, "
+        "2x->2e7, 3x->4.5e7");
+
+    const double expos[] = {1.0, 1.5, 2.0, 2.5, 3.0};
+
+    std::printf("%-14s", "latency_ns");
+    for (double e : expos)
+        std::printf(" expo=%-8.1f", e);
+    std::printf("\n");
+
+    for (double n = 1.0; n <= 3.01; n += 0.25) {
+        std::printf("%-14.1f", n * 150.0);
+        for (double e : expos) {
+            EnduranceParams p;
+            p.expoFactor = e;
+            EnduranceModel m(p);
+            std::printf(" %-13.4g", m.enduranceAtFactor(n));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nTable II check (expo=2.0): 1.5x=%.4g 2x=%.4g 3x=%.4g "
+                "writes\n",
+                EnduranceModel{}.enduranceAtFactor(1.5),
+                EnduranceModel{}.enduranceAtFactor(2.0),
+                EnduranceModel{}.enduranceAtFactor(3.0));
+    return 0;
+}

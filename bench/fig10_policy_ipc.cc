@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10: IPC of systems with different write policies.
+ *
+ * Paper observations to check: E-Norm+NC is fastest on most workloads
+ * but loses on lbm; E-Slow+SC is ~0.77x geomean (0.46x on lbm);
+ * BE-Mellow+SC lands at ~1.06x of Norm.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("fig10", "IPC by write policy (Table III matrix)",
+           "BE-Mellow+SC ~1.06x Norm geomean; E-Slow+SC ~0.77x "
+           "(worst 0.46x on lbm)");
+
+    const auto &wl = workloadNames();
+    auto policies = paperPolicySet();
+    auto reports = runGrid(wl, policies);
+
+    std::printf("Absolute IPC:\n");
+    seriesHeader(wl);
+    for (const auto &p : policies)
+        series(p.name, wl, metricRow(reports, wl, p.name, ipcOf));
+
+    std::printf("\nIPC normalized to Norm (plus geomean):\n");
+    seriesHeader(wl);
+    for (const auto &p : policies) {
+        auto vals = normalizedMetric(reports, wl, p.name, "Norm", ipcOf);
+        series(p.name, wl, vals);
+    }
+    std::printf("\n%-18s %s\n", "policy", "geomean_ipc_vs_norm");
+    for (const auto &p : policies) {
+        std::printf("%-18s %.3f\n", p.name.c_str(),
+                    geoMeanNormalized(reports, wl, p.name, "Norm",
+                                      ipcOf));
+    }
+
+    std::printf("\nHeadline checks:\n");
+    std::printf("  E-Slow+SC on lbm vs Norm: %.2fx (paper: 0.46x)\n",
+                findReport(reports, "lbm", "E-Slow+SC").ipc /
+                    findReport(reports, "lbm", "Norm").ipc);
+    std::printf("  BE-Mellow+SC geomean vs Norm: %.3fx (paper: "
+                "~1.06x)\n",
+                geoMeanNormalized(reports, wl, "BE-Mellow+SC", "Norm",
+                                  ipcOf));
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 16: main-memory energy consumption by policy, using CellC
+ * energies from Table VI and 100 pJ row-buffer-hit reads.
+ *
+ * Paper observation to check: BE-Mellow+SC+WQ consumes ~1.39x the
+ * main-memory energy of Norm — moderate at whole-system scale.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+using namespace benchutil;
+
+int
+main()
+{
+    banner("fig16", "Main memory energy by policy (CellC)",
+           "BE-Mellow+SC+WQ ~= 1.39x Norm main-memory energy");
+
+    const auto &wl = workloadNames();
+    auto policies = paperPolicySet();
+    auto reports = runGrid(wl, policies);
+
+    std::printf("Total main-memory energy normalized to Norm:\n");
+    seriesHeader(wl);
+    for (const auto &p : policies) {
+        auto vals = normalizedMetric(reports, wl, p.name, "Norm",
+                                     [](const SimReport &r) {
+                                         return r.totalEnergyPj;
+                                     });
+        series(p.name, wl, vals);
+    }
+
+    std::printf("\nRead/write energy split (BE-Mellow+SC+WQ, mJ):\n");
+    std::printf("%-12s %12s %12s\n", "workload", "read_mJ", "write_mJ");
+    for (const std::string &w : wl) {
+        const SimReport &r = findReport(reports, w, "BE-Mellow+SC+WQ");
+        std::printf("%-12s %12.4f %12.4f\n", w.c_str(),
+                    r.readEnergyPj * 1e-9, r.writeEnergyPj * 1e-9);
+    }
+
+    std::printf("\nHeadline check: BE-Mellow+SC+WQ geomean energy vs "
+                "Norm: %.3fx (paper: ~1.39x)\n",
+                geoMeanNormalized(reports, wl, "BE-Mellow+SC+WQ",
+                                  "Norm", [](const SimReport &r) {
+                                      return r.totalEnergyPj;
+                                  }));
+    return 0;
+}

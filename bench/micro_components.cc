@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates:
+ * event queue, RNG, Start-Gap remapping, cache array, workload
+ * generation, and a full end-to-end simulation step rate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "mellow/policy.hh"
+#include "nvm/controller.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "system/system.hh"
+#include "wear/start_gap.hh"
+#include "workload/workload.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>((i * 37) % 500),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_StartGapRemap(benchmark::State &state)
+{
+    StartGap sg(1 << 20, 100);
+    std::uint64_t la = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sg.remap(la));
+        la = (la + 977) & ((1 << 20) - 1);
+        sg.noteWrite();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StartGapRemap);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 2ull * 1024 * 1024;
+    cfg.assoc = 16;
+    SetAssocCache cache(cfg);
+    Rng rng(3);
+    for (auto _ : state) {
+        Addr addr = rng.nextBounded(1 << 16) * kBlockSize;
+        if (!cache.access(addr, false).hit)
+            cache.insert(addr, false);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WorkloadNext(benchmark::State &state)
+{
+    WorkloadPtr w = makeWorkload("stream", 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w->next().addr);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadNext);
+
+void
+BM_ControllerReadPath(benchmark::State &state)
+{
+    EventQueue eq;
+    MemControllerConfig cfg;
+    cfg.policy = policies::norm();
+    MemoryController ctrl(eq, cfg);
+    Rng rng(11);
+    std::uint64_t done = 0;
+    for (auto _ : state) {
+        ctrl.read(rng.nextBounded(1 << 24) * kBlockSize,
+                  [&done] { ++done; });
+        eq.run(eq.curTick() + 200 * kNanosecond);
+    }
+    benchmark::DoNotOptimize(done);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerReadPath);
+
+void
+BM_EndToEndSimulation(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SystemConfig cfg;
+        cfg.workloadName = "gups";
+        cfg.policy = policies::beMellow().withSC();
+        cfg.instructions = 200'000;
+        cfg.warmupInstructions = 50'000;
+        SimReport r = runSystem(cfg);
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+    state.SetLabel("simulated instructions per wall second");
+}
+BENCHMARK(BM_EndToEndSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

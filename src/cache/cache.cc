@@ -1,0 +1,134 @@
+#include "cache/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config) : _config(config)
+{
+    fatal_if(config.assoc == 0, "%s: associativity must be >= 1",
+             config.name.c_str());
+    fatal_if(config.sizeBytes % (config.assoc * kBlockSize) != 0,
+             "%s: size must be a multiple of assoc * block size",
+             config.name.c_str());
+    _numSets = config.sizeBytes / (config.assoc * kBlockSize);
+    fatal_if(!isPowerOfTwo(_numSets),
+             "%s: number of sets (%llu) must be a power of two",
+             config.name.c_str(),
+             static_cast<unsigned long long>(_numSets));
+    _sets.assign(_numSets, std::vector<CacheLine>(config.assoc));
+}
+
+std::uint64_t
+SetAssocCache::setIndex(Addr addr) const
+{
+    return (addr >> kBlockShift) & (_numSets - 1);
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool isWrite, bool updateLru,
+                      std::uint32_t stamp)
+{
+    Addr block = addr & ~Addr(kBlockSize - 1);
+    auto &set = _sets[setIndex(addr)];
+    _lastWriteWastedEager = false;
+
+    for (unsigned pos = 0; pos < set.size(); ++pos) {
+        CacheLine &line = set[pos];
+        if (!line.valid || line.blockAddr != block)
+            continue;
+        line.touchStamp = stamp;
+        if (isWrite) {
+            if (line.eagerCleaned) {
+                _lastWriteWastedEager = true;
+                line.eagerCleaned = false;
+            }
+            line.dirty = true;
+        }
+        if (updateLru && pos != 0) {
+            CacheLine moved = line;
+            set.erase(set.begin() + pos);
+            set.insert(set.begin(), moved);
+        }
+        return {true, pos};
+    }
+    return {false, 0};
+}
+
+bool
+SetAssocCache::probe(Addr addr) const
+{
+    Addr block = addr & ~Addr(kBlockSize - 1);
+    const auto &set = _sets[setIndex(addr)];
+    for (const CacheLine &line : set) {
+        if (line.valid && line.blockAddr == block)
+            return true;
+    }
+    return false;
+}
+
+CacheVictim
+SetAssocCache::insert(Addr addr, bool dirty, std::uint32_t stamp)
+{
+    Addr block = addr & ~Addr(kBlockSize - 1);
+    auto &set = _sets[setIndex(addr)];
+    panic_if(probe(addr), "%s: inserting a line already present",
+             _config.name.c_str());
+
+    CacheVictim victim;
+    const CacheLine &lru = set.back();
+    if (lru.valid) {
+        victim.valid = true;
+        victim.dirty = lru.dirty;
+        victim.blockAddr = lru.blockAddr;
+    }
+    set.pop_back();
+
+    CacheLine line;
+    line.blockAddr = block;
+    line.valid = true;
+    line.dirty = dirty;
+    line.touchStamp = stamp;
+    set.insert(set.begin(), line);
+    return victim;
+}
+
+bool
+SetAssocCache::cleanLineForEagerWrite(Addr addr)
+{
+    Addr block = addr & ~Addr(kBlockSize - 1);
+    auto &set = _sets[setIndex(addr)];
+    for (CacheLine &line : set) {
+        if (line.valid && line.blockAddr == block) {
+            if (!line.dirty)
+                return false;
+            line.dirty = false;
+            line.eagerCleaned = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<CacheLine> &
+SetAssocCache::set(std::uint64_t index) const
+{
+    panic_if(index >= _numSets, "set index out of range");
+    return _sets[index];
+}
+
+std::uint64_t
+SetAssocCache::countDirtyLines() const
+{
+    std::uint64_t count = 0;
+    for (const auto &set : _sets) {
+        for (const CacheLine &line : set) {
+            if (line.valid && line.dirty)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Set-associative write-back cache array with true-LRU stacks.
+ *
+ * The LRU stack position of every hit is exposed because the Eager
+ * Mellow Writes profiler (Section IV-B1) counts hits per stack
+ * position; position 0 is MRU, position (assoc-1) is LRU, matching
+ * Figure 7 of the paper.
+ */
+
+#ifndef MELLOWSIM_CACHE_CACHE_HH
+#define MELLOWSIM_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 2ull * 1024 * 1024;
+    unsigned assoc = 16;
+    /** Lookup/hit latency in ticks. */
+    Tick hitLatency = 0;
+};
+
+/** One cache line. */
+struct CacheLine
+{
+    Addr blockAddr = 0; ///< block-aligned address
+    bool valid = false;
+    bool dirty = false;
+    /**
+     * The line was cleaned by an eager mellow write back; a later
+     * store re-dirtying it means that eager write was wasted.
+     */
+    bool eagerCleaned = false;
+    /**
+     * Owner-supplied recency stamp (the LLC stores its profiling
+     * period number here); drives the decay-based dead-block
+     * predictor used as an alternative eager-candidate selector.
+     */
+    std::uint32_t touchStamp = 0;
+};
+
+/** Result of a lookup. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** LRU stack position of the hit (undefined on miss). */
+    unsigned lruPos = 0;
+};
+
+/** Victim description returned by insert(). */
+struct CacheVictim
+{
+    bool valid = false; ///< an occupied line was evicted
+    bool dirty = false;
+    Addr blockAddr = 0;
+};
+
+/**
+ * The cache array. Purely functional state (no timing); the
+ * Hierarchy composes arrays into a timed three-level system.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr. On a hit the line moves to MRU and, if
+     * @p isWrite, becomes dirty.
+     *
+     * @param updateLru  False for write backs arriving from an upper
+     *                   level, which should not promote the line.
+     * @param stamp      Recency stamp recorded on the line on a hit.
+     */
+    CacheAccessResult access(Addr addr, bool isWrite,
+                             bool updateLru = true,
+                             std::uint32_t stamp = 0);
+
+    /** Non-destructive lookup (no LRU update, no dirtying). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Allocate a line for @p addr at MRU (evicting LRU if the set is
+     * full) and return the victim. @p addr must not be present.
+     */
+    CacheVictim insert(Addr addr, bool dirty, std::uint32_t stamp = 0);
+
+    /**
+     * Mark the line holding @p addr clean and remember it was eagerly
+     * cleaned. No-op if absent.
+     * @retval true the line was present and dirty.
+     */
+    bool cleanLineForEagerWrite(Addr addr);
+
+    /** Number of sets. */
+    std::uint64_t numSets() const { return _numSets; }
+    unsigned assoc() const { return _config.assoc; }
+    Tick hitLatency() const { return _config.hitLatency; }
+    const CacheConfig &config() const { return _config; }
+
+    /**
+     * Lines of one set ordered by recency: index 0 is MRU. Exposed
+     * for the eager scanner's random-set walks.
+     */
+    const std::vector<CacheLine> &set(std::uint64_t index) const;
+
+    /** Count of valid dirty lines over the whole array (tests). */
+    std::uint64_t countDirtyLines() const;
+
+    /** True iff a store re-dirtied an eagerly cleaned line. */
+    bool lastWriteWastedEager() const { return _lastWriteWastedEager; }
+
+  private:
+    std::uint64_t setIndex(Addr addr) const;
+
+    CacheConfig _config;
+    std::uint64_t _numSets;
+    /** _sets[s] ordered MRU..LRU. Invalid lines sit at the tail. */
+    std::vector<std::vector<CacheLine>> _sets;
+    bool _lastWriteWastedEager = false;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CACHE_CACHE_HH

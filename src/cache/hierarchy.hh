@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The three-level data-cache hierarchy of Table I.
+ *
+ * L1D 32 KB / 4-way / 2 cycles, L2 256 KB / 8-way / 12 cycles, LLC
+ * 2 MB / 16-way / 35 cycles, 64-byte lines, write-back write-allocate
+ * everywhere, LLC misses limited by 32 MSHRs with same-block merging.
+ *
+ * Timing model: hits complete after the summed lookup latencies of
+ * the levels visited; an LLC miss sends a read to the memory
+ * controller after the full lookup path and completes when the
+ * controller delivers data. The hierarchy is functional (tags, LRU,
+ * dirty bits are exact); contention below the LLC is modelled by the
+ * controller.
+ */
+
+#ifndef MELLOWSIM_CACHE_HIERARCHY_HH
+#define MELLOWSIM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/llc.hh"
+#include "nvm/memory_port.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace mellowsim
+{
+
+/** Configuration of the full hierarchy (Table I defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1{"L1D", 32 * 1024, 4, 1 * kNanosecond};
+    CacheConfig l2{"L2", 256 * 1024, 8, 6 * kNanosecond};
+    LlcConfig llc;
+    /** Outstanding LLC misses (Table I: 32-MSHR LLC). */
+    unsigned llcMshrs = 32;
+};
+
+/** How an access concluded at issue time. */
+enum class AccessOutcome
+{
+    Hit,     ///< completes after `latency` ticks, no callback
+    Miss,    ///< the completion callback will fire
+    Blocked, ///< MSHRs full; retry after the retry callback fires
+};
+
+/** Issue-time result of Hierarchy::access(). */
+struct AccessTicket
+{
+    AccessOutcome outcome = AccessOutcome::Hit;
+    Tick latency = 0; ///< valid for Hit
+};
+
+/** Hierarchy statistics. */
+struct HierarchyStats
+{
+    stats::Counter accesses;
+    stats::Counter l1Hits;
+    stats::Counter l2Hits;
+    stats::Counter llcHits;
+    stats::Counter llcMisses;  ///< demand misses sent to memory
+    stats::Counter mshrMerges; ///< coalesced same-block misses
+    stats::Counter blocked;    ///< rejected: MSHRs full
+};
+
+/** See file comment. */
+class Hierarchy
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Hierarchy(EventQueue &eventq, const HierarchyConfig &config,
+              MemoryPort &controller, std::uint64_t seed);
+
+    /**
+     * Perform one demand access.
+     *
+     * @param addr     Byte address.
+     * @param isWrite  Store?
+     * @param done     Fired at completion for Miss outcomes.
+     * @return Issue-time ticket (see AccessOutcome).
+     */
+    AccessTicket access(Addr addr, bool isWrite, Callback done);
+
+    /**
+     * Register the (single) consumer to poke when a Blocked access
+     * may be retried. Fired at most once per blocking episode.
+     */
+    void setRetryCallback(Callback cb) { _retryCb = std::move(cb); }
+
+    /**
+     * Functionally touch a block (warm-up): installs/updates the line
+     * in all levels with no timing, statistics, or memory traffic.
+     * Victims are dropped silently.
+     */
+    void prime(Addr addr, bool isWrite);
+
+    const HierarchyStats &stats() const { return _stats; }
+    Llc &llc() { return _llc; }
+    const Llc &llc() const { return _llc; }
+
+    /** Outstanding LLC misses (MSHR occupancy). */
+    std::size_t outstandingMisses() const { return _mshrs.size(); }
+
+  private:
+    struct MshrWaiter
+    {
+        bool isWrite;
+        Callback done;
+    };
+
+    void onFill(Addr blockAddr);
+    void writeIntoL2(Addr blockAddr);
+    void writeIntoLlc(Addr blockAddr);
+    /** Install a block into L2 and L1 after an LLC hit or fill. */
+    void fillUpper(Addr blockAddr, bool dirtyInL1);
+
+    EventQueue &_eventq;
+    HierarchyConfig _config;
+    MemoryPort &_controller;
+    SetAssocCache _l1;
+    SetAssocCache _l2;
+    Llc _llc;
+
+    std::unordered_map<Addr, std::vector<MshrWaiter>> _mshrs;
+    bool _blockedEpisode = false;
+    Callback _retryCb;
+
+    HierarchyStats _stats;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CACHE_HIERARCHY_HH

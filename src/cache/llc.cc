@@ -1,0 +1,155 @@
+#include "cache/llc.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+Llc::Llc(EventQueue &eventq, const LlcConfig &config,
+         MemoryPort &controller, std::uint64_t seed)
+    : _eventq(eventq), _config(config), _controller(controller),
+      _array(config.cache),
+      _profiler([&config] {
+          EagerProfilerConfig p = config.profiler;
+          p.assoc = config.cache.assoc;
+          return p;
+      }()),
+      _rng(seed ^ 0x11CC11CCull), _cumHits(config.cache.assoc, 0)
+{
+    _eventq.scheduleIn(_profiler.config().samplePeriod,
+                       [this] { onSamplePeriod(); });
+    if (_config.eagerEnabled) {
+        fatal_if(_config.scanInterval == 0,
+                 "eager scan interval must be positive");
+        _eventq.scheduleIn(_config.scanInterval, [this] { onScan(); });
+    }
+}
+
+void
+Llc::onSamplePeriod()
+{
+    _profiler.onSamplePeriod();
+    ++_period;
+    _eventq.scheduleIn(_profiler.config().samplePeriod,
+                       [this] { onSamplePeriod(); });
+}
+
+CacheAccessResult
+Llc::access(Addr addr, bool isWrite)
+{
+    if (isWrite)
+        ++_stats.demandWrites;
+    else
+        ++_stats.demandReads;
+
+    CacheAccessResult res =
+        _array.access(addr, isWrite, /*updateLru=*/true, _period);
+    if (res.hit) {
+        ++_stats.hits;
+        _profiler.notifyHit(res.lruPos);
+        ++_cumHits[res.lruPos];
+        if (isWrite && _array.lastWriteWastedEager())
+            ++_stats.eagerWasted;
+    } else {
+        ++_stats.misses;
+        _profiler.notifyMiss();
+    }
+    return res;
+}
+
+void
+Llc::handleVictim(const CacheVictim &victim)
+{
+    if (!victim.valid)
+        return;
+    if (victim.dirty) {
+        ++_stats.writebacksToMem;
+        _controller.writeback(victim.blockAddr);
+    } else {
+        ++_stats.cleanEvictions;
+    }
+}
+
+void
+Llc::writebackFromUpper(Addr addr)
+{
+    ++_stats.demandWrites;
+    CacheAccessResult res = _array.access(addr, /*isWrite=*/true,
+                                          /*updateLru=*/false, _period);
+    if (res.hit) {
+        ++_stats.hits;
+        _profiler.notifyHit(res.lruPos);
+        ++_cumHits[res.lruPos];
+        if (_array.lastWriteWastedEager())
+            ++_stats.eagerWasted;
+        return;
+    }
+    ++_stats.misses;
+    _profiler.notifyMiss();
+    // Write-allocate the full-line write back.
+    handleVictim(_array.insert(addr, /*dirty=*/true, _period));
+}
+
+void
+Llc::fillFromMemory(Addr addr)
+{
+    // A concurrent upper-level write back may have raced the fill in.
+    if (_array.probe(addr))
+        return;
+    handleVictim(_array.insert(addr, /*dirty=*/false, _period));
+}
+
+void
+Llc::prime(Addr addr, bool dirty)
+{
+    CacheAccessResult res = _array.access(addr, dirty);
+    if (!res.hit)
+        _array.insert(addr, dirty); // victim dropped: warm-up only
+}
+
+bool
+Llc::eagerCandidate(const CacheLine &line, unsigned pos) const
+{
+    if (!line.valid || !line.dirty)
+        return false;
+    switch (_config.selector) {
+      case EagerSelector::UselessLru:
+        return _profiler.isUseless(pos);
+      case EagerSelector::DecayDeadBlock:
+        return _period >= line.touchStamp &&
+               _period - line.touchStamp >= _config.deadAfterPeriods;
+    }
+    return false;
+}
+
+void
+Llc::onScan()
+{
+    _eventq.scheduleIn(_config.scanInterval, [this] { onScan(); });
+    if (!_controller.eagerQueueHasSpace())
+        return;
+    ++_stats.eagerScans;
+
+    if (_config.selector == EagerSelector::UselessLru &&
+        _profiler.uselessFrom() >= _array.assoc()) {
+        return; // nothing is useless this period
+    }
+
+    std::uint64_t set_idx = _rng.nextBounded(_array.numSets());
+    const auto &set = _array.set(set_idx);
+
+    // Least likely to be used again: scan from the LRU end and take
+    // the first candidate.
+    for (unsigned pos = static_cast<unsigned>(set.size()); pos-- > 0;) {
+        const CacheLine &line = set[pos];
+        if (!eagerCandidate(line, pos))
+            continue;
+        if (_controller.eagerWrite(line.blockAddr)) {
+            _array.cleanLineForEagerWrite(line.blockAddr);
+            ++_stats.eagerSent;
+        }
+        return;
+    }
+}
+
+} // namespace mellowsim

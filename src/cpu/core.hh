@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model (Table I).
+ *
+ * The core consumes the workload's operation stream and models the
+ * three constraints through which memory timing shapes IPC on an OoO
+ * machine:
+ *
+ *  1. issue bandwidth: instructions dispatch at `issueWidth` per
+ *     cycle (compute gaps advance the dispatch clock accordingly);
+ *  2. the reorder buffer: dispatch stalls when the oldest
+ *     unfinished load is `robSize` instructions behind;
+ *  3. memory-level parallelism: at most `maxOutstanding` misses may
+ *     be in flight (L1 MSHRs), and dependent accesses (pointer
+ *     chases, the store half of an RMW) serialise behind their
+ *     producer.
+ *
+ * Stores retire through a store buffer: they never stall dispatch for
+ * completion, but their misses occupy MSHRs.
+ *
+ * This is the standard trace-driven front-end used by memory-system
+ * simulators (USIMM, DRAMSim2); see DESIGN.md "Substitutions" for why
+ * it suffices for the paper's experiments.
+ */
+
+#ifndef MELLOWSIM_CPU_CORE_HH
+#define MELLOWSIM_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "cache/hierarchy.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "workload/workload.hh"
+
+namespace mellowsim
+{
+
+/** Core configuration (Table I defaults). */
+struct CoreConfig
+{
+    /** 2 GHz. */
+    Tick clockPeriod = 500 * kPicosecond;
+    unsigned issueWidth = 8;
+    unsigned robSize = 192;
+    /** Outstanding misses (L1D MSHRs). */
+    unsigned maxOutstanding = 8;
+};
+
+/** Core statistics. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t robStalls = 0;
+    std::uint64_t mshrStalls = 0;
+    std::uint64_t depStalls = 0;
+};
+
+/** See file comment. */
+class TraceCore
+{
+  public:
+    TraceCore(EventQueue &eventq, const CoreConfig &config,
+              Workload &workload, Hierarchy &hierarchy);
+
+    /** Begin execution; the core retires @p instrLimit instructions. */
+    void start(std::uint64_t instrLimit);
+
+    bool done() const { return _done; }
+
+    /** Tick at which the last instruction dispatched. */
+    Tick finishTick() const { return _finishTick; }
+
+    /** Instructions per (core) cycle over the whole run. */
+    double ipc() const;
+
+    const CoreStats &stats() const { return _stats; }
+    const CoreConfig &config() const { return _config; }
+
+  private:
+    struct LoadEntry
+    {
+        std::uint64_t id;
+        std::uint64_t seq;      ///< instruction number
+        Tick complete;          ///< MaxTick while pending
+    };
+
+    /** Main processing loop; runs until blocked or done. */
+    void process();
+
+    /** Resume after a completion while blocked. */
+    void resume();
+
+    /** Advance the dispatch clock by @p instructions instructions. */
+    void advanceDispatch(std::uint64_t instructions);
+
+    /** Drop retired loads from the window head. */
+    void pruneRetired();
+
+    void onLoadComplete(std::uint64_t id);
+    void onStoreComplete();
+
+    EventQueue &_eventq;
+    CoreConfig _config;
+    Workload &_workload;
+    Hierarchy &_hierarchy;
+
+    std::uint64_t _instrLimit = 0;
+    bool _started = false;
+    bool _done = false;
+    Tick _finishTick = 0;
+
+    /** Dispatch clock and sub-tick accumulator (tick*instr units). */
+    Tick _dispatchTick = 0;
+    Tick _subTicks = 0;
+
+    std::uint64_t _seq = 0;
+    std::uint64_t _nextLoadId = 1;
+
+    std::deque<LoadEntry> _window;
+    std::unordered_map<std::uint64_t, LoadEntry *> _pendingLoads;
+    unsigned _pendingStores = 0;
+
+    Tick _lastLoadComplete = 0;
+    bool _lastLoadPending = false;
+    std::uint64_t _lastLoadId = 0;
+
+    /** The op being dispatched (fetched but not yet issued). */
+    Op _currentOp;
+    bool _currentOpValid = false;
+    bool _gapAccounted = false;
+
+    /** Blocked waiting for some completion callback. */
+    bool _waitingCompletion = false;
+    /** Blocked waiting for the hierarchy's MSHR retry. */
+    bool _waitingRetry = false;
+
+    CoreStats _stats;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CPU_CORE_HH

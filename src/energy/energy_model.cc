@@ -1,0 +1,97 @@
+#include "energy/energy_model.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+double
+cellEnergyPj(CellType cell)
+{
+    switch (cell) {
+      case CellType::CellA: return 0.1;
+      case CellType::CellB: return 0.2;
+      case CellType::CellC: return 0.4;
+      case CellType::CellD: return 0.8;
+      case CellType::CellE: return 1.6;
+    }
+    panic("unknown cell type");
+}
+
+std::string
+cellTypeName(CellType cell)
+{
+    switch (cell) {
+      case CellType::CellA: return "CellA";
+      case CellType::CellB: return "CellB";
+      case CellType::CellC: return "CellC";
+      case CellType::CellD: return "CellD";
+      case CellType::CellE: return "CellE";
+    }
+    panic("unknown cell type");
+}
+
+EnergyModel::EnergyModel(const EnergyParams &params) : _params(params)
+{
+    fatal_if(_params.peripheralWritePj < 0.0,
+             "peripheral write energy must be non-negative");
+    fatal_if(_params.bitsPerWrite == 0, "bits per write must be positive");
+    fatal_if(_params.slowCellEnergyFactor <= 0.0,
+             "slow cell energy factor must be positive");
+}
+
+double
+EnergyModel::writeEnergyPj(bool slow) const
+{
+    double cell = cellEnergyPj(_params.cell);
+    double peripheral = _params.peripheralWritePj;
+    if (slow) {
+        cell *= _params.slowCellEnergyFactor;
+        peripheral = _params.peripheralSlowWritePj;
+    }
+    return peripheral +
+           static_cast<double>(_params.bitsPerWrite) * cell;
+}
+
+double
+EnergyModel::readEnergyPj(bool rowHit) const
+{
+    return rowHit ? _params.rowHitReadPj : _params.bufferReadPj;
+}
+
+double
+EnergyModel::slowNormalWriteRatio() const
+{
+    return writeEnergyPj(true) / writeEnergyPj(false);
+}
+
+void
+EnergyModel::recordRead(bool rowHit)
+{
+    _stats.readPj += readEnergyPj(rowHit);
+    if (rowHit)
+        ++_stats.rowHitReads;
+    else
+        ++_stats.bufferReads;
+}
+
+void
+EnergyModel::recordWrite(bool slow)
+{
+    _stats.writePj += writeEnergyPj(slow);
+    if (slow)
+        ++_stats.slowWrites;
+    else
+        ++_stats.normalWrites;
+}
+
+void
+EnergyModel::recordCancelledWrite(bool slow, double progress)
+{
+    panic_if(progress < 0.0 || progress > 1.0,
+             "cancelled-write progress %f out of [0, 1]", progress);
+    _stats.writePj += writeEnergyPj(slow) * progress;
+    ++_stats.cancelledWrites;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Main-memory energy model (Tables V and VI of the paper).
+ *
+ * The paper feeds per-cell set/reset energies (cells A..E, 0.1 pJ to
+ * 1.6 pJ) through nvsim to obtain per-operation energies. nvsim is not
+ * available here, but Table VI is exactly linear in the cell energy:
+ *
+ *     E_write(cell)  = E_peripheral + 512 * E_cell
+ *
+ * with E_peripheral = 197.6 pJ for normal writes and 196.74 pJ for
+ * slow writes (512 = bits in a 64-byte line; half the bits Set and
+ * half Reset at equal energy, so the split is immaterial; the slow
+ * peripheral is marginally cheaper because it runs at the reduced
+ * write voltage). A slow (3x) write dissipates 0.767x the power of a
+ * normal write, hence 2.3x the cell energy. This closed form
+ * reproduces every entry of Table VI to the published precision; the
+ * unit tests assert that.
+ *
+ * Reads: a row-buffer miss reads a full 1 KB row buffer (1503 pJ); a
+ * row-buffer hit costs 100 pJ (Section VI-F).
+ */
+
+#ifndef MELLOWSIM_ENERGY_ENERGY_MODEL_HH
+#define MELLOWSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** The five ReRAM cell design points of Table V. */
+enum class CellType { CellA, CellB, CellC, CellD, CellE };
+
+/** Per-cell set/reset energy in pJ for a cell type (Table V). */
+double cellEnergyPj(CellType cell);
+
+/** Printable name ("CellA", ...). */
+std::string cellTypeName(CellType cell);
+
+/** All five cell types, for sweeps. */
+constexpr std::array<CellType, 5> kAllCellTypes = {
+    CellType::CellA, CellType::CellB, CellType::CellC, CellType::CellD,
+    CellType::CellE};
+
+/** Parameters of the energy model. */
+struct EnergyParams
+{
+    CellType cell = CellType::CellC;   ///< paper's Figure 16 choice
+    double peripheralWritePj = 197.6;  ///< normal-write peripheral
+    double peripheralSlowWritePj = 196.74; ///< slow-write peripheral
+    unsigned bitsPerWrite = 512;       ///< 64-byte line
+    double slowCellEnergyFactor = 2.3; ///< 0.767x power * 3x time
+    double bufferReadPj = 1503.0;      ///< row-buffer-miss read
+    double rowHitReadPj = 100.0;       ///< row-buffer-hit read
+};
+
+/** Running totals, in pJ. */
+struct EnergyStats
+{
+    double readPj = 0.0;
+    double writePj = 0.0;
+    std::uint64_t bufferReads = 0;
+    std::uint64_t rowHitReads = 0;
+    std::uint64_t normalWrites = 0;
+    std::uint64_t slowWrites = 0;
+    std::uint64_t cancelledWrites = 0;
+
+    double totalPj() const { return readPj + writePj; }
+};
+
+/**
+ * Computes per-operation energies and accumulates totals for a run.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {});
+
+    /** Energy of one write at normal or slow speed, in pJ. */
+    double writeEnergyPj(bool slow) const;
+
+    /** Energy of one read, by row-buffer outcome, in pJ. */
+    double readEnergyPj(bool rowHit) const;
+
+    /** Ratio slow/normal write energy (Table VI rightmost column). */
+    double slowNormalWriteRatio() const;
+
+    /** Account one completed read. */
+    void recordRead(bool rowHit);
+
+    /** Account one completed write. */
+    void recordWrite(bool slow);
+
+    /**
+     * Account a cancelled write attempt: energy proportional to the
+     * fraction of the pulse that completed.
+     */
+    void recordCancelledWrite(bool slow, double progress);
+
+    const EnergyStats &stats() const { return _stats; }
+    const EnergyParams &params() const { return _params; }
+
+  private:
+    EnergyParams _params;
+    EnergyStats _stats;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,61 @@
+#include "mellow/decision.hh"
+
+namespace mellowsim
+{
+
+WriteDecision
+decideWrite(const WritePolicyConfig &policy, const BankQueueView &bank)
+{
+    const bool reads_block = bank.readsForBank > 0 && !bank.drainMode;
+
+    if (bank.writesForBank > 0) {
+        if (reads_block)
+            return WriteDecision::None;
+        if (policy.globalSlow)
+            return WriteDecision::SlowWrite;
+        if (policy.wearQuota && bank.quotaExceeded)
+            return WriteDecision::SlowWrite;
+        if (policy.bankAware && bank.writesForBank == 1 &&
+            bank.readsForBank == 0) {
+            return WriteDecision::SlowWrite;
+        }
+        return WriteDecision::NormalWrite;
+    }
+
+    if (policy.eager && bank.eagerForBank > 0) {
+        // Eager writes are the lowest priority: any same-bank demand
+        // traffic (read or write) suppresses them, drains never
+        // involve them.
+        if (bank.readsForBank > 0)
+            return WriteDecision::None;
+        return policy.eagerSlow ? WriteDecision::EagerSlow
+                                : WriteDecision::EagerNormal;
+    }
+
+    return WriteDecision::None;
+}
+
+bool
+cancellable(const WritePolicyConfig &policy, WriteDecision decision)
+{
+    switch (decision) {
+      case WriteDecision::NormalWrite:
+      case WriteDecision::EagerNormal:
+        return policy.cancelNormal;
+      case WriteDecision::SlowWrite:
+      case WriteDecision::EagerSlow:
+        return policy.cancelSlow;
+      case WriteDecision::None:
+        return false;
+    }
+    return false;
+}
+
+bool
+isSlowDecision(WriteDecision decision)
+{
+    return decision == WriteDecision::SlowWrite ||
+           decision == WriteDecision::EagerSlow;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The write-speed decision logic of Figure 9.
+ *
+ * Kept as a pure function over an explicit snapshot of per-bank queue
+ * state so that the full decision table is unit-testable without a
+ * memory controller. The controller calls decideWrite() every time it
+ * is about to issue a write to a bank.
+ */
+
+#ifndef MELLOWSIM_MELLOW_DECISION_HH
+#define MELLOWSIM_MELLOW_DECISION_HH
+
+#include "mellow/policy.hh"
+
+namespace mellowsim
+{
+
+/** Snapshot of what the controller knows about one bank. */
+struct BankQueueView
+{
+    /** Demand reads queued for this bank. */
+    unsigned readsForBank = 0;
+    /** Demand writes queued for this bank (including the candidate). */
+    unsigned writesForBank = 0;
+    /** Eager mellow writes queued for this bank. */
+    unsigned eagerForBank = 0;
+    /** The controller is in write-drain mode. */
+    bool drainMode = false;
+    /** The bank's Wear Quota is exceeded (only meaningful with +WQ). */
+    bool quotaExceeded = false;
+};
+
+/** What the controller should issue to this bank. */
+enum class WriteDecision
+{
+    None,        ///< do not issue a write (e.g. reads waiting)
+    NormalWrite, ///< issue the head demand write at normal speed
+    SlowWrite,   ///< issue the head demand write at slow speed
+    EagerSlow,   ///< issue the head eager write (slow unless E-Norm)
+    EagerNormal, ///< eager write at normal speed (E-Norm only)
+};
+
+/**
+ * Decide what write, if any, to issue to a bank (Figure 9).
+ *
+ * Rules, in priority order:
+ *  1. Reads have absolute priority: if reads are queued for the bank
+ *     and the controller is not draining, no write is issued.
+ *  2. A queued demand write is issued:
+ *       - slow, if the policy is globally slow;
+ *       - slow, if +WQ and the bank exceeded its quota;
+ *       - slow, if Bank-Aware and it is the only request for the bank
+ *         (exactly one write, no reads);
+ *       - normal otherwise.
+ *  3. With no demand write queued for the bank, an eager write is
+ *     issued (slow for mellow/E-Slow schemes, normal for E-Norm) only
+ *     if there are also no reads for the bank; the eager queue never
+ *     participates in drains.
+ */
+WriteDecision decideWrite(const WritePolicyConfig &policy,
+                          const BankQueueView &bank);
+
+/** True if a write issued at the given decision may be cancelled. */
+bool cancellable(const WritePolicyConfig &policy, WriteDecision decision);
+
+/** True if the decision issues at slow device speed. */
+bool isSlowDecision(WriteDecision decision);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_MELLOW_DECISION_HH

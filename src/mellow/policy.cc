@@ -1,0 +1,196 @@
+#include "mellow/policy.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+WritePolicyConfig
+WritePolicyConfig::withNC() const
+{
+    WritePolicyConfig p = *this;
+    p.cancelNormal = true;
+    p.name += "+NC";
+    return p;
+}
+
+WritePolicyConfig
+WritePolicyConfig::withSC() const
+{
+    WritePolicyConfig p = *this;
+    p.cancelSlow = true;
+    p.name += "+SC";
+    return p;
+}
+
+WritePolicyConfig
+WritePolicyConfig::withWQ() const
+{
+    WritePolicyConfig p = *this;
+    p.wearQuota = true;
+    p.name += "+WQ";
+    return p;
+}
+
+WritePolicyConfig
+WritePolicyConfig::withSlowFactor(double factor) const
+{
+    fatal_if(factor < 1.0, "slow factor must be >= 1.0 (got %f)", factor);
+    WritePolicyConfig p = *this;
+    p.slowFactor = factor;
+    return p;
+}
+
+WritePolicyConfig
+WritePolicyConfig::withWP() const
+{
+    WritePolicyConfig p = *this;
+    p.pauseWrites = true;
+    p.name += "+WP";
+    return p;
+}
+
+WritePolicyConfig
+WritePolicyConfig::withML(std::vector<double> factors) const
+{
+    fatal_if(factors.empty(), "+ML needs at least one latency factor");
+    for (double f : factors)
+        fatal_if(f < 1.0, "+ML factors must be >= 1.0 (got %f)", f);
+    std::sort(factors.begin(), factors.end());
+    WritePolicyConfig p = *this;
+    p.adaptiveSlowFactors = std::move(factors);
+    p.name += "+ML";
+    return p;
+}
+
+namespace policies
+{
+
+WritePolicyConfig
+norm()
+{
+    WritePolicyConfig p;
+    p.name = "Norm";
+    return p;
+}
+
+WritePolicyConfig
+slow()
+{
+    WritePolicyConfig p;
+    p.name = "Slow";
+    p.globalSlow = true;
+    return p;
+}
+
+WritePolicyConfig
+bMellow()
+{
+    WritePolicyConfig p;
+    p.name = "B-Mellow";
+    p.bankAware = true;
+    return p;
+}
+
+WritePolicyConfig
+beMellow()
+{
+    WritePolicyConfig p;
+    p.name = "BE-Mellow";
+    p.bankAware = true;
+    p.eager = true;
+    p.eagerSlow = true;
+    return p;
+}
+
+WritePolicyConfig
+eNorm()
+{
+    WritePolicyConfig p;
+    p.name = "E-Norm";
+    p.eager = true;
+    p.eagerSlow = false;
+    return p;
+}
+
+WritePolicyConfig
+eSlow()
+{
+    WritePolicyConfig p;
+    p.name = "E-Slow";
+    p.globalSlow = true;
+    p.eager = true;
+    p.eagerSlow = true;
+    return p;
+}
+
+WritePolicyConfig
+fromName(const std::string &name)
+{
+    // Split base name from '+' modifiers.
+    std::string base = name;
+    std::vector<std::string> mods;
+    std::size_t pos;
+    while ((pos = base.rfind('+')) != std::string::npos) {
+        mods.push_back(base.substr(pos + 1));
+        base = base.substr(0, pos);
+    }
+
+    WritePolicyConfig p;
+    if (base == "Norm") {
+        p = norm();
+    } else if (base == "Slow") {
+        p = slow();
+    } else if (base == "B-Mellow") {
+        p = bMellow();
+    } else if (base == "BE-Mellow") {
+        p = beMellow();
+    } else if (base == "E-Norm") {
+        p = eNorm();
+    } else if (base == "E-Slow") {
+        p = eSlow();
+    } else {
+        fatal("unknown base write policy '%s'", base.c_str());
+    }
+
+    // Modifiers were collected right-to-left; apply left-to-right so
+    // the reconstructed display name matches the input.
+    for (auto it = mods.rbegin(); it != mods.rend(); ++it) {
+        if (*it == "NC") {
+            p = p.withNC();
+        } else if (*it == "SC") {
+            p = p.withSC();
+        } else if (*it == "WQ") {
+            p = p.withWQ();
+        } else if (*it == "ML") {
+            p = p.withML();
+        } else if (*it == "WP") {
+            p = p.withWP();
+        } else {
+            fatal("unknown write policy modifier '+%s'", it->c_str());
+        }
+    }
+    return p;
+}
+
+std::vector<WritePolicyConfig>
+paperPolicySet()
+{
+    return {
+        norm(),
+        eNorm().withNC(),
+        slow(),
+        eSlow().withSC(),
+        bMellow().withSC(),
+        beMellow().withSC(),
+        norm().withWQ(),
+        bMellow().withSC().withWQ(),
+        beMellow().withSC().withWQ(),
+    };
+}
+
+} // namespace policies
+} // namespace mellowsim

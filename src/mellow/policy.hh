@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The write-policy matrix of Table III.
+ *
+ * A WritePolicyConfig captures one cell of the paper's policy space:
+ * base scheme (Norm / Slow / B-Mellow / BE-Mellow / E-Norm / E-Slow)
+ * combined with the additional choices +NC (normal writes
+ * cancellable), +SC (slow writes cancellable) and +WQ (Wear Quota).
+ *
+ * Named factory functions build each policy the paper evaluates, and
+ * fromName() parses the paper's textual names ("BE-Mellow+SC+WQ").
+ */
+
+#ifndef MELLOWSIM_MELLOW_POLICY_HH
+#define MELLOWSIM_MELLOW_POLICY_HH
+
+#include <string>
+#include <vector>
+
+namespace mellowsim
+{
+
+/** One write policy (a row of Table III plus its modifiers). */
+struct WritePolicyConfig
+{
+    /** Display name, e.g. "BE-Mellow+SC+WQ". */
+    std::string name = "Norm";
+
+    /** Device latency multiplier used for slow writes (3.0 default). */
+    double slowFactor = 3.0;
+
+    /** Every demand write is slow (the Slow / E-Slow schemes). */
+    bool globalSlow = false;
+
+    /** Bank-Aware Mellow Writes (Section IV-A). */
+    bool bankAware = false;
+
+    /** Eager write backs from the LLC (Section IV-B / E-* schemes). */
+    bool eager = false;
+
+    /**
+     * Eager write backs are issued as slow writes. True for all
+     * Mellow/E-Slow schemes; false only for E-Norm, where the eager
+     * writeback (a la Lee et al.) is a plain normal write.
+     */
+    bool eagerSlow = true;
+
+    /** +NC: normal writes may be cancelled by an incoming read. */
+    bool cancelNormal = false;
+
+    /** +SC: slow writes may be cancelled by an incoming read. */
+    bool cancelSlow = false;
+
+    /**
+     * +WP: write pausing (Qureshi et al., HPCA 2010 — the companion
+     * technique to cancellation the paper cites in Section VII).
+     * An in-flight write is paused at a read's arrival and resumed
+     * afterwards: the read proceeds immediately, but unlike
+     * cancellation no pulse time is thrown away, so neither extra
+     * wear nor extra attempts accrue. Applies to both speeds; takes
+     * precedence over cancellation where both are set.
+     */
+    bool pauseWrites = false;
+
+    /** +WQ: Wear Quota lifetime guarantee (Section IV-C). */
+    bool wearQuota = false;
+
+    /**
+     * +ML: multiple slow latencies (the paper's stated future work,
+     * Section VI-I). When non-empty, a slow write chooses the largest
+     * of these latency factors whose pulse fits the bank's predicted
+     * quiet time (time since the last read arrival); Wear-Quota-forced
+     * and globally slow writes keep the full slowFactor.
+     */
+    std::vector<double> adaptiveSlowFactors;
+
+    /** True if any mellow mechanism (bank-aware or eager-slow) is on. */
+    bool
+    anyMellow() const
+    {
+        return bankAware || (eager && eagerSlow && !globalSlow);
+    }
+
+    // --- Chainable modifiers -------------------------------------
+    WritePolicyConfig withNC() const;
+    WritePolicyConfig withSC() const;
+    WritePolicyConfig withWQ() const;
+    WritePolicyConfig withSlowFactor(double factor) const;
+    /** Enable +ML with the given latency ladder (default 1.5/2/3). */
+    WritePolicyConfig withML(
+        std::vector<double> factors = {1.5, 2.0, 3.0}) const;
+    /** Enable +WP write pausing. */
+    WritePolicyConfig withWP() const;
+};
+
+/** Namespace-style factory for the Table III base policies. */
+namespace policies
+{
+
+/** Norm: normal writes only. */
+WritePolicyConfig norm();
+
+/** Slow: every write slow. */
+WritePolicyConfig slow();
+
+/** B-Mellow: Bank-Aware Mellow Writes. */
+WritePolicyConfig bMellow();
+
+/** BE-Mellow: Bank-Aware + Eager Mellow Writes. */
+WritePolicyConfig beMellow();
+
+/** E-Norm: normal writes with (normal-speed) eager write backs. */
+WritePolicyConfig eNorm();
+
+/** E-Slow: slow writes with eager write backs. */
+WritePolicyConfig eSlow();
+
+/**
+ * Parse a paper-style policy name, e.g. "Norm", "E-Norm+NC",
+ * "BE-Mellow+SC+WQ". Throws FatalError on unknown names.
+ */
+WritePolicyConfig fromName(const std::string &name);
+
+/**
+ * The policy set evaluated in Figures 10-16 of the paper, in display
+ * order: Norm, E-Norm+NC, Slow, E-Slow+SC, B-Mellow+SC, BE-Mellow+SC,
+ * Norm+WQ, B-Mellow+SC+WQ, BE-Mellow+SC+WQ.
+ */
+std::vector<WritePolicyConfig> paperPolicySet();
+
+} // namespace policies
+} // namespace mellowsim
+
+#endif // MELLOWSIM_MELLOW_POLICY_HH

@@ -1,0 +1,82 @@
+#include "mellow/wear_quota.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+WearQuota::WearQuota(const WearQuotaConfig &config, unsigned numBanks)
+    : _config(config), _banks(numBanks)
+{
+    fatal_if(numBanks == 0, "Wear Quota needs >= 1 bank");
+    fatal_if(config.samplePeriod == 0,
+             "Wear Quota sample period must be positive");
+    fatal_if(config.targetLifetimeYears <= 0.0,
+             "Wear Quota target lifetime must be positive");
+    fatal_if(config.ratioQuota <= 0.0 || config.ratioQuota > 1.0,
+             "Ratio_quota must be in (0, 1] (got %f)", config.ratioQuota);
+
+    // WearBound_blk in wear units = T_sample / T_lifetime.
+    double lifetime_ticks =
+        config.targetLifetimeYears * kSecondsPerYear *
+        static_cast<double>(kSecond);
+    double bound_blk =
+        static_cast<double>(config.samplePeriod) / lifetime_ticks;
+    _wearBoundBank = static_cast<double>(config.blocksPerBank) *
+                     bound_blk * config.ratioQuota;
+
+    if (config.coldStartSlow) {
+        for (auto &b : _banks)
+            b.slowOnly = true;
+    }
+}
+
+void
+WearQuota::recordWear(unsigned bank, double wearUnits)
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    _banks[bank].wear += wearUnits;
+}
+
+void
+WearQuota::onPeriodBoundary()
+{
+    ++_numPeriods;
+    for (auto &b : _banks) {
+        b.exceed = b.wear -
+                   _wearBoundBank * static_cast<double>(_numPeriods);
+        b.slowOnly = b.exceed > 0.0;
+        if (b.slowOnly)
+            ++b.slowOnlyPeriods;
+    }
+}
+
+bool
+WearQuota::slowOnly(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].slowOnly;
+}
+
+double
+WearQuota::exceedQuota(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].exceed;
+}
+
+double
+WearQuota::bankWear(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].wear;
+}
+
+std::uint64_t
+WearQuota::slowOnlyPeriods(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].slowOnlyPeriods;
+}
+
+} // namespace mellowsim

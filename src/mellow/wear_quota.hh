@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Wear Quota lifetime guarantee (Section IV-C).
+ *
+ * Execution is divided into sample periods of T_sample (500 us). Each
+ * bank has a per-period wear budget:
+ *
+ *     WearBound_blk  = Endur_blk * T_sample / T_lifetime
+ *     WearBound_bank = BlkNum_bank * WearBound_blk * Ratio_quota
+ *
+ * At each period boundary the controller computes
+ *
+ *     ExceedQuota = sum(Wear_bank) - WearBound_bank * N_prev_periods
+ *
+ * and, if positive, the bank may only issue slow writes during the
+ * coming period.
+ *
+ * Wear here is counted in the same "wear units" (fractions of one
+ * block's life) as WearTracker, which makes the bound independent of
+ * the device endurance constant: WearBound_blk in units is simply
+ * T_sample / T_lifetime.
+ */
+
+#ifndef MELLOWSIM_MELLOW_WEAR_QUOTA_HH
+#define MELLOWSIM_MELLOW_WEAR_QUOTA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Wear Quota configuration (Table II defaults). */
+struct WearQuotaConfig
+{
+    Tick samplePeriod = 500 * kMicrosecond;
+    double targetLifetimeYears = 8.0;
+    double ratioQuota = 0.9;
+    std::uint64_t blocksPerBank = 4ull * 1024 * 1024;
+    /**
+     * Banks start slow-only until the first period boundary shows
+     * wear headroom. The quota's guarantee is a long-run average;
+     * hardware would persist the registers across restarts, so a
+     * fresh simulation starting unthrottled would grant every run a
+     * free over-budget period — significant at simulation horizons,
+     * invisible at the paper's 2-billion-instruction scale.
+     */
+    bool coldStartSlow = true;
+};
+
+/**
+ * Per-bank wear-quota bookkeeping. The memory controller feeds wear in
+ * via recordWear() and calls onPeriodBoundary() every T_sample; the
+ * slowOnly() flag then gates the Figure 9 decision.
+ */
+class WearQuota
+{
+  public:
+    WearQuota(const WearQuotaConfig &config, unsigned numBanks);
+
+    /** Per-bank wear budget for a single period, in wear units. */
+    double wearBoundBank() const { return _wearBoundBank; }
+
+    /** Account wear units placed on a bank. */
+    void recordWear(unsigned bank, double wearUnits);
+
+    /**
+     * Close the current period: recompute each bank's ExceedQuota and
+     * latch the slow-only flags for the coming period.
+     */
+    void onPeriodBoundary();
+
+    /** True if the bank may only issue slow writes this period. */
+    bool slowOnly(unsigned bank) const;
+
+    /** ExceedQuota of a bank as of the last period boundary. */
+    double exceedQuota(unsigned bank) const;
+
+    /** Total wear units recorded for a bank so far. */
+    double bankWear(unsigned bank) const;
+
+    /** Completed sample periods. */
+    std::uint64_t numPeriods() const { return _numPeriods; }
+
+    /** Periods during which a given bank was slow-only. */
+    std::uint64_t slowOnlyPeriods(unsigned bank) const;
+
+    const WearQuotaConfig &config() const { return _config; }
+
+  private:
+    struct BankState
+    {
+        double wear = 0.0;
+        double exceed = 0.0;
+        bool slowOnly = false;
+        std::uint64_t slowOnlyPeriods = 0;
+    };
+
+    WearQuotaConfig _config;
+    double _wearBoundBank;
+    std::uint64_t _numPeriods = 0;
+    std::vector<BankState> _banks;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_MELLOW_WEAR_QUOTA_HH

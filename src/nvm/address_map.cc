@@ -1,0 +1,104 @@
+#include "nvm/address_map.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+namespace
+{
+
+/** splitmix64 finaliser used as the Feistel round function. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+AddressMap::AddressMap(const MemGeometry &geometry) : _geometry(geometry)
+{
+    fatal_if(geometry.numBanks == 0, "geometry needs >= 1 bank");
+    fatal_if(geometry.numRanks == 0, "geometry needs >= 1 rank");
+    fatal_if(geometry.numBanks % geometry.numRanks != 0,
+             "banks (%u) must divide evenly into ranks (%u)",
+             geometry.numBanks, geometry.numRanks);
+    fatal_if(geometry.rowBufferBytes < kBlockSize,
+             "row buffer smaller than a block");
+    fatal_if(geometry.interleaveBytes < kBlockSize,
+             "interleave granularity smaller than a block");
+    fatal_if(geometry.capacityBytes <
+                 static_cast<std::uint64_t>(geometry.numBanks) *
+                     geometry.interleaveBytes,
+             "capacity smaller than one interleave chunk per bank");
+    _blocksPerRowBuffer = geometry.rowBufferBytes / kBlockSize;
+    _blocksPerChunk = geometry.interleaveBytes / kBlockSize;
+
+    if (geometry.pageScramble) {
+        fatal_if(geometry.pageBytes < kBlockSize,
+                 "page size smaller than a block");
+        fatal_if(geometry.capacityBytes % geometry.pageBytes != 0,
+                 "capacity must be a multiple of the page size");
+        _numPages = geometry.capacityBytes / geometry.pageBytes;
+        fatal_if(!isPowerOfTwo(_numPages),
+                 "page scrambling requires a power-of-two page count "
+                 "(got %llu)",
+                 static_cast<unsigned long long>(_numPages));
+        _pageBits = floorLog2(_numPages);
+    }
+}
+
+Addr
+AddressMap::translate(Addr addr) const
+{
+    addr %= _geometry.capacityBytes;
+    // Fewer than four pages: nothing meaningful to permute.
+    if (!_geometry.pageScramble || _pageBits < 2)
+        return addr;
+
+    std::uint64_t page = addr / _geometry.pageBytes;
+    std::uint64_t offset = addr % _geometry.pageBytes;
+
+    // Unbalanced Feistel network over the page index: each round
+    // XOR-masks one half with a hash of the other, which is a
+    // bijection for any split; four rounds diffuse thoroughly.
+    unsigned a = _pageBits / 2;      // high-half bits
+    unsigned b = _pageBits - a;      // low-half bits
+    for (unsigned round = 0; round < 4; ++round) {
+        std::uint64_t mask_a = (std::uint64_t(1) << a) - 1;
+        std::uint64_t mask_b = (std::uint64_t(1) << b) - 1;
+        std::uint64_t hi = (page >> b) & mask_a;
+        std::uint64_t lo = page & mask_b;
+        hi ^= mix(lo + (std::uint64_t(round) << 32) +
+                  0x5EEDF00Dull) &
+              mask_a;
+        // Swap halves (and their widths) for the next round.
+        page = (lo << a) | hi;
+        std::swap(a, b);
+    }
+    return page * _geometry.pageBytes + offset;
+}
+
+DecodedAddr
+AddressMap::decode(Addr addr) const
+{
+    std::uint64_t block = translate(addr) >> kBlockShift;
+    std::uint64_t chunk = block / _blocksPerChunk;
+    std::uint64_t offset = block % _blocksPerChunk;
+
+    DecodedAddr d;
+    d.bank = static_cast<unsigned>(chunk % _geometry.numBanks);
+    d.rank = d.bank / _geometry.banksPerRank();
+    d.blockInBank =
+        chunk / _geometry.numBanks * _blocksPerChunk + offset;
+    d.rowTag = d.blockInBank / _blocksPerRowBuffer;
+    return d;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,113 @@
+#include "nvm/bank.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+void
+Bank::startRead(Tick now, Tick access, std::uint64_t rowTag)
+{
+    panic_if(!idleAt(now), "read issued to a busy bank");
+    _busyUntil = now + access;
+    _openRowTag = rowTag;
+    _writing = false;
+    _busy.markBusyUntil(now, _busyUntil);
+}
+
+void
+Bank::startWrite(Tick now, Tick pulseStart, Tick pulse, MemRequest req,
+                 bool slow, bool cancellable, bool pausable)
+{
+    panic_if(!idleAt(now), "write issued to a busy bank");
+    panic_if(_paused, "write issued over a paused write");
+    panic_if(pulseStart < now, "write pulse starts before its issue");
+    _busyUntil = pulseStart + pulse;
+    _writing = true;
+    _writeCancellable = cancellable;
+    _writePausable = pausable;
+    _writeSlow = slow;
+    _paused = false;
+    _writePulse = pulse;
+    _pulseStart = pulseStart;
+    _remainingPulse = 0;
+    _currentWrite = std::move(req);
+    // Writes bypass (and stale-out) the row buffer segment they hit.
+    if (_openRowTag == _currentWrite.loc.rowTag)
+        _openRowTag = kNoOpenRow;
+    _busy.markBusyUntil(now, _busyUntil);
+}
+
+MemRequest
+Bank::finishWrite()
+{
+    panic_if(!_writing, "finishWrite with no write in flight");
+    _writing = false;
+    return std::move(_currentWrite);
+}
+
+void
+Bank::pauseWrite(Tick now)
+{
+    panic_if(!pausableWrite(now), "pauseWrite on a non-pausable write");
+    // Remaining pulse: whatever had not completed by now. If the
+    // data burst itself has not finished, the whole pulse remains.
+    _remainingPulse =
+        now > _pulseStart ? _busyUntil - now : _writePulse;
+    _busy.truncateAt(now);
+    _busyUntil = now;
+    _writing = false;
+    _paused = true;
+}
+
+Tick
+Bank::resumeWrite(Tick now)
+{
+    panic_if(!_paused, "resumeWrite with no paused write");
+    panic_if(!idleAt(now), "resumeWrite on a busy bank");
+    _paused = false;
+    _writing = true;
+    _busyUntil = now + _remainingPulse;
+    // Progress accounting: treat the resumed remainder as the live
+    // pulse window so a later pause sees the right remainder.
+    _pulseStart = now - (_writePulse - _remainingPulse);
+    _busy.markBusyUntil(now, _busyUntil);
+    return _busyUntil;
+}
+
+MemRequest
+Bank::cancelWrite(Tick now, Tick *elapsedPulse)
+{
+    panic_if(!writing(now), "cancelWrite with no write in flight");
+    panic_if(!_writeCancellable, "cancelWrite on a non-cancellable write");
+    if (elapsedPulse != nullptr)
+        *elapsedPulse = now > _pulseStart ? now - _pulseStart : 0;
+    // Give back the unused busy time we had pre-charged.
+    _busy.truncateAt(now);
+    _busyUntil = now;
+    _writing = false;
+    return std::move(_currentWrite);
+}
+
+Tick
+Rank::nextActivateAllowed(Tick now, Tick tFAW) const
+{
+    if (_count < _activates.size())
+        return now;
+    // The oldest of the last four activates gates the next one.
+    Tick oldest = _activates[_head];
+    return std::max(now, oldest + tFAW);
+}
+
+void
+Rank::recordActivate(Tick when)
+{
+    _activates[_head] = when;
+    _head = (_head + 1) % _activates.size();
+    if (_count < _activates.size())
+        ++_count;
+}
+
+} // namespace mellowsim

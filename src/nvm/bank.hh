@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-bank and per-rank device state.
+ *
+ * A Bank tracks when it frees up, which row-buffer segment (if any) is
+ * open for reads, and — while a write pulse is in flight — everything
+ * needed to cancel that write (Section III / Qureshi's write
+ * cancellation). A Rank enforces the four-activate window (tFAW).
+ */
+
+#ifndef MELLOWSIM_NVM_BANK_HH
+#define MELLOWSIM_NVM_BANK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "nvm/request.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Sentinel for "no open row". */
+constexpr std::uint64_t kNoOpenRow = ~std::uint64_t(0);
+
+/** State of one resistive memory bank. */
+class Bank
+{
+  public:
+    /** The bank can start a new operation at this tick. */
+    Tick busyUntil() const { return _busyUntil; }
+
+    bool idleAt(Tick now) const { return _busyUntil <= now; }
+
+    /** Row-buffer segment currently latched for reads. */
+    std::uint64_t openRowTag() const { return _openRowTag; }
+
+    /** Begin a read: occupies the bank for the array access. */
+    void startRead(Tick now, Tick access, std::uint64_t rowTag);
+
+    /**
+     * Begin a write.
+     *
+     * The bank is occupied from @p now (data transfer in progress)
+     * until @p pulseStart + @p pulse; cancellation progress is
+     * measured against the pulse phase only.
+     *
+     * @param now          Issue tick.
+     * @param pulseStart   When the write pulse itself begins (after
+     *                     the data burst crosses the bus); >= now.
+     * @param pulse        Pulse duration (normal or slow tWP).
+     * @param req          The request, retained for cancellation.
+     * @param slow         Slow write?
+     * @param cancellable  May an incoming read cancel it?
+     * @param pausable     May an incoming read pause it (+WP)?
+     */
+    void startWrite(Tick now, Tick pulseStart, Tick pulse, MemRequest req,
+                    bool slow, bool cancellable, bool pausable = false);
+
+    /** True iff the in-flight write may be paused by a read. */
+    bool pausableWrite(Tick now) const
+    {
+        return writing(now) && _writePausable;
+    }
+
+    /**
+     * Pause the in-flight write at @p now: the bank frees
+     * immediately; the unfinished remainder of the pulse is retained
+     * for resumeWrite(). No wear or attempt is lost.
+     */
+    void pauseWrite(Tick now);
+
+    /** A paused write is parked at this bank awaiting resumption. */
+    bool hasPausedWrite() const { return _paused; }
+
+    /**
+     * Resume the paused write at @p now.
+     * @return The tick at which the write will now complete.
+     */
+    Tick resumeWrite(Tick now);
+
+    /**
+     * Mark the in-flight write completed.
+     * @return The completed request (for wear/energy accounting).
+     */
+    MemRequest finishWrite();
+
+    /** True iff a write pulse is in flight at @p now. */
+    bool writing(Tick now) const { return _writing && _busyUntil > now; }
+
+    /** True iff the in-flight write may be cancelled. */
+    bool cancellableWrite(Tick now) const
+    {
+        return writing(now) && _writeCancellable;
+    }
+
+    /**
+     * Cancel the in-flight write at @p now.
+     *
+     * @param[out] elapsedPulse  How much of the pulse had completed.
+     * @return The aborted request (to be re-queued by the caller).
+     */
+    MemRequest cancelWrite(Tick now, Tick *elapsedPulse);
+
+    bool writeSlow() const { return _writeSlow; }
+    Tick writePulse() const { return _writePulse; }
+
+    /** Invalidate the open row (a write-through touched it). */
+    void closeRow() { _openRowTag = kNoOpenRow; }
+
+    /** Busy-time accounting for utilisation reporting. */
+    stats::BusyTracker &busyTracker() { return _busy; }
+    const stats::BusyTracker &busyTracker() const { return _busy; }
+
+  private:
+    Tick _busyUntil = 0;
+    std::uint64_t _openRowTag = kNoOpenRow;
+
+    bool _writing = false;
+    bool _writeCancellable = false;
+    bool _writePausable = false;
+    bool _writeSlow = false;
+    bool _paused = false;
+    Tick _writePulse = 0;
+    Tick _pulseStart = 0;
+    Tick _remainingPulse = 0;
+    MemRequest _currentWrite;
+
+    stats::BusyTracker _busy;
+};
+
+/** Per-rank four-activate-window (tFAW) tracker. */
+class Rank
+{
+  public:
+    /**
+     * Earliest tick >= @p now at which a new activate may start,
+     * honouring at most four activates per tFAW window.
+     */
+    Tick nextActivateAllowed(Tick now, Tick tFAW) const;
+
+    /** Record an activate starting at @p when. */
+    void recordActivate(Tick when);
+
+  private:
+    /** Ring of the last four activate start times. */
+    std::array<Tick, 4> _activates{};
+    unsigned _head = 0;
+    /** Activates recorded so far (the window binds after four). */
+    unsigned _count = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_NVM_BANK_HH

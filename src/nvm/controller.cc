@@ -1,0 +1,509 @@
+#include "nvm/controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+MemoryController::MemoryController(EventQueue &eventq,
+                                   const MemControllerConfig &config)
+    : _eventq(eventq), _config(config), _map(config.geometry),
+      _timing(config.timing),
+      _slowPulse(config.timing.slowWritePulse(config.policy.slowFactor)),
+      _readQ(config.geometry.numBanks, config.readQueueSize),
+      _writeQ(config.geometry.numBanks, config.writeQueueSize),
+      _eagerQ(config.geometry.numBanks, config.eagerQueueSize),
+      _banks(config.geometry.numBanks), _ranks(config.geometry.numRanks),
+      _writeCompletion(config.geometry.numBanks, InvalidEventId),
+      _lastReadArrival(config.geometry.numBanks, 0),
+      _endurance(config.endurance),
+      _wear(
+          [&config] {
+              WearTrackerConfig w;
+              w.numBanks = config.geometry.numBanks;
+              w.blocksPerBank = config.geometry.blocksPerBank();
+              w.leveler = config.wearLeveler;
+              w.gapWritePeriod = config.gapWritePeriod;
+              w.levelingEfficiency = config.levelingEfficiency;
+              w.detailedBlocks = config.detailedWear;
+              return w;
+          }(),
+          _endurance),
+      _energy(config.energy)
+{
+    fatal_if(config.drainLowThreshold >= config.writeQueueSize,
+             "drain low threshold (%u) must be below the write queue "
+             "size (%u)",
+             config.drainLowThreshold, config.writeQueueSize);
+    fatal_if(config.policy.slowFactor < 1.0,
+             "slow factor must be >= 1.0 (got %f)",
+             config.policy.slowFactor);
+    if (_config.policy.wearQuota) {
+        WearQuotaConfig q = _config.quota;
+        q.blocksPerBank = _config.geometry.blocksPerBank();
+        _quota = std::make_unique<WearQuota>(q,
+                                             _config.geometry.numBanks);
+        _eventq.scheduleIn(q.samplePeriod, [this] { onQuotaPeriod(); });
+    }
+}
+
+void
+MemoryController::onQuotaPeriod()
+{
+    _quota->onPeriodBoundary();
+    _eventq.scheduleIn(_quota->config().samplePeriod,
+                       [this] { onQuotaPeriod(); });
+    // Quota flags changed; queued writes may now decide differently.
+    requestSchedule(_eventq.curTick());
+}
+
+bool
+MemoryController::quotaExceeded(unsigned bank) const
+{
+    return _quota != nullptr && _quota->slowOnly(bank);
+}
+
+BankQueueView
+MemoryController::bankView(unsigned bank) const
+{
+    BankQueueView v;
+    v.readsForBank = _readQ.countForBank(bank);
+    v.writesForBank = _writeQ.countForBank(bank);
+    v.eagerForBank = _eagerQ.countForBank(bank);
+    v.drainMode = _draining;
+    v.quotaExceeded = quotaExceeded(bank);
+    return v;
+}
+
+void
+MemoryController::read(Addr addr, ReadCallback onComplete)
+{
+    Tick now = _eventq.curTick();
+    ++_stats.demandReads;
+
+    // Read forwarding: a queued (or eager-queued) write to the same
+    // block supplies the data from the controller's buffers without
+    // touching the memory array.
+    Addr block = addr >> kBlockShift;
+    if (_writeQ.countForBlock(block) > 0 ||
+        _eagerQ.countForBlock(block) > 0) {
+        ++_stats.forwardedReads;
+        _stats.readLatency.sample(
+            static_cast<double>(_config.forwardLatency));
+        _eventq.scheduleIn(_config.forwardLatency,
+                           [cb = std::move(onComplete)] { cb(); });
+        return;
+    }
+
+    MemRequest req;
+    req.type = ReqType::Read;
+    req.addr = addr;
+    req.loc = _map.decode(addr);
+    req.arrival = now;
+    req.onComplete = std::move(onComplete);
+    _lastReadArrival[req.loc.bank] = now;
+    _readQ.push(std::move(req));
+    requestSchedule(now);
+}
+
+void
+MemoryController::writeback(Addr addr)
+{
+    Tick now = _eventq.curTick();
+    ++_stats.acceptedWritebacks;
+    MemRequest req;
+    req.type = ReqType::Write;
+    req.addr = addr;
+    req.loc = _map.decode(addr);
+    req.arrival = now;
+    _writeQ.push(std::move(req));
+    updateDrainState(now);
+    requestSchedule(now);
+}
+
+bool
+MemoryController::eagerWrite(Addr addr)
+{
+    Tick now = _eventq.curTick();
+    if (_eagerQ.full()) {
+        ++_stats.rejectedEager;
+        return false;
+    }
+    ++_stats.acceptedEager;
+    MemRequest req;
+    req.type = ReqType::EagerWrite;
+    req.addr = addr;
+    req.loc = _map.decode(addr);
+    req.arrival = now;
+    _eagerQ.push(std::move(req));
+    requestSchedule(now);
+    return true;
+}
+
+bool
+MemoryController::eagerQueueHasSpace() const
+{
+    return !_eagerQ.full();
+}
+
+std::size_t
+MemoryController::pendingReads() const
+{
+    return _readQ.size();
+}
+
+void
+MemoryController::requestSchedule(Tick when)
+{
+    Tick now = _eventq.curTick();
+    if (when < now)
+        when = now;
+    if (_scheduleEvent != InvalidEventId) {
+        if (_scheduleAt <= when)
+            return;
+        _eventq.deschedule(_scheduleEvent);
+    }
+    _scheduleAt = when;
+    _scheduleEvent = _eventq.schedule(when, [this] { trySchedule(); });
+}
+
+void
+MemoryController::updateDrainState(Tick now)
+{
+    if (!_draining && _writeQ.size() >= _config.writeQueueSize) {
+        _draining = true;
+        _drainStart = now;
+        ++_stats.drainEntries;
+    } else if (_draining &&
+               _writeQ.size() <= _config.drainLowThreshold) {
+        _draining = false;
+        _drainTicks += now - _drainStart;
+    }
+}
+
+bool
+MemoryController::busAvailable(Tick now, Tick *nextWake) const
+{
+    Tick lead = static_cast<Tick>(_config.busLeadBursts) * _timing.tBurst;
+    if (_busNextFree <= now + lead)
+        return true;
+    *nextWake = std::min(*nextWake, _busNextFree - lead);
+    return false;
+}
+
+Tick
+MemoryController::reserveBus(Tick earliest)
+{
+    Tick start = std::max(earliest, _busNextFree);
+    _busNextFree = start + _timing.tBurst;
+    return start;
+}
+
+void
+MemoryController::cancelBankWrite(unsigned bank, Tick now)
+{
+    Bank &b = _banks[bank];
+    bool slow = b.writeSlow();
+    Tick pulse = b.writePulse();
+
+    Tick elapsed = 0;
+    MemRequest w = b.cancelWrite(now, &elapsed);
+    if (elapsed > pulse)
+        elapsed = pulse;
+    double progress =
+        pulse ? static_cast<double>(elapsed) / static_cast<double>(pulse)
+              : 0.0;
+
+    _wear.recordCancelledWrite(bank, w.loc.blockInBank, pulse, elapsed,
+                               slow, _config.cancelWearFraction);
+    if (_quota != nullptr) {
+        _quota->recordWear(bank, _endurance.wearPerWrite(pulse) *
+                                     progress *
+                                     _config.cancelWearFraction);
+    }
+    _energy.recordCancelledWrite(slow, progress);
+    ++_stats.cancelledWrites;
+
+    if (_writeCompletion[bank] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank]);
+        _writeCompletion[bank] = InvalidEventId;
+    }
+
+    // The aborted write retries from the front of its queue.
+    if (w.type == ReqType::Write) {
+        _writeQ.pushFront(std::move(w));
+        updateDrainState(now);
+    } else {
+        _eagerQ.pushFront(std::move(w));
+    }
+}
+
+bool
+MemoryController::tryIssueRead(unsigned bank, Tick now, Tick *nextWake)
+{
+    if (_readQ.countForBank(bank) == 0)
+        return false;
+    // During a drain, banks with pending writes serve writes first.
+    if (_draining && _writeQ.countForBank(bank) > 0)
+        return false;
+
+    Bank &b = _banks[bank];
+    if (!_draining) {
+        if (b.pausableWrite(now))
+            pauseBankWrite(bank, now);
+        else if (b.cancellableWrite(now))
+            cancelBankWrite(bank, now);
+    }
+
+    if (!b.idleAt(now)) {
+        *nextWake = std::min(*nextWake, b.busyUntil());
+        return false;
+    }
+
+    const MemRequest &head = _readQ.front(bank);
+    bool row_hit = b.openRowTag() == head.loc.rowTag;
+    if (!row_hit) {
+        Tick allowed =
+            _ranks[head.loc.rank].nextActivateAllowed(now, _timing.tFAW);
+        if (allowed > now) {
+            *nextWake = std::min(*nextWake, allowed);
+            return false;
+        }
+    }
+    if (!busAvailable(now, nextWake))
+        return false;
+
+    MemRequest req = _readQ.pop(bank);
+    Tick access = _timing.readAccess(row_hit);
+    Tick access_done = now + access;
+    Tick bus_start = reserveBus(access_done);
+    Tick done = bus_start + _timing.tBurst;
+
+    if (!row_hit)
+        _ranks[req.loc.rank].recordActivate(now);
+    b.startRead(now, access, req.loc.rowTag);
+
+    ++_stats.issuedReads;
+    if (row_hit)
+        ++_stats.rowHitReads;
+    else
+        ++_stats.rowMissReads;
+    _energy.recordRead(row_hit);
+    _stats.readLatency.sample(static_cast<double>(done - req.arrival));
+
+    _eventq.schedule(done, [this, cb = std::move(req.onComplete)] {
+        if (cb)
+            cb();
+        requestSchedule(_eventq.curTick());
+    });
+    // The bank frees before the data burst completes; wake then.
+    requestSchedule(access_done);
+    return true;
+}
+
+bool
+MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
+{
+    Bank &bank_state = _banks[bank];
+
+    // A paused write owns the bank's write machinery: it resumes as
+    // soon as the bank is clear of reads, before anything new issues.
+    if (bank_state.hasPausedWrite()) {
+        if (_readQ.countForBank(bank) > 0 && !_draining)
+            return false; // read events will wake us
+        if (!bank_state.idleAt(now)) {
+            *nextWake = std::min(*nextWake, bank_state.busyUntil());
+            return false;
+        }
+        Tick done = bank_state.resumeWrite(now);
+        ++_stats.resumedWrites;
+        _writeCompletion[bank] =
+            _eventq.schedule(done, [this, bank] {
+                onWriteComplete(bank);
+            });
+        return true;
+    }
+
+    WriteDecision dec = decideWrite(_config.policy, bankView(bank));
+    if (dec == WriteDecision::None)
+        return false;
+
+    // Recent-read guard: keep slow/eager writes off banks a read
+    // stream is actively visiting (see MemControllerConfig).
+    Tick window = _config.recentReadWindow;
+    if (window != 0 && _lastReadArrival[bank] != 0 &&
+        now < _lastReadArrival[bank] + window) {
+        bool eager_dec = dec == WriteDecision::EagerSlow ||
+                         dec == WriteDecision::EagerNormal;
+        if (eager_dec) {
+            *nextWake =
+                std::min(*nextWake, _lastReadArrival[bank] + window);
+            return false;
+        }
+        if (dec == WriteDecision::SlowWrite && !_config.policy.globalSlow
+            && !(_config.policy.wearQuota && quotaExceeded(bank))) {
+            dec = WriteDecision::NormalWrite;
+        }
+    }
+
+    Bank &b = _banks[bank];
+    if (!b.idleAt(now)) {
+        *nextWake = std::min(*nextWake, b.busyUntil());
+        return false;
+    }
+    if (!busAvailable(now, nextWake))
+        return false;
+
+    bool eager = dec == WriteDecision::EagerSlow ||
+                 dec == WriteDecision::EagerNormal;
+    bool slow = isSlowDecision(dec);
+    MemRequest req = eager ? _eagerQ.pop(bank) : _writeQ.pop(bank);
+    bool may_cancel = cancellable(_config.policy, dec) &&
+                      req.attempts < _config.maxWriteCancellations;
+    bool may_pause = _config.policy.pauseWrites;
+    // Writes forced slow by an exceeded Wear Quota are the throttle
+    // that delivers the lifetime guarantee; letting reads cancel or
+    // pause them would keep the wear rate unthrottled and defeat the
+    // quota.
+    if (_config.policy.wearQuota && quotaExceeded(bank)) {
+        may_cancel = false;
+        may_pause = false;
+    }
+    // Pausing preserves the pulse, so it supersedes cancellation.
+    if (may_pause)
+        may_cancel = false;
+    ++req.attempts;
+
+    Tick pulse = slow ? _slowPulse : _timing.tWP;
+    if (slow && !_config.policy.adaptiveSlowFactors.empty() &&
+        !_config.policy.globalSlow &&
+        !(_config.policy.wearQuota && quotaExceeded(bank))) {
+        pulse = _timing.slowWritePulse(chooseAdaptiveFactor(bank, now));
+    }
+    Tick bus_start = reserveBus(now);
+    Tick pulse_start = bus_start + _timing.tBurst;
+
+    if (slow)
+        ++(eager ? _stats.issuedEagerSlow : _stats.issuedSlowWrites);
+    else
+        ++(eager ? _stats.issuedEagerNormal : _stats.issuedNormalWrites);
+
+    b.startWrite(now, pulse_start, pulse, std::move(req), slow,
+                 may_cancel, may_pause);
+
+    _writeCompletion[bank] = _eventq.schedule(
+        pulse_start + pulse, [this, bank] { onWriteComplete(bank); });
+
+    if (!eager)
+        updateDrainState(now);
+    return true;
+}
+
+void
+MemoryController::pauseBankWrite(unsigned bank, Tick now)
+{
+    Bank &b = _banks[bank];
+    b.pauseWrite(now);
+    ++_stats.pausedWrites;
+    if (_writeCompletion[bank] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank]);
+        _writeCompletion[bank] = InvalidEventId;
+    }
+}
+
+double
+MemoryController::chooseAdaptiveFactor(unsigned bank, Tick now) const
+{
+    const auto &ladder = _config.policy.adaptiveSlowFactors;
+    // Quiet time since the last read arrival predicts how long the
+    // bank will stay undisturbed; a never-read bank is wide open.
+    Tick quiet = _lastReadArrival[bank] == 0
+                     ? MaxTick
+                     : now - _lastReadArrival[bank];
+    for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
+        if (_timing.slowWritePulse(*it) <= quiet)
+            return *it;
+    }
+    return ladder.front();
+}
+
+void
+MemoryController::onWriteComplete(unsigned bank)
+{
+    Bank &b = _banks[bank];
+    bool slow = b.writeSlow();
+    Tick pulse = b.writePulse();
+    MemRequest req = b.finishWrite();
+    _writeCompletion[bank] = InvalidEventId;
+
+    _wear.recordWrite(bank, req.loc.blockInBank, pulse, slow);
+    if (_quota != nullptr)
+        _quota->recordWear(bank, _endurance.wearPerWrite(pulse));
+    _energy.recordWrite(slow);
+
+    requestSchedule(_eventq.curTick());
+}
+
+void
+MemoryController::trySchedule()
+{
+    _scheduleEvent = InvalidEventId;
+    _scheduleAt = MaxTick;
+
+    Tick now = _eventq.curTick();
+    updateDrainState(now);
+
+    Tick next_wake = MaxTick;
+    unsigned n = _config.geometry.numBanks;
+    for (unsigned bank = 0; bank < n; ++bank)
+        tryIssueRead(bank, now, &next_wake);
+    for (unsigned bank = 0; bank < n; ++bank)
+        tryIssueWrite(bank, now, &next_wake);
+
+    if (next_wake != MaxTick)
+        requestSchedule(next_wake);
+}
+
+void
+MemoryController::finalize()
+{
+    Tick now = _eventq.curTick();
+    if (_draining) {
+        _drainTicks += now - _drainStart;
+        _drainStart = now;
+    }
+    for (auto &b : _banks)
+        b.busyTracker().truncateAt(now);
+}
+
+double
+MemoryController::drainTimeFraction() const
+{
+    Tick now = _eventq.curTick();
+    if (now == 0)
+        return 0.0;
+    Tick total = _drainTicks;
+    if (_draining && now > _drainStart)
+        total += now - _drainStart;
+    return static_cast<double>(total) / static_cast<double>(now);
+}
+
+double
+MemoryController::bankUtilization(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].busyTracker().utilization(_eventq.curTick());
+}
+
+double
+MemoryController::avgBankUtilization() const
+{
+    double sum = 0.0;
+    for (unsigned i = 0; i < _banks.size(); ++i)
+        sum += bankUtilization(i);
+    return sum / static_cast<double>(_banks.size());
+}
+
+} // namespace mellowsim

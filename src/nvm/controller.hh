@@ -1,0 +1,263 @@
+/**
+ * @file
+ * NVMain-like resistive main-memory controller.
+ *
+ * Implements the Table II memory system: three request queues (read,
+ * write, eager mellow) with read > write > eager priority, write-drain
+ * mode with high/low thresholds, open-page row buffers for reads,
+ * write-through writes, tFAW-limited activates, a shared data bus, and
+ * write cancellation. Every write issue consults the Figure 9
+ * decision logic (mellow/decision.hh), and completed writes feed the
+ * wear tracker, the energy model, and — with +WQ — the Wear Quota.
+ */
+
+#ifndef MELLOWSIM_NVM_CONTROLLER_HH
+#define MELLOWSIM_NVM_CONTROLLER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "energy/energy_model.hh"
+#include "mellow/decision.hh"
+#include "mellow/policy.hh"
+#include "mellow/wear_quota.hh"
+#include "nvm/address_map.hh"
+#include "nvm/bank.hh"
+#include "nvm/memory_port.hh"
+#include "nvm/queues.hh"
+#include "nvm/request.hh"
+#include "nvm/timing.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "wear/endurance_model.hh"
+#include "wear/wear_tracker.hh"
+
+namespace mellowsim
+{
+
+/** Controller configuration (Table II defaults). */
+struct MemControllerConfig
+{
+    MemGeometry geometry;
+    NvmTimingParams timing;
+    WritePolicyConfig policy;
+
+    unsigned readQueueSize = 32;
+    unsigned writeQueueSize = 32;  ///< also the drain-high threshold
+    unsigned eagerQueueSize = 16;
+    unsigned drainLowThreshold = 16;
+
+    /**
+     * How many bus-bursts of data-bus backlog an issue may reserve
+     * ahead of time (pipelining depth of the channel).
+     */
+    unsigned busLeadBursts = 8;
+
+    /** Latency of a read forwarded from a queued write. */
+    Tick forwardLatency = Tick(22.5 * kNanosecond);
+
+    /** Scale factor on the proportional wear of a cancelled pulse. */
+    double cancelWearFraction = 1.0;
+
+    /**
+     * A write that has already been cancelled this many times issues
+     * non-cancellable, bounding read-induced write starvation (and
+     * the drain spiral it would otherwise cause under streaming
+     * read/write interleavings).
+     */
+    unsigned maxWriteCancellations = 4;
+
+    /**
+     * A bank that received a demand read in the last this-many ticks
+     * counts as read-active: eager writes skip it, and the Bank-Aware
+     * single-write slow decision downgrades to a normal write (Wear
+     * Quota and globally-slow policies are never downgraded). This
+     * implements Figure 9's "no requests for the bank" intent at
+     * fine timing granularity — a streaming read cursor drains its
+     * bank's queue between arrivals, so the queue-occupancy test
+     * alone would park slow writes right in front of incoming reads.
+     * Zero disables the guard.
+     */
+    Tick recentReadWindow = 300 * kNanosecond;
+
+    EnduranceParams endurance;
+    EnergyParams energy;
+    WearQuotaConfig quota;
+    /** Leveling efficiency for the lifetime extrapolation. */
+    double levelingEfficiency = 0.9;
+    /** Track per-block wear through the leveler (tests/benches). */
+    bool detailedWear = false;
+    /** Wear-leveling scheme used by the detailed tracker. */
+    WearLevelerKind wearLeveler = WearLevelerKind::StartGap;
+    /** Leveler maintenance period in writes (gap move/refresh step). */
+    std::uint64_t gapWritePeriod = 100;
+};
+
+/** Aggregated controller statistics. */
+struct MemControllerStats
+{
+    stats::Counter demandReads;     ///< accepted demand reads
+    stats::Counter forwardedReads;  ///< served from a queued write
+    stats::Counter issuedReads;     ///< issued to a bank
+    stats::Counter rowHitReads;
+    stats::Counter rowMissReads;
+
+    stats::Counter acceptedWritebacks; ///< demand writes from the LLC
+    stats::Counter acceptedEager;      ///< eager writes from the LLC
+    stats::Counter rejectedEager;      ///< eager queue full
+
+    stats::Counter issuedNormalWrites; ///< demand, normal speed
+    stats::Counter issuedSlowWrites;   ///< demand, slow speed
+    stats::Counter issuedEagerNormal;  ///< eager, normal speed (E-Norm)
+    stats::Counter issuedEagerSlow;    ///< eager, slow speed
+    stats::Counter cancelledWrites;    ///< aborted attempts
+    stats::Counter pausedWrites;       ///< +WP pauses
+    stats::Counter resumedWrites;      ///< +WP resumptions
+
+    stats::Counter drainEntries;
+    stats::Average readLatency;   ///< arrival to data delivered, ticks
+
+    /**
+     * Total write attempts issued to banks. Issue counters are
+     * incremented per attempt, so cancelled attempts (and their
+     * retries) are already included.
+     */
+    std::uint64_t
+    totalWriteIssues() const
+    {
+        return issuedNormalWrites.value() + issuedSlowWrites.value() +
+               issuedEagerNormal.value() + issuedEagerSlow.value();
+    }
+};
+
+/**
+ * The memory controller. One instance per channel (the evaluated
+ * system has a single channel).
+ */
+class MemoryController : public MemoryPort
+{
+  public:
+    MemoryController(EventQueue &eventq, const MemControllerConfig &config);
+
+    // --- LLC-facing interface -------------------------------------
+    /** Enqueue a demand read; @p onComplete fires when data arrives. */
+    void read(Addr addr, ReadCallback onComplete) override;
+
+    /** Enqueue a demand write back (dirty eviction). */
+    void writeback(Addr addr) override;
+
+    /**
+     * Enqueue an eager mellow write back.
+     * @retval false the eager queue is full; the LLC keeps the line
+     *               dirty and may try again later.
+     */
+    bool eagerWrite(Addr addr) override;
+
+    /** True if the eager queue has room. */
+    bool eagerQueueHasSpace() const override;
+
+    /** Outstanding demand reads (for MSHR-style admission checks). */
+    std::size_t pendingReads() const;
+
+    // --- End-of-run ------------------------------------------------
+    /** Truncate busy/drain accounting at the current tick. */
+    void finalize();
+
+    // --- Introspection ----------------------------------------------
+    const MemControllerStats &stats() const { return _stats; }
+    const WearTracker &wearTracker() const { return _wear; }
+    const EnergyModel &energyModel() const { return _energy; }
+    const WearQuota *wearQuota() const { return _quota.get(); }
+    const MemControllerConfig &config() const { return _config; }
+    const AddressMap &addressMap() const { return _map; }
+
+    /** Fraction of [0, now] spent in write-drain mode. */
+    double drainTimeFraction() const;
+
+    /** Mean bank utilisation over [0, now]. */
+    double avgBankUtilization() const;
+
+    /** Utilisation of a single bank over [0, now]. */
+    double bankUtilization(unsigned bank) const;
+
+    bool draining() const { return _draining; }
+
+  private:
+    // --- Scheduling -------------------------------------------------
+    /** Run one scheduling pass; issues everything issueable now. */
+    void trySchedule();
+
+    /** Request a (deduplicated) scheduling pass at tick @p when. */
+    void requestSchedule(Tick when);
+
+    /** Issue the oldest read for @p bank if possible. */
+    bool tryIssueRead(unsigned bank, Tick now, Tick *nextWake);
+
+    /** Issue a write/eager write for @p bank per Figure 9. */
+    bool tryIssueWrite(unsigned bank, Tick now, Tick *nextWake);
+
+    /** Cancel the bank's in-flight write and requeue it. */
+    void cancelBankWrite(unsigned bank, Tick now);
+
+    /** Pause the bank's in-flight write (+WP). */
+    void pauseBankWrite(unsigned bank, Tick now);
+
+    /**
+     * +ML: pick the largest configured latency factor whose pulse
+     * fits the bank's observed quiet time (see WritePolicyConfig).
+     */
+    double chooseAdaptiveFactor(unsigned bank, Tick now) const;
+
+    /** Reserve the data bus; returns the burst start tick. */
+    Tick reserveBus(Tick earliest);
+
+    /** True if the bus backlog allows another reservation at @p now. */
+    bool busAvailable(Tick now, Tick *nextWake) const;
+
+    void updateDrainState(Tick now);
+    void onWriteComplete(unsigned bank);
+    void onQuotaPeriod();
+
+    bool quotaExceeded(unsigned bank) const;
+    BankQueueView bankView(unsigned bank) const;
+
+    EventQueue &_eventq;
+    MemControllerConfig _config;
+    AddressMap _map;
+    NvmTimingParams _timing;
+    Tick _slowPulse;
+
+    RequestQueue _readQ;
+    RequestQueue _writeQ;
+    RequestQueue _eagerQ;
+
+    std::vector<Bank> _banks;
+    std::vector<Rank> _ranks;
+    std::vector<EventId> _writeCompletion;
+    /** Arrival tick of the last demand read per bank (0 = never). */
+    std::vector<Tick> _lastReadArrival;
+
+    Tick _busNextFree = 0;
+
+    bool _draining = false;
+    Tick _drainStart = 0;
+    Tick _drainTicks = 0;
+
+    EnduranceModel _endurance;
+    WearTracker _wear;
+    EnergyModel _energy;
+    std::unique_ptr<WearQuota> _quota;
+
+    MemControllerStats _stats;
+
+    /** Dedup state for the scheduler event. */
+    EventId _scheduleEvent = InvalidEventId;
+    Tick _scheduleAt = MaxTick;
+    bool _inSchedulePass = false;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_NVM_CONTROLLER_HH

@@ -1,0 +1,129 @@
+#include "nvm/memory_system.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+MemorySystem::MemorySystem(EventQueue &eventq,
+                           const MemorySystemConfig &config)
+    : _config(config)
+{
+    fatal_if(config.numChannels == 0, "memory system needs >= 1 channel");
+    const MemGeometry &g = config.channel.geometry;
+    fatal_if(g.capacityBytes % config.numChannels != 0,
+             "capacity must divide evenly across channels");
+    _blocksPerChunk = g.interleaveBytes / kBlockSize;
+    _totalCapacity = g.capacityBytes;
+
+    for (unsigned c = 0; c < config.numChannels; ++c) {
+        MemControllerConfig per_channel = config.channel;
+        per_channel.geometry.capacityBytes =
+            g.capacityBytes / config.numChannels;
+        _channels.push_back(
+            std::make_unique<MemoryController>(eventq, per_channel));
+    }
+}
+
+unsigned
+MemorySystem::channelOf(Addr addr) const
+{
+    std::uint64_t block = (addr % _totalCapacity) >> kBlockShift;
+    std::uint64_t chunk = block / _blocksPerChunk;
+    return static_cast<unsigned>(chunk % _channels.size());
+}
+
+Addr
+MemorySystem::localAddr(Addr addr) const
+{
+    std::uint64_t block = (addr % _totalCapacity) >> kBlockShift;
+    std::uint64_t chunk = block / _blocksPerChunk;
+    std::uint64_t offset = block % _blocksPerChunk;
+    std::uint64_t local_chunk = chunk / _channels.size();
+    return (local_chunk * _blocksPerChunk + offset) * kBlockSize +
+           addr % kBlockSize;
+}
+
+void
+MemorySystem::read(Addr addr, ReadCallback onComplete)
+{
+    _channels[channelOf(addr)]->read(localAddr(addr),
+                                     std::move(onComplete));
+}
+
+void
+MemorySystem::writeback(Addr addr)
+{
+    _channels[channelOf(addr)]->writeback(localAddr(addr));
+}
+
+bool
+MemorySystem::eagerWrite(Addr addr)
+{
+    return _channels[channelOf(addr)]->eagerWrite(localAddr(addr));
+}
+
+bool
+MemorySystem::eagerQueueHasSpace() const
+{
+    for (const auto &c : _channels) {
+        if (c->eagerQueueHasSpace())
+            return true;
+    }
+    return false;
+}
+
+MemoryController &
+MemorySystem::channel(unsigned idx)
+{
+    panic_if(idx >= _channels.size(), "channel %u out of range", idx);
+    return *_channels[idx];
+}
+
+const MemoryController &
+MemorySystem::channel(unsigned idx) const
+{
+    panic_if(idx >= _channels.size(), "channel %u out of range", idx);
+    return *_channels[idx];
+}
+
+void
+MemorySystem::finalize()
+{
+    for (auto &c : _channels)
+        c->finalize();
+}
+
+double
+MemorySystem::lifetimeYears(Tick simTime) const
+{
+    double min_years = std::numeric_limits<double>::infinity();
+    for (const auto &c : _channels) {
+        min_years = std::min(min_years,
+                             c->wearTracker().lifetimeYears(simTime));
+    }
+    return min_years;
+}
+
+double
+MemorySystem::avgBankUtilization() const
+{
+    double sum = 0.0;
+    for (const auto &c : _channels)
+        sum += c->avgBankUtilization();
+    return sum / static_cast<double>(_channels.size());
+}
+
+double
+MemorySystem::drainTimeFraction() const
+{
+    double sum = 0.0;
+    for (const auto &c : _channels)
+        sum += c->drainTimeFraction();
+    return sum / static_cast<double>(_channels.size());
+}
+
+} // namespace mellowsim

@@ -1,0 +1,93 @@
+#include "nvm/queues.hh"
+
+namespace mellowsim
+{
+
+RequestQueue::RequestQueue(unsigned numBanks, unsigned capacity)
+    : _banks(numBanks), _capacity(capacity)
+{
+    fatal_if(numBanks == 0, "request queue needs >= 1 bank");
+    fatal_if(capacity == 0, "request queue needs capacity >= 1");
+}
+
+unsigned
+RequestQueue::countForBank(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return static_cast<unsigned>(_banks[bank].size());
+}
+
+void
+RequestQueue::indexAdd(const MemRequest &req)
+{
+    ++_blockIndex[req.addr >> kBlockShift];
+}
+
+void
+RequestQueue::indexRemove(const MemRequest &req)
+{
+    auto it = _blockIndex.find(req.addr >> kBlockShift);
+    panic_if(it == _blockIndex.end(), "request missing from block index");
+    if (--it->second == 0)
+        _blockIndex.erase(it);
+}
+
+void
+RequestQueue::push(MemRequest req)
+{
+    panic_if(req.loc.bank >= _banks.size(), "bank %u out of range",
+             req.loc.bank);
+    indexAdd(req);
+    _banks[req.loc.bank].push_back(std::move(req));
+    ++_size;
+}
+
+void
+RequestQueue::pushFront(MemRequest req)
+{
+    panic_if(req.loc.bank >= _banks.size(), "bank %u out of range",
+             req.loc.bank);
+    indexAdd(req);
+    _banks[req.loc.bank].push_front(std::move(req));
+    ++_size;
+}
+
+const MemRequest &
+RequestQueue::front(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(_banks[bank].empty(), "front() on empty bank FIFO");
+    return _banks[bank].front();
+}
+
+MemRequest
+RequestQueue::pop(unsigned bank)
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(_banks[bank].empty(), "pop() on empty bank FIFO");
+    MemRequest req = std::move(_banks[bank].front());
+    _banks[bank].pop_front();
+    indexRemove(req);
+    --_size;
+    return req;
+}
+
+unsigned
+RequestQueue::countForBlock(Addr blockAddr) const
+{
+    auto it = _blockIndex.find(blockAddr);
+    return it == _blockIndex.end() ? 0 : it->second;
+}
+
+Tick
+RequestQueue::oldestArrival() const
+{
+    Tick oldest = MaxTick;
+    for (const auto &fifo : _banks) {
+        if (!fifo.empty() && fifo.front().arrival < oldest)
+            oldest = fifo.front().arrival;
+    }
+    return oldest;
+}
+
+} // namespace mellowsim

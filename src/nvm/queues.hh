@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The controller's request queues with per-bank bookkeeping.
+ *
+ * Each of the read, write and eager queues is a set of per-bank FIFOs
+ * with a shared size. Per-bank counts are what the Figure 9 decision
+ * logic consumes; a block-address index supports read forwarding from
+ * pending writes.
+ */
+
+#ifndef MELLOWSIM_NVM_QUEUES_HH
+#define MELLOWSIM_NVM_QUEUES_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "nvm/request.hh"
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+/**
+ * A bank-partitioned FIFO request queue.
+ *
+ * Capacity is advisory: full() reports when the configured size is
+ * reached, but push() always succeeds. The controller enforces the
+ * policy consequences (drain mode for the write queue, admission
+ * control by the LLC for the eager queue, MSHR limits for reads).
+ */
+class RequestQueue
+{
+  public:
+    RequestQueue(unsigned numBanks, unsigned capacity);
+
+    /** Total queued requests across banks. */
+    std::size_t size() const { return _size; }
+
+    bool empty() const { return _size == 0; }
+    bool full() const { return _size >= _capacity; }
+    unsigned capacity() const { return _capacity; }
+
+    /** Queued requests for one bank. */
+    unsigned countForBank(unsigned bank) const;
+
+    /** Append a request to its bank FIFO. */
+    void push(MemRequest req);
+
+    /** Re-insert a request at the front of its bank FIFO (retry). */
+    void pushFront(MemRequest req);
+
+    /** Oldest request for a bank; bank FIFO must be non-empty. */
+    const MemRequest &front(unsigned bank) const;
+
+    /** Remove and return the oldest request for a bank. */
+    MemRequest pop(unsigned bank);
+
+    /** Number of queued requests whose block address matches. */
+    unsigned countForBlock(Addr blockAddr) const;
+
+    /** Oldest arrival tick across all banks (MaxTick if empty). */
+    Tick oldestArrival() const;
+
+  private:
+    std::vector<std::deque<MemRequest>> _banks;
+    std::unordered_map<Addr, unsigned> _blockIndex;
+    std::size_t _size = 0;
+    unsigned _capacity;
+
+    void indexAdd(const MemRequest &req);
+    void indexRemove(const MemRequest &req);
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_NVM_QUEUES_HH

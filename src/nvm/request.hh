@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Memory request record shared by the controller's three queues.
+ */
+
+#ifndef MELLOWSIM_NVM_REQUEST_HH
+#define MELLOWSIM_NVM_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "nvm/address_map.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Category of memory access (Section IV-B2 adds the third one). */
+enum class ReqType
+{
+    Read,       ///< demand read (LLC miss / store-miss fill)
+    Write,      ///< demand write back (dirty LLC eviction)
+    EagerWrite, ///< eager mellow write back from the LLC
+};
+
+/** Completion callback for reads: fired when data is on the bus. */
+using ReadCallback = std::function<void()>;
+
+/** One queued memory request. */
+struct MemRequest
+{
+    ReqType type = ReqType::Read;
+    Addr addr = 0;
+    DecodedAddr loc;
+    Tick arrival = 0;
+    /** Non-null for reads. */
+    ReadCallback onComplete;
+    /** Write attempts so far (grows with each cancellation). */
+    unsigned attempts = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_NVM_REQUEST_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ReRAM device and channel timing parameters (Table II).
+ *
+ * Defaults model the paper's memory-grade ReRAM: 400 MHz channel,
+ * 64-bit bus, tRCD 120 ns, tCAS 2.5 ns, normal write pulse 150 ns,
+ * tFAW 50 ns, 1 KB row buffer with an open-page policy for reads;
+ * writes are write-through and bypass the row buffer.
+ */
+
+#ifndef MELLOWSIM_NVM_TIMING_HH
+#define MELLOWSIM_NVM_TIMING_HH
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Raw device/channel timing, all in ticks (picoseconds). */
+struct NvmTimingParams
+{
+    /** Memory controller clock period (400 MHz). */
+    Tick tCK = Tick(2.5 * kNanosecond);
+    /** Row activate: row to column delay. */
+    Tick tRCD = 120 * kNanosecond;
+    /** Column access latency (row-buffer read). */
+    Tick tCAS = Tick(2.5 * kNanosecond);
+    /** Normal write pulse time, t_WP. */
+    Tick tWP = 150 * kNanosecond;
+    /** Four-activate window per rank. */
+    Tick tFAW = 50 * kNanosecond;
+    /** Data bus occupancy of one 64-byte transfer (8 beats, 64-bit). */
+    Tick tBurst = 20 * kNanosecond;
+
+    /** Slow write pulse time for a latency factor N. */
+    Tick
+    slowWritePulse(double factor) const
+    {
+        return Tick(static_cast<double>(tWP) * factor);
+    }
+
+    /** Total bank occupancy of a read (array access only). */
+    Tick
+    readAccess(bool rowHit) const
+    {
+        return rowHit ? tCAS : tRCD + tCAS;
+    }
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_NVM_TIMING_HH

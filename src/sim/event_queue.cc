@@ -1,0 +1,82 @@
+#include "sim/event_queue.hh"
+
+namespace mellowsim
+{
+
+EventId
+EventQueue::schedule(Tick when, EventAction action)
+{
+    panic_if(when < _curTick,
+             "scheduling into the past: when=%llu cur=%llu",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(_curTick));
+    EventId id = _nextId++;
+    _heap.push(Entry{when, id});
+    _actions.emplace(id, std::move(action));
+    ++_numPending;
+    return id;
+}
+
+bool
+EventQueue::deschedule(EventId id)
+{
+    auto it = _actions.find(id);
+    if (it == _actions.end())
+        return false;
+    _actions.erase(it);
+    --_numPending;
+    // The heap entry remains and is skipped lazily when popped.
+    return true;
+}
+
+bool
+EventQueue::scheduled(EventId id) const
+{
+    return _actions.find(id) != _actions.end();
+}
+
+bool
+EventQueue::step()
+{
+    while (!_heap.empty()) {
+        Entry top = _heap.top();
+        auto it = _actions.find(top.id);
+        if (it == _actions.end()) {
+            // Cancelled event: discard lazily.
+            _heap.pop();
+            continue;
+        }
+        _heap.pop();
+        _curTick = top.when;
+        EventAction action = std::move(it->second);
+        _actions.erase(it);
+        --_numPending;
+        action();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick stopAt)
+{
+    std::uint64_t executed = 0;
+    while (!_heap.empty()) {
+        Entry top = _heap.top();
+        if (_actions.find(top.id) == _actions.end()) {
+            _heap.pop();
+            continue;
+        }
+        if (top.when >= stopAt) {
+            _curTick = stopAt;
+            break;
+        }
+        step();
+        ++executed;
+    }
+    if (_heap.empty() && stopAt != MaxTick && _curTick < stopAt)
+        _curTick = stopAt;
+    return executed;
+}
+
+} // namespace mellowsim

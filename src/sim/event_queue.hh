@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole simulated system. Events are
+ * arbitrary callables scheduled at absolute ticks; events scheduled for
+ * the same tick fire in FIFO order of scheduling, which keeps every run
+ * bit-deterministic.
+ *
+ * Components may hold an EventHandle to a scheduled event in order to
+ * deschedule or reschedule it (e.g. a memory controller's "try issue"
+ * event, or a cancellable write completion).
+ */
+
+#ifndef MELLOWSIM_SIM_EVENT_QUEUE_HH
+#define MELLOWSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Callback type executed when an event fires. */
+using EventAction = std::function<void()>;
+
+/**
+ * Opaque identity of a scheduled event. Obtained from
+ * EventQueue::schedule() and consumed by deschedule().
+ */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+constexpr EventId InvalidEventId = 0;
+
+/**
+ * The central event queue.
+ *
+ * Invariants:
+ *  - time never moves backwards: events may only be scheduled at
+ *    curTick() or later;
+ *  - same-tick events execute in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulation time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p action to run at absolute tick @p when.
+     *
+     * @param when  Absolute tick; must be >= curTick().
+     * @param action  Callback to execute.
+     * @return Identity usable with deschedule().
+     */
+    EventId schedule(Tick when, EventAction action);
+
+    /** Schedule @p action @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, EventAction action)
+    {
+        return schedule(_curTick + delta, std::move(action));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true the event existed and was cancelled.
+     * @retval false the event already fired or was already cancelled.
+     */
+    bool deschedule(EventId id);
+
+    /** True iff the event with identity @p id is still pending. */
+    bool scheduled(EventId id) const;
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t numPending() const { return _numPending; }
+
+    /** True iff no events remain. */
+    bool empty() const { return _numPending == 0; }
+
+    /**
+     * Run events until the queue empties or @p stopAt is reached.
+     *
+     * Events scheduled exactly at @p stopAt are NOT executed; time is
+     * left at min(next event tick, stopAt).
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick stopAt = MaxTick);
+
+    /**
+     * Execute at most one event.
+     *
+     * @retval true an event was executed.
+     * @retval false the queue is empty.
+     */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        // Min-heap by (when, id); id strictly increases with insertion
+        // order, giving same-tick FIFO semantics.
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    Tick _curTick = 0;
+    EventId _nextId = 1;
+    std::size_t _numPending = 0;
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _heap;
+
+    /** Live actions by id; erased on fire/cancel (lazy deletion). */
+    std::unordered_map<EventId, EventAction> _actions;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,75 @@
+#include "sim/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace mellowsim
+{
+
+bool Logger::_quiet = false;
+
+void
+Logger::setQuiet(bool quiet)
+{
+    _quiet = quiet;
+}
+
+bool
+Logger::quiet()
+{
+    return _quiet;
+}
+
+std::string
+logFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string("<format error>");
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full =
+        logFormat("panic: %s (%s:%d)", msg.c_str(), file, line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full =
+        logFormat("fatal: %s (%s:%d)", msg.c_str(), file, line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw FatalError(full);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!Logger::quiet())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!Logger::quiet())
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace mellowsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic, fatal, warn, inform.
+ *
+ * panic()  — a simulator bug; never the user's fault. Throws
+ *            PanicError (so tests can assert on it) unless
+ *            Logger::abortOnPanic() is set, in which case it aborts.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments). Throws FatalError.
+ * warn()   — something is suspicious but the simulation continues.
+ * inform() — normal operating status.
+ */
+
+#ifndef MELLOWSIM_SIM_LOGGING_HH
+#define MELLOWSIM_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace mellowsim
+{
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Error thrown by fatal(): the user asked for something impossible. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Process-wide logging configuration. */
+class Logger
+{
+  public:
+    /** Suppress warn()/inform() output (useful in tests and sweeps). */
+    static void setQuiet(bool quiet);
+    static bool quiet();
+
+  private:
+    static bool _quiet;
+};
+
+/** Format a message with printf semantics into a std::string. */
+std::string logFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and throw PanicError. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Report an unrecoverable user error and throw FatalError. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr (unless quiet). */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stdout (unless quiet). */
+void informImpl(const std::string &msg);
+
+} // namespace mellowsim
+
+#define panic(...) \
+    ::mellowsim::panicImpl(__FILE__, __LINE__, \
+                           ::mellowsim::logFormat(__VA_ARGS__))
+
+#define fatal(...) \
+    ::mellowsim::fatalImpl(__FILE__, __LINE__, \
+                           ::mellowsim::logFormat(__VA_ARGS__))
+
+#define warn(...) \
+    ::mellowsim::warnImpl(::mellowsim::logFormat(__VA_ARGS__))
+
+#define inform(...) \
+    ::mellowsim::informImpl(::mellowsim::logFormat(__VA_ARGS__))
+
+/** panic() unless the given condition holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic(__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** fatal() unless the given condition holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal(__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // MELLOWSIM_SIM_LOGGING_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fundamental simulator types and unit helpers.
+ *
+ * The whole simulator runs on a single 64-bit tick counter with a
+ * resolution of one picosecond. One picosecond exactly represents both
+ * the 0.5 ns CPU clock (2 GHz, Table I of the paper) and the 2.5 ns
+ * memory clock (400 MHz, Table II), so no clock-domain rounding is ever
+ * needed.
+ */
+
+#ifndef MELLOWSIM_SIM_TYPES_HH
+#define MELLOWSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mellowsim
+{
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Physical (or logical, pre-wear-leveling) memory address in bytes. */
+using Addr = std::uint64_t;
+
+/** An always-invalid tick, used as "not scheduled / never". */
+constexpr Tick MaxTick = std::numeric_limits<Tick>::max();
+
+/** Unit multipliers: everything is expressed in picoseconds. */
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Convert a tick count to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert a tick count to (double) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kNanosecond);
+}
+
+/** Seconds in a (Julian) year, used for lifetime reporting. */
+constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+
+/** Cache line / resistive memory write-block size in bytes (Table I/II). */
+constexpr unsigned kBlockSize = 64;
+constexpr unsigned kBlockShift = 6;
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 for a power-of-two value. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SIM_TYPES_HH

@@ -1,0 +1,131 @@
+#include "system/report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+std::string
+columnValue(const SimReport &r, const std::string &col)
+{
+    if (col == "workload")
+        return r.workload;
+    if (col == "policy")
+        return r.policy;
+    if (col == "ipc")
+        return fmt("%.3f", r.ipc);
+    if (col == "lifetime")
+        return std::isinf(r.lifetimeYears) ? "inf"
+                                           : fmt("%.2f", r.lifetimeYears);
+    if (col == "utilization")
+        return fmt("%.3f", r.avgBankUtilization);
+    if (col == "drain")
+        return fmt("%.4f", r.drainTimeFraction);
+    if (col == "mpki")
+        return fmt("%.2f", r.mpki);
+    if (col == "energy")
+        return fmt("%.3e", r.totalEnergyPj);
+    if (col == "reads")
+        return std::to_string(r.memReads);
+    if (col == "writes")
+        return std::to_string(r.totalBankWrites());
+    fatal("unknown report column '%s'", col.c_str());
+}
+
+} // namespace
+
+std::string
+reportsToCsv(const std::vector<SimReport> &reports)
+{
+    std::ostringstream out;
+    out << "workload,policy,instructions,sim_ns,ipc,lifetime_years,"
+           "bank_utilization,drain_fraction,mpki,"
+           "llc_demand_reads,llc_demand_writes,llc_misses,"
+           "writebacks_to_mem,eager_sent,eager_wasted,"
+           "mem_reads,forwarded_reads,normal_writes,slow_writes,"
+           "eager_normal,eager_slow,cancelled_writes,paused_writes,"
+           "drain_entries,"
+           "avg_read_latency_ns,read_energy_pj,write_energy_pj,"
+           "total_energy_pj,quota_periods,quota_slow_only\n";
+    for (const SimReport &r : reports) {
+        out << r.workload << ',' << r.policy << ',' << r.instructions
+            << ',' << fmt("%.1f", ticksToNs(r.simTicks)) << ','
+            << fmt("%.4f", r.ipc) << ','
+            << (std::isinf(r.lifetimeYears)
+                    ? std::string("inf")
+                    : fmt("%.3f", r.lifetimeYears))
+            << ',' << fmt("%.4f", r.avgBankUtilization) << ','
+            << fmt("%.5f", r.drainTimeFraction) << ','
+            << fmt("%.3f", r.mpki) << ',' << r.llcDemandReads << ','
+            << r.llcDemandWrites << ',' << r.llcMisses << ','
+            << r.writebacksToMem << ',' << r.eagerSent << ','
+            << r.eagerWasted << ',' << r.memReads << ','
+            << r.forwardedReads << ',' << r.issuedNormalWrites << ','
+            << r.issuedSlowWrites << ',' << r.issuedEagerNormal << ','
+            << r.issuedEagerSlow << ',' << r.cancelledWrites << ','
+            << r.pausedWrites << ',' << r.drainEntries << ','
+            << fmt("%.2f", r.avgReadLatencyNs) << ','
+            << fmt("%.3e", r.readEnergyPj) << ','
+            << fmt("%.3e", r.writeEnergyPj) << ','
+            << fmt("%.3e", r.totalEnergyPj) << ',' << r.quotaPeriods
+            << ',' << r.quotaSlowOnlyPeriods << '\n';
+    }
+    return out.str();
+}
+
+std::string
+reportsToTable(const std::vector<SimReport> &reports,
+               const std::vector<std::string> &columns)
+{
+    // Collect all cells, then size the columns.
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(columns);
+    for (const SimReport &r : reports) {
+        std::vector<std::string> row;
+        for (const std::string &col : columns)
+            row.push_back(columnValue(r, col));
+        rows.push_back(std::move(row));
+    }
+
+    std::vector<std::size_t> widths(columns.size(), 0);
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t c = 0; c < rows[i].size(); ++c) {
+            out << rows[i][c];
+            if (c + 1 < rows[i].size()) {
+                out << std::string(widths[c] - rows[i][c].size() + 2,
+                                   ' ');
+            }
+        }
+        out << '\n';
+        if (i == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < widths.size(); ++c)
+                total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+            out << std::string(total, '-') << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace mellowsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-run metrics and table/CSV rendering.
+ *
+ * A SimReport carries every quantity the paper's figures plot; the
+ * bench binaries assemble reports into the same rows/series as the
+ * corresponding figure or table.
+ */
+
+#ifndef MELLOWSIM_SYSTEM_REPORT_HH
+#define MELLOWSIM_SYSTEM_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Everything measured in one simulation run. */
+struct SimReport
+{
+    std::string workload;
+    std::string policy;
+
+    std::uint64_t instructions = 0;
+    Tick simTicks = 0;
+
+    // Headline metrics.
+    double ipc = 0.0;
+    double lifetimeYears = 0.0;
+    double avgBankUtilization = 0.0;
+    double drainTimeFraction = 0.0;
+    double mpki = 0.0;
+
+    // LLC-side request breakdown (Figure 14).
+    std::uint64_t llcDemandReads = 0;
+    std::uint64_t llcDemandWrites = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t writebacksToMem = 0;
+    std::uint64_t eagerSent = 0;
+    std::uint64_t eagerWasted = 0;
+
+    // Controller-side issue breakdown (Figure 15).
+    std::uint64_t memReads = 0;
+    std::uint64_t forwardedReads = 0;
+    std::uint64_t issuedNormalWrites = 0;
+    std::uint64_t issuedSlowWrites = 0;
+    std::uint64_t issuedEagerNormal = 0;
+    std::uint64_t issuedEagerSlow = 0;
+    std::uint64_t cancelledWrites = 0;
+    std::uint64_t pausedWrites = 0;
+    std::uint64_t drainEntries = 0;
+    double avgReadLatencyNs = 0.0;
+
+    // Energy (Figure 16), in pJ.
+    double readEnergyPj = 0.0;
+    double writeEnergyPj = 0.0;
+    double totalEnergyPj = 0.0;
+
+    // Wear Quota activity.
+    std::uint64_t quotaPeriods = 0;
+    std::uint64_t quotaSlowOnlyPeriods = 0;
+
+    /**
+     * All issued write attempts (demand + eager). Issue counters are
+     * per attempt, so cancelled attempts and their retries are
+     * already included.
+     */
+    std::uint64_t
+    totalBankWrites() const
+    {
+        return issuedNormalWrites + issuedSlowWrites +
+               issuedEagerNormal + issuedEagerSlow;
+    }
+
+    /** All requests issued to banks (Figure 15's y-axis). */
+    std::uint64_t
+    totalBankRequests() const
+    {
+        return memReads + totalBankWrites();
+    }
+};
+
+/** Render a fixed-precision CSV row set; first row is the header. */
+std::string reportsToCsv(const std::vector<SimReport> &reports);
+
+/**
+ * Render reports as an aligned text table with a chosen subset of
+ * columns. Supported column names: workload, policy, ipc, lifetime,
+ * utilization, drain, mpki, energy, reads, writes.
+ */
+std::string reportsToTable(const std::vector<SimReport> &reports,
+                           const std::vector<std::string> &columns);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SYSTEM_REPORT_HH

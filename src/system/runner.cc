@@ -1,0 +1,157 @@
+#include "system/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace mellowsim
+{
+
+namespace
+{
+
+std::uint64_t
+envInstrs(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    fatal_if(end == v || *end != '\0',
+             "%s must be a positive integer (got '%s')", name, v);
+    fatal_if(parsed == 0, "%s must be positive", name);
+    return parsed;
+}
+
+} // namespace
+
+SystemConfig
+makeConfig(const std::string &workload, const WritePolicyConfig &policy)
+{
+    SystemConfig cfg;
+    cfg.workloadName = workload;
+    cfg.policy = policy;
+    cfg.instructions = envInstrs("MELLOWSIM_INSTRS", cfg.instructions);
+    cfg.warmupInstructions =
+        envInstrs("MELLOWSIM_WARMUP", cfg.warmupInstructions);
+    return cfg;
+}
+
+SimReport
+runOne(const std::string &workload, const WritePolicyConfig &policy)
+{
+    return runSystem(makeConfig(workload, policy));
+}
+
+std::vector<SimReport>
+runConfigs(std::vector<SystemConfig> configs)
+{
+    unsigned jobs = static_cast<unsigned>(
+        envInstrs("MELLOWSIM_JOBS",
+                  std::max(1u, std::thread::hardware_concurrency())));
+    std::vector<SimReport> reports(configs.size());
+
+    if (jobs <= 1 || configs.size() <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i)
+            reports[i] = runSystem(configs[i]);
+        return reports;
+    }
+
+    // Each System is fully isolated, so a simple work-stealing index
+    // preserves bit-identical results in deterministic slots.
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= configs.size())
+                return;
+            try {
+                reports[i] = runSystem(configs[i]);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                return;
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    unsigned n = std::min<std::size_t>(jobs, configs.size());
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return reports;
+}
+
+std::vector<SimReport>
+runGrid(const std::vector<std::string> &workloads,
+        const std::vector<WritePolicyConfig> &policies,
+        const std::function<void(SystemConfig &)> &tweak)
+{
+    std::vector<SystemConfig> configs;
+    configs.reserve(workloads.size() * policies.size());
+    for (const WritePolicyConfig &policy : policies) {
+        for (const std::string &workload : workloads) {
+            SystemConfig cfg = makeConfig(workload, policy);
+            if (tweak)
+                tweak(cfg);
+            configs.push_back(std::move(cfg));
+        }
+    }
+    return runConfigs(std::move(configs));
+}
+
+const SimReport &
+findReport(const std::vector<SimReport> &reports,
+           const std::string &workload, const std::string &policy)
+{
+    for (const SimReport &r : reports) {
+        if (r.workload == workload && r.policy == policy)
+            return r;
+    }
+    fatal("no report for workload '%s' policy '%s'", workload.c_str(),
+          policy.c_str());
+}
+
+std::vector<double>
+normalizedMetric(const std::vector<SimReport> &reports,
+                 const std::vector<std::string> &workloads,
+                 const std::string &policy, const std::string &baseline,
+                 const std::function<double(const SimReport &)> &metric)
+{
+    std::vector<double> out;
+    out.reserve(workloads.size());
+    for (const std::string &w : workloads) {
+        double value = metric(findReport(reports, w, policy));
+        double base = metric(findReport(reports, w, baseline));
+        fatal_if(base == 0.0,
+                 "baseline metric is zero for workload '%s'", w.c_str());
+        out.push_back(value / base);
+    }
+    return out;
+}
+
+double
+geoMeanNormalized(
+    const std::vector<SimReport> &reports,
+    const std::vector<std::string> &workloads, const std::string &policy,
+    const std::string &baseline,
+    const std::function<double(const SimReport &)> &metric)
+{
+    return stats::geoMean(normalizedMetric(reports, workloads, policy,
+                                           baseline, metric));
+}
+
+} // namespace mellowsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment sweep helpers shared by the bench harness and examples:
+ * building configurations for (workload x policy x geometry) grids,
+ * normalising metrics against a baseline policy, and geometric means.
+ */
+
+#ifndef MELLOWSIM_SYSTEM_RUNNER_HH
+#define MELLOWSIM_SYSTEM_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mellow/policy.hh"
+#include "system/report.hh"
+#include "system/system.hh"
+
+namespace mellowsim
+{
+
+/**
+ * Default configuration for a (workload, policy) pair, honouring the
+ * MELLOWSIM_INSTRS and MELLOWSIM_WARMUP environment variables so the
+ * whole bench suite can be scaled up or down without recompiling.
+ */
+SystemConfig makeConfig(const std::string &workload,
+                        const WritePolicyConfig &policy);
+
+/** Run one (workload, policy) pair with the default configuration. */
+SimReport runOne(const std::string &workload,
+                 const WritePolicyConfig &policy);
+
+/**
+ * Run a full (workloads x policies) grid, invoking @p tweak (if set)
+ * on each configuration before running. Results are ordered policy-
+ * major to match the paper's figure legends.
+ *
+ * Runs execute in parallel across MELLOWSIM_JOBS worker threads
+ * (default: hardware concurrency); every simulation is an isolated
+ * System, so results are bit-identical to a serial sweep.
+ */
+std::vector<SimReport>
+runGrid(const std::vector<std::string> &workloads,
+        const std::vector<WritePolicyConfig> &policies,
+        const std::function<void(SystemConfig &)> &tweak = nullptr);
+
+/** Run an arbitrary list of prepared configurations (parallel). */
+std::vector<SimReport> runConfigs(std::vector<SystemConfig> configs);
+
+/** Look up the report for (workload, policy) in a result set. */
+const SimReport &findReport(const std::vector<SimReport> &reports,
+                            const std::string &workload,
+                            const std::string &policy);
+
+/**
+ * metric(workload, policy) / metric(workload, baseline) for every
+ * workload, in workload order.
+ */
+std::vector<double>
+normalizedMetric(const std::vector<SimReport> &reports,
+                 const std::vector<std::string> &workloads,
+                 const std::string &policy, const std::string &baseline,
+                 const std::function<double(const SimReport &)> &metric);
+
+/** Geometric mean of a metric ratio vs baseline across workloads. */
+double geoMeanNormalized(
+    const std::vector<SimReport> &reports,
+    const std::vector<std::string> &workloads, const std::string &policy,
+    const std::string &baseline,
+    const std::function<double(const SimReport &)> &metric);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SYSTEM_RUNNER_HH

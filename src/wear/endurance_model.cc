@@ -1,0 +1,49 @@
+#include "wear/endurance_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+EnduranceModel::EnduranceModel(const EnduranceParams &params)
+    : _params(params)
+{
+    fatal_if(_params.baseWriteLatency == 0,
+             "endurance model needs a non-zero baseline write latency");
+    fatal_if(_params.baseEndurance <= 0.0,
+             "endurance model needs a positive baseline endurance");
+    fatal_if(_params.expoFactor < 0.0,
+             "Expo_Factor must be non-negative (got %f)",
+             _params.expoFactor);
+}
+
+double
+EnduranceModel::enduranceAtFactor(double n) const
+{
+    fatal_if(n <= 0.0, "latency factor must be positive (got %f)", n);
+    return _params.baseEndurance * std::pow(n, _params.expoFactor);
+}
+
+double
+EnduranceModel::enduranceAt(Tick writeLatency) const
+{
+    double n = static_cast<double>(writeLatency) /
+               static_cast<double>(_params.baseWriteLatency);
+    return enduranceAtFactor(n);
+}
+
+double
+EnduranceModel::wearPerWrite(Tick writeLatency) const
+{
+    return 1.0 / enduranceAt(writeLatency);
+}
+
+double
+EnduranceModel::wearPerWriteFactor(double n) const
+{
+    return 1.0 / enduranceAtFactor(n);
+}
+
+} // namespace mellowsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Analytic write-latency / endurance trade-off model.
+ *
+ * Implements Equation 2 of the paper (derived from Strukov's analytic
+ * model, Applied Physics A 2016):
+ *
+ *     Endurance(t_WP) = E0 * (t_WP / t0) ^ Expo_Factor
+ *
+ * with the paper's ReRAM baseline of t0 = 150 ns and E0 = 5e6 writes,
+ * and Expo_Factor in [1.0, 3.0] (default 2.0, the quadratic trade-off
+ * used in the paper's main results).
+ */
+
+#ifndef MELLOWSIM_WEAR_ENDURANCE_MODEL_HH
+#define MELLOWSIM_WEAR_ENDURANCE_MODEL_HH
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Parameters for the analytic endurance model (Section II). */
+struct EnduranceParams
+{
+    /** Baseline (normal) write pulse time, t0. 150 ns for ReRAM. */
+    Tick baseWriteLatency = 150 * kNanosecond;
+    /** Endurance at the baseline latency, in writes. 5e6 for ReRAM. */
+    double baseEndurance = 5.0e6;
+    /** Expo_Factor = U_F / U_S - 1, in [1.0, 3.0]; 2.0 by default. */
+    double expoFactor = 2.0;
+};
+
+/**
+ * Maps a write pulse latency to the cell endurance it implies.
+ *
+ * The model is monotone: slower writes never reduce endurance (for
+ * expoFactor > 0); tests assert this property over dense sweeps.
+ */
+class EnduranceModel
+{
+  public:
+    explicit EnduranceModel(const EnduranceParams &params = {});
+
+    /** Endurance (total writes to failure) for a given pulse time. */
+    double enduranceAt(Tick writeLatency) const;
+
+    /** Endurance for a latency slow-down factor N (N=1 is baseline). */
+    double enduranceAtFactor(double n) const;
+
+    /**
+     * Wear units contributed by a single write at the given latency:
+     * the fraction of the cell's life consumed, 1 / Endurance.
+     */
+    double wearPerWrite(Tick writeLatency) const;
+
+    /** Wear units for a latency factor N. */
+    double wearPerWriteFactor(double n) const;
+
+    const EnduranceParams &params() const { return _params; }
+
+  private:
+    EnduranceParams _params;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_ENDURANCE_MODEL_HH

@@ -1,0 +1,83 @@
+#include "wear/security_refresh.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+SecurityRefresh::SecurityRefresh(std::uint64_t numBlocks,
+                                 std::uint64_t refreshInterval,
+                                 std::uint64_t seed)
+    : _numBlocks(numBlocks), _mask(numBlocks - 1),
+      _refreshInterval(refreshInterval), _rng(seed)
+{
+    fatal_if(numBlocks < 2 || !isPowerOfTwo(numBlocks),
+             "Security Refresh needs a power-of-two region of >= 2 "
+             "blocks (got %llu)",
+             static_cast<unsigned long long>(numBlocks));
+    fatal_if(refreshInterval == 0,
+             "Security Refresh interval must be positive");
+    _kCur = _rng.next() & _mask;
+    // Ensure the two keys differ so every round moves data.
+    do {
+        _kNext = _rng.next() & _mask;
+    } while (_kNext == _kCur);
+}
+
+bool
+SecurityRefresh::refreshed(std::uint64_t logicalBlock) const
+{
+    // Blocks are re-keyed in pairs {a, a ^ d}; the pair is processed
+    // when the refresh pointer passes the smaller member.
+    std::uint64_t d = _kCur ^ _kNext;
+    std::uint64_t pair_min = std::min(logicalBlock, logicalBlock ^ d);
+    return pair_min < _rp;
+}
+
+std::uint64_t
+SecurityRefresh::remap(std::uint64_t logicalBlock) const
+{
+    panic_if(logicalBlock >= _numBlocks,
+             "logical block %llu out of range (N=%llu)",
+             static_cast<unsigned long long>(logicalBlock),
+             static_cast<unsigned long long>(_numBlocks));
+    return logicalBlock ^ (refreshed(logicalBlock) ? _kNext : _kCur);
+}
+
+unsigned
+SecurityRefresh::noteWrite(std::uint64_t *extra)
+{
+    if (++_writesSinceStep < _refreshInterval)
+        return 0;
+    _writesSinceStep = 0;
+
+    std::uint64_t d = _kCur ^ _kNext;
+    std::uint64_t a = _rp;
+    // Advance the pointer regardless; only the pair's smaller member
+    // triggers the physical swap (the partner was handled with it).
+    unsigned extra_writes = 0;
+    if (a < (a ^ d)) {
+        // Swap the pair's two physical slots: both get rewritten.
+        if (extra != nullptr) {
+            extra[0] = a ^ _kCur;  // slot being vacated/refilled
+            extra[1] = a ^ _kNext; // the pair partner's slot
+        }
+        extra_writes = 2;
+    }
+
+    if (++_rp == _numBlocks) {
+        // Round complete: rotate keys.
+        _rp = 0;
+        ++_rounds;
+        _kCur = _kNext;
+        do {
+            _kNext = _rng.next() & _mask;
+        } while (_kNext == _kCur);
+    }
+    return extra_writes;
+}
+
+} // namespace mellowsim

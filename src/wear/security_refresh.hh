@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Security-Refresh-style randomized wear leveling (Seong et al.,
+ * ISCA 2010 — the paper's Section VII alternative to Start-Gap).
+ *
+ * A region of N = 2^n blocks is remapped by XOR with a key. Two keys
+ * are live at any time: blocks already visited by the current refresh
+ * round use the next key, the rest still use the current key. The
+ * refresh pointer advances every `refreshInterval` demand writes;
+ * because XOR remapping moves blocks in pairs {a, a XOR (k0^k1)}, a
+ * refresh step swaps the two physical slots of a pair (two extra
+ * writes) and the overall mapping stays bijective at every point —
+ * the unit tests sweep that invariant. When the pointer completes a
+ * round, the next key becomes current and a fresh random key is
+ * drawn, so over many rounds every logical block visits
+ * pseudo-random physical slots (and malicious hot-spotting cannot
+ * track it).
+ */
+
+#ifndef MELLOWSIM_WEAR_SECURITY_REFRESH_HH
+#define MELLOWSIM_WEAR_SECURITY_REFRESH_HH
+
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "wear/wear_leveler.hh"
+
+namespace mellowsim
+{
+
+/** See file comment. */
+class SecurityRefresh : public WearLeveler
+{
+  public:
+    /**
+     * @param numBlocks        Region size; must be a power of two.
+     * @param refreshInterval  Demand writes per refresh-pointer step.
+     * @param seed             Key generator seed.
+     */
+    SecurityRefresh(std::uint64_t numBlocks,
+                    std::uint64_t refreshInterval = 100,
+                    std::uint64_t seed = 0xBADC0DE5ull);
+
+    std::uint64_t numBlocks() const override { return _numBlocks; }
+    std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks;
+    }
+
+    std::uint64_t remap(std::uint64_t logicalBlock) const override;
+
+    unsigned noteWrite(std::uint64_t *extra = nullptr) override;
+
+    const char *name() const override { return "security-refresh"; }
+
+    /** Completed refresh rounds (key rotations). */
+    std::uint64_t rounds() const { return _rounds; }
+
+    /** Refresh-pointer position within the current round. */
+    std::uint64_t refreshPointer() const { return _rp; }
+
+    std::uint64_t currentKey() const { return _kCur; }
+    std::uint64_t nextKey() const { return _kNext; }
+
+  private:
+    /** True once the current round has re-keyed this block. */
+    bool refreshed(std::uint64_t logicalBlock) const;
+
+    std::uint64_t _numBlocks;
+    std::uint64_t _mask;
+    std::uint64_t _refreshInterval;
+    Rng _rng;
+    std::uint64_t _kCur;
+    std::uint64_t _kNext;
+    std::uint64_t _rp = 0;
+    std::uint64_t _writesSinceStep = 0;
+    std::uint64_t _rounds = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_SECURITY_REFRESH_HH

@@ -1,0 +1,61 @@
+#include "wear/start_gap.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+StartGap::StartGap(std::uint64_t numBlocks, std::uint64_t gapWritePeriod)
+    : _numBlocks(numBlocks), _gapWritePeriod(gapWritePeriod),
+      _gap(numBlocks)
+{
+    fatal_if(numBlocks == 0, "Start-Gap needs at least one block");
+    fatal_if(gapWritePeriod == 0,
+             "Start-Gap gap write period must be positive");
+}
+
+std::uint64_t
+StartGap::remap(std::uint64_t logicalBlock) const
+{
+    panic_if(logicalBlock >= _numBlocks,
+             "logical block %llu out of range (N=%llu)",
+             static_cast<unsigned long long>(logicalBlock),
+             static_cast<unsigned long long>(_numBlocks));
+    std::uint64_t pa = logicalBlock + _start;
+    if (pa >= _numBlocks)
+        pa -= _numBlocks;
+    if (pa >= _gap)
+        pa += 1;
+    return pa;
+}
+
+unsigned
+StartGap::noteWrite(std::uint64_t *extra)
+{
+    if (++_writesSinceMove < _gapWritePeriod)
+        return 0;
+    _writesSinceMove = 0;
+    ++_gapMoves;
+    if (_gap == 0) {
+        // Wrap: the gap returns to the top and Start advances, which
+        // rotates the whole mapping by one block. Under this mapping
+        // convention the logical block that lived in physical block N
+        // now maps to physical block 0, so one block is copied there.
+        // (Qureshi et al. juggle the registers so that the wrap is
+        // copy-free; the once-per-(N+1)-moves extra write here is
+        // noise and keeps the mapping algebra simple.)
+        _gap = _numBlocks;
+        _start = _start + 1 == _numBlocks ? 0 : _start + 1;
+        if (extra != nullptr)
+            extra[0] = 0;
+        return 1;
+    }
+    // Block at gap-1 is copied into the gap position; the gap moves
+    // down to where that block lived.
+    if (extra != nullptr)
+        extra[0] = _gap;
+    _gap -= 1;
+    return 1;
+}
+
+} // namespace mellowsim

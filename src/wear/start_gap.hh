@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al., MICRO 2009).
+ *
+ * The paper's system applies Start-Gap at bank granularity (Table II).
+ * A bank of N logical blocks occupies N+1 physical blocks; the spare
+ * one is the "gap". Two registers, Start and Gap, define the
+ * logical-to-physical remapping:
+ *
+ *     pa = (la + start) mod N;   if (pa >= gap) pa += 1;
+ *
+ * Every `gapWritePeriod` demand writes the gap moves down by one
+ * position (copying one block, which itself wears the destination);
+ * once the gap wraps, Start advances. Over time this rotates every
+ * logical block across every physical block, evening out wear.
+ */
+
+#ifndef MELLOWSIM_WEAR_START_GAP_HH
+#define MELLOWSIM_WEAR_START_GAP_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "wear/wear_leveler.hh"
+
+namespace mellowsim
+{
+
+/**
+ * Start-Gap remapper for one bank.
+ *
+ * Invariant (tested): for any register state the mapping from logical
+ * block [0, N) to physical block [0, N] is injective and skips exactly
+ * the gap position.
+ */
+class StartGap : public WearLeveler
+{
+  public:
+    /**
+     * @param numBlocks       Number of logical blocks, N (>= 1).
+     * @param gapWritePeriod  Demand writes between gap movements
+     *                        (psi in the Start-Gap paper; 100 there
+     *                        and here by default).
+     */
+    explicit StartGap(std::uint64_t numBlocks,
+                      std::uint64_t gapWritePeriod = 100);
+
+    /** Number of logical blocks. */
+    std::uint64_t numBlocks() const override { return _numBlocks; }
+
+    /** Number of physical blocks (logical + 1 gap). */
+    std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks + 1;
+    }
+
+    /** Map a logical block index to its current physical block. */
+    std::uint64_t remap(std::uint64_t logicalBlock) const override;
+
+    /**
+     * Account one demand write; possibly moves the gap.
+     *
+     * @param[out] extra  If a gap movement happened, extra[0] receives
+     *                    the physical block that took the copied data
+     *                    (and therefore wore by one extra write).
+     * @return 1 if a gap movement (extra write) occurred, else 0.
+     */
+    unsigned noteWrite(std::uint64_t *extra = nullptr) override;
+
+    const char *name() const override { return "start-gap"; }
+
+    std::uint64_t start() const { return _start; }
+    std::uint64_t gap() const { return _gap; }
+    std::uint64_t gapMoves() const { return _gapMoves; }
+
+  private:
+    std::uint64_t _numBlocks;
+    std::uint64_t _gapWritePeriod;
+    std::uint64_t _start = 0;
+    /** Gap position in [0, N]; initially the spare block at index N. */
+    std::uint64_t _gap;
+    std::uint64_t _writesSinceMove = 0;
+    std::uint64_t _gapMoves = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_START_GAP_HH

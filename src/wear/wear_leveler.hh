@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wear-leveler abstraction.
+ *
+ * The paper's system uses Start-Gap at bank granularity; the related
+ * work discusses Security Refresh as the randomized alternative. Both
+ * are implemented behind this interface so the detailed wear tracker
+ * (and the abl_wear_leveling bench) can compare them — and quantify
+ * the leveling-efficiency assumption (eta = 0.9) the lifetime
+ * extrapolation makes.
+ */
+
+#ifndef MELLOWSIM_WEAR_WEAR_LEVELER_HH
+#define MELLOWSIM_WEAR_WEAR_LEVELER_HH
+
+#include <cstdint>
+
+namespace mellowsim
+{
+
+/** Which wear-leveling scheme a bank uses. */
+enum class WearLevelerKind
+{
+    StartGap,        ///< the paper's choice (Table II)
+    SecurityRefresh, ///< randomized alternative (related work)
+    None,            ///< identity mapping (comparison baseline)
+};
+
+/** Printable name of a leveler kind. */
+const char *wearLevelerKindName(WearLevelerKind kind);
+
+/** Logical-to-physical block remapper that rotates over time. */
+class WearLeveler
+{
+  public:
+    virtual ~WearLeveler() = default;
+
+    /** Logical blocks managed. */
+    virtual std::uint64_t numBlocks() const = 0;
+
+    /** Physical blocks used (>= numBlocks; Start-Gap has one spare). */
+    virtual std::uint64_t numPhysicalBlocks() const = 0;
+
+    /** Current physical home of a logical block. */
+    virtual std::uint64_t remap(std::uint64_t logicalBlock) const = 0;
+
+    /**
+     * Account one demand write; the leveler may perform maintenance
+     * (gap moves, refresh swaps) that writes extra physical blocks.
+     *
+     * @param extra  If non-null, must have room for two entries;
+     *               receives the physical blocks written by
+     *               maintenance.
+     * @return Number of extra maintenance writes (0..2).
+     */
+    virtual unsigned noteWrite(std::uint64_t *extra = nullptr) = 0;
+
+    /** Scheme name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** Identity mapping: no leveling (the comparison baseline). */
+class NoLeveling : public WearLeveler
+{
+  public:
+    explicit NoLeveling(std::uint64_t numBlocks) : _numBlocks(numBlocks)
+    {
+    }
+
+    std::uint64_t numBlocks() const override { return _numBlocks; }
+    std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks;
+    }
+    std::uint64_t
+    remap(std::uint64_t logicalBlock) const override
+    {
+        return logicalBlock;
+    }
+    unsigned noteWrite(std::uint64_t *) override { return 0; }
+    const char *name() const override { return "none"; }
+
+  private:
+    std::uint64_t _numBlocks;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_WEAR_LEVELER_HH

@@ -1,0 +1,212 @@
+#include "wear/wear_tracker.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "wear/security_refresh.hh"
+#include "wear/start_gap.hh"
+
+namespace mellowsim
+{
+
+namespace
+{
+
+std::unique_ptr<WearLeveler>
+makeLeveler(const WearTrackerConfig &config, unsigned bank)
+{
+    switch (config.leveler) {
+      case WearLevelerKind::StartGap:
+        return std::make_unique<StartGap>(config.blocksPerBank,
+                                          config.gapWritePeriod);
+      case WearLevelerKind::SecurityRefresh:
+        return std::make_unique<SecurityRefresh>(
+            config.blocksPerBank, config.gapWritePeriod,
+            config.levelerSeed + bank);
+      case WearLevelerKind::None:
+        return std::make_unique<NoLeveling>(config.blocksPerBank);
+    }
+    panic("unknown wear leveler kind");
+}
+
+} // namespace
+
+const char *
+wearLevelerKindName(WearLevelerKind kind)
+{
+    switch (kind) {
+      case WearLevelerKind::StartGap: return "start-gap";
+      case WearLevelerKind::SecurityRefresh: return "security-refresh";
+      case WearLevelerKind::None: return "none";
+    }
+    return "?";
+}
+
+WearTracker::WearTracker(const WearTrackerConfig &config,
+                         const EnduranceModel &model)
+    : _config(config), _model(model), _banks(config.numBanks)
+{
+    fatal_if(config.numBanks == 0, "wear tracker needs >= 1 bank");
+    fatal_if(config.blocksPerBank == 0,
+             "wear tracker needs >= 1 block per bank");
+    fatal_if(config.levelingEfficiency <= 0.0 ||
+                 config.levelingEfficiency > 1.0,
+             "leveling efficiency must be in (0, 1] (got %f)",
+             config.levelingEfficiency);
+    if (config.detailedBlocks) {
+        for (unsigned i = 0; i < _banks.size(); ++i) {
+            _banks[i].leveler = makeLeveler(config, i);
+            _banks[i].blockWear.assign(
+                _banks[i].leveler->numPhysicalBlocks(), 0.0);
+        }
+    }
+}
+
+void
+WearTracker::addWear(unsigned bank, std::uint64_t logicalBlock,
+                     double units, bool countAsWrite)
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    BankState &b = _banks[bank];
+    b.stats.wearUnits += units;
+    if (!_config.detailedBlocks)
+        return;
+
+    std::uint64_t block = logicalBlock % _config.blocksPerBank;
+    std::uint64_t phys = b.leveler->remap(block);
+    b.blockWear[phys] += units;
+
+    if (countAsWrite) {
+        std::uint64_t extra[2] = {0, 0};
+        unsigned moves = b.leveler->noteWrite(extra);
+        for (unsigned i = 0; i < moves; ++i) {
+            // Maintenance copies are normal-speed writes to their
+            // destination blocks.
+            double copy_units = _model.wearPerWriteFactor(1.0);
+            b.blockWear[extra[i]] += copy_units;
+            b.stats.wearUnits += copy_units;
+            ++b.stats.gapMoveWrites;
+        }
+    }
+}
+
+void
+WearTracker::recordWrite(unsigned bank, std::uint64_t logicalBlock,
+                         Tick writeLatency, bool slow)
+{
+    addWear(bank, logicalBlock, _model.wearPerWrite(writeLatency),
+            /*countAsWrite=*/true);
+    BankWearStats &s = _banks[bank].stats;
+    if (slow)
+        ++s.slowWrites;
+    else
+        ++s.normalWrites;
+}
+
+void
+WearTracker::recordCancelledWrite(unsigned bank,
+                                  std::uint64_t logicalBlock,
+                                  Tick writeLatency, Tick elapsed,
+                                  bool slow, double cancelWearFraction)
+{
+    panic_if(elapsed > writeLatency,
+             "cancelled write ran longer than its own pulse");
+    double progress = writeLatency
+                          ? static_cast<double>(elapsed) /
+                                static_cast<double>(writeLatency)
+                          : 0.0;
+    double units = _model.wearPerWrite(writeLatency) * progress *
+                   cancelWearFraction;
+    // A cancelled attempt does not advance Start-Gap (the retry will).
+    addWear(bank, logicalBlock, units, /*countAsWrite=*/false);
+    ++_banks[bank].stats.cancelledWrites;
+    (void)slow;
+}
+
+const BankWearStats &
+WearTracker::bankStats(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    return _banks[bank].stats;
+}
+
+double
+WearTracker::totalWearUnits() const
+{
+    double total = 0.0;
+    for (const auto &b : _banks)
+        total += b.stats.wearUnits;
+    return total;
+}
+
+double
+WearTracker::maxBankWearUnits() const
+{
+    double max_units = 0.0;
+    for (const auto &b : _banks)
+        max_units = std::max(max_units, b.stats.wearUnits);
+    return max_units;
+}
+
+double
+WearTracker::bankLifetimeSeconds(unsigned bank, Tick simTime) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    double wear = _banks[bank].stats.wearUnits;
+    if (wear <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    double capacity = static_cast<double>(_config.blocksPerBank) *
+                      _config.levelingEfficiency;
+    return ticksToSeconds(simTime) * capacity / wear;
+}
+
+double
+WearTracker::lifetimeSeconds(Tick simTime) const
+{
+    double min_life = std::numeric_limits<double>::infinity();
+    for (unsigned i = 0; i < _banks.size(); ++i)
+        min_life = std::min(min_life, bankLifetimeSeconds(i, simTime));
+    return min_life;
+}
+
+double
+WearTracker::lifetimeYears(Tick simTime) const
+{
+    return lifetimeSeconds(simTime) / kSecondsPerYear;
+}
+
+double
+WearTracker::maxBlockWear(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(!_config.detailedBlocks,
+             "maxBlockWear requires detailedBlocks mode");
+    const auto &wear = _banks[bank].blockWear;
+    return *std::max_element(wear.begin(), wear.end());
+}
+
+double
+WearTracker::meanBlockWear(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(!_config.detailedBlocks,
+             "meanBlockWear requires detailedBlocks mode");
+    const auto &wear = _banks[bank].blockWear;
+    double sum = 0.0;
+    for (double w : wear)
+        sum += w;
+    return sum / static_cast<double>(wear.size());
+}
+
+const WearLeveler &
+WearTracker::leveler(unsigned bank) const
+{
+    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(!_config.detailedBlocks,
+             "leveler access requires detailedBlocks mode");
+    return *_banks[bank].leveler;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Per-bank wear accounting and lifetime extrapolation.
+ *
+ * Wear is accumulated in "wear units": one unit is the whole life of
+ * one block, so a write issued at latency L adds
+ * EnduranceModel::wearPerWrite(L) units to the written block.
+ *
+ * Lifetime follows the paper's definition — the system cyclically
+ * re-executes the same pattern and dies when the first cell exhausts
+ * its endurance. With Start-Gap rotating blocks across the bank,
+ * steady-state wear is level up to an efficiency factor eta, so:
+ *
+ *     lifetime = simTime * numBlocks * eta / totalWearUnits(bank)
+ *
+ * minimised over banks. eta defaults to 0.9, matching the Ratio_quota
+ * the paper uses to budget for Start-Gap's extra copies.
+ *
+ * A detailed per-block mode (used by the tests and available to
+ * library users) additionally tracks every physical block through the
+ * actual Start-Gap remapping, so the leveling assumption itself is
+ * verifiable.
+ */
+
+#ifndef MELLOWSIM_WEAR_WEAR_TRACKER_HH
+#define MELLOWSIM_WEAR_WEAR_TRACKER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "wear/endurance_model.hh"
+#include "wear/wear_leveler.hh"
+
+namespace mellowsim
+{
+
+/** Aggregate wear statistics for one bank. */
+struct BankWearStats
+{
+    double wearUnits = 0.0;          ///< total life-fractions consumed
+    std::uint64_t normalWrites = 0;  ///< completed normal-speed writes
+    std::uint64_t slowWrites = 0;    ///< completed slow writes
+    std::uint64_t cancelledWrites = 0; ///< aborted attempts (partial wear)
+    /** Extra writes from leveler maintenance (gap moves / swaps). */
+    std::uint64_t gapMoveWrites = 0;
+};
+
+/** Configuration of the wear tracker. */
+struct WearTrackerConfig
+{
+    unsigned numBanks = 16;
+    /** Logical blocks per bank (4 GB / 16 banks / 64 B = 4 Mi). */
+    std::uint64_t blocksPerBank = 4ull * 1024 * 1024;
+    /** Wear-leveling scheme (detailed mode). */
+    WearLevelerKind leveler = WearLevelerKind::StartGap;
+    /** Maintenance period in writes (gap move / refresh step). */
+    std::uint64_t gapWritePeriod = 100;
+    /** Key seed for randomized levelers. */
+    std::uint64_t levelerSeed = 0xBADC0DE5ull;
+    /** Wear-leveling efficiency used in the lifetime extrapolation. */
+    double levelingEfficiency = 0.9;
+    /**
+     * Track every physical block through Start-Gap. Costs
+     * numBanks * blocksPerBank * 8 bytes; default off (aggregate
+     * accounting is exact for the lifetime formula either way).
+     */
+    bool detailedBlocks = false;
+};
+
+/**
+ * Tracks wear for every bank of the memory system and converts it into
+ * the paper's lifetime metric.
+ */
+class WearTracker
+{
+  public:
+    WearTracker(const WearTrackerConfig &config,
+                const EnduranceModel &model);
+
+    /**
+     * Account a completed write.
+     *
+     * @param bank          Bank index.
+     * @param logicalBlock  Block index within the bank (pre-leveling).
+     * @param writeLatency  Device pulse time actually used.
+     * @param slow          True if this was a slow write (for counts).
+     */
+    void recordWrite(unsigned bank, std::uint64_t logicalBlock,
+                     Tick writeLatency, bool slow);
+
+    /**
+     * Account a cancelled write attempt: the pulse ran for
+     * @p elapsed out of @p writeLatency before being aborted, wearing
+     * the cell by the completed fraction scaled by
+     * @p cancelWearFraction (see DESIGN.md "Substitutions").
+     */
+    void recordCancelledWrite(unsigned bank, std::uint64_t logicalBlock,
+                              Tick writeLatency, Tick elapsed,
+                              bool slow, double cancelWearFraction);
+
+    /** Aggregate stats of one bank. */
+    const BankWearStats &bankStats(unsigned bank) const;
+
+    /** Total wear units over all banks. */
+    double totalWearUnits() const;
+
+    /** Wear units of the most-worn bank. */
+    double maxBankWearUnits() const;
+
+    /**
+     * Leveled lifetime extrapolation in seconds for the whole memory
+     * (minimum over banks), given the simulated time @p simTime.
+     * Returns +inf if nothing was written.
+     */
+    double lifetimeSeconds(Tick simTime) const;
+
+    /** Same, in years. */
+    double lifetimeYears(Tick simTime) const;
+
+    /** Lifetime of a single bank, in seconds. */
+    double bankLifetimeSeconds(unsigned bank, Tick simTime) const;
+
+    /**
+     * Detailed mode only: maximum per-physical-block wear units in a
+     * bank, for verifying the leveling assumption.
+     */
+    double maxBlockWear(unsigned bank) const;
+
+    /** Detailed mode only: mean per-physical-block wear units. */
+    double meanBlockWear(unsigned bank) const;
+
+    const WearTrackerConfig &config() const { return _config; }
+    const EnduranceModel &model() const { return _model; }
+
+    /** Wear-leveler state for a bank (detailed mode only). */
+    const WearLeveler &leveler(unsigned bank) const;
+
+  private:
+    struct BankState
+    {
+        BankWearStats stats;
+        std::unique_ptr<WearLeveler> leveler; // detailed mode
+        std::vector<double> blockWear;        // detailed mode, physical
+    };
+
+    void addWear(unsigned bank, std::uint64_t logicalBlock,
+                 double units, bool countAsWrite);
+
+    WearTrackerConfig _config;
+    const EnduranceModel &_model;
+    std::vector<BankState> _banks;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_WEAR_TRACKER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Address-pattern building blocks for the synthetic workloads.
+ *
+ * A PatternCursor produces a sequence of block-aligned addresses
+ * within a region according to one of four archetypes:
+ *  - Sequential: multiple interleaved streaming cursors (stream, lbm,
+ *    libquantum, bwaves, GemsFDTD, leslie3d);
+ *  - Strided: constant-stride sweeps (milc-style lattice walks);
+ *  - Random: uniform random blocks (GUPS);
+ *  - PointerChase: randomized dependent chain (mcf).
+ */
+
+#ifndef MELLOWSIM_WORKLOAD_PATTERNS_HH
+#define MELLOWSIM_WORKLOAD_PATTERNS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** The four address archetypes. */
+enum class AccessPattern
+{
+    Sequential,
+    Strided,
+    Random,
+    PointerChase,
+};
+
+/** Printable pattern name. */
+const char *patternName(AccessPattern pattern);
+
+/**
+ * Stateful address generator over a region [base, base + size).
+ * All produced addresses are block (64 B) aligned.
+ */
+class PatternCursor
+{
+  public:
+    /**
+     * @param pattern     Archetype.
+     * @param base        Region base address (block aligned).
+     * @param sizeBytes   Region size; must hold >= 1 block.
+     * @param rng         Shared generator (owned by the workload).
+     * @param numStreams  Interleaved cursors (Sequential/Strided).
+     * @param strideBytes Stride for the Strided pattern.
+     */
+    PatternCursor(AccessPattern pattern, Addr base,
+                  std::uint64_t sizeBytes, Rng &rng,
+                  unsigned numStreams = 1,
+                  std::uint64_t strideBytes = kBlockSize);
+
+    /** Next block-aligned address. */
+    Addr next();
+
+    AccessPattern pattern() const { return _pattern; }
+
+  private:
+    AccessPattern _pattern;
+    Addr _base;
+    std::uint64_t _blocks;
+    Rng &_rng;
+    std::uint64_t _strideBlocks;
+
+    /** Sequential/Strided: per-stream block offsets. */
+    std::vector<std::uint64_t> _cursors;
+    unsigned _nextStream = 0;
+
+    /** PointerChase: current position of the chain. */
+    std::uint64_t _chasePos = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WORKLOAD_PATTERNS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace-file workloads.
+ *
+ * The paper drives its evaluation from SPEC CPU2006 execution traces,
+ * which cannot be shipped; the synthetic generators replace them. For
+ * users who *do* have traces (from gem5, Pin, DynamoRIO, or a
+ * production system), TraceWorkload replays a simple text format, one
+ * operation per line:
+ *
+ *     <gap> <kind> <hex-address>
+ *
+ * where <gap> is the number of compute instructions preceding the
+ * access, <kind> is R (load), W (store), D (load dependent on the
+ * previous access) or X (dependent store, the write half of a
+ * read-modify-write), and <hex-address> is the byte address (0x prefix
+ * optional). '#' starts a comment; blank lines are ignored. The trace
+ * replays cyclically, matching the paper's "cyclically execute the
+ * same execution pattern" lifetime model.
+ *
+ * writeTrace() records any Workload into this format, so synthetic
+ * workloads can be exported, edited and replayed.
+ */
+
+#ifndef MELLOWSIM_WORKLOAD_TRACE_WORKLOAD_HH
+#define MELLOWSIM_WORKLOAD_TRACE_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace mellowsim
+{
+
+/** Replays a recorded trace cyclically. */
+class TraceWorkload : public Workload
+{
+  public:
+    /**
+     * Load a trace from @p path.
+     * Throws FatalError for unreadable files, malformed lines, or
+     * empty traces.
+     */
+    explicit TraceWorkload(const std::string &path);
+
+    /** Build from in-memory operations (testing / programmatic use). */
+    explicit TraceWorkload(std::vector<Op> ops, std::string name);
+
+    Op next() override;
+
+    const WorkloadInfo &info() const override { return _info; }
+
+    /** Operations per replay cycle. */
+    std::size_t traceLength() const { return _ops.size(); }
+
+    /** Completed full replays. */
+    std::uint64_t cycles() const { return _cycles; }
+
+  private:
+    std::vector<Op> _ops;
+    std::size_t _pos = 0;
+    std::uint64_t _cycles = 0;
+    WorkloadInfo _info;
+};
+
+/**
+ * Record @p numOps operations of @p workload into @p path.
+ * Throws FatalError if the file cannot be written.
+ */
+void writeTrace(const std::string &path, Workload &workload,
+                std::uint64_t numOps);
+
+/** Convenience factory. */
+WorkloadPtr makeTraceWorkload(const std::string &path);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WORKLOAD_TRACE_WORKLOAD_HH

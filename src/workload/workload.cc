@@ -1,0 +1,9 @@
+// Intentionally small: the Workload interface is header-only; the
+// registry of named workloads lives in spec_workloads.cc. This file
+// anchors the vtable of the abstract base class.
+
+#include "workload/workload.hh"
+
+namespace mellowsim
+{
+} // namespace mellowsim

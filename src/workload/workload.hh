@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workload abstraction: a stream of memory operations with compute
+ * gaps, consumed by the trace-driven core.
+ *
+ * The paper evaluates nine memory-intensive SPEC CPU2006 benchmarks
+ * plus stream and GUPS (Table IV). SPEC binaries and traces cannot be
+ * shipped, so src/workload provides synthetic generators that
+ * reproduce each benchmark's memory behaviour as seen by the memory
+ * system: LLC miss rate (MPKI), read/write mix, spatial pattern,
+ * dependence structure (memory-level parallelism), and footprint.
+ * DESIGN.md's "Substitutions" section discusses why this preserves
+ * the paper's evaluation.
+ */
+
+#ifndef MELLOWSIM_WORKLOAD_WORKLOAD_HH
+#define MELLOWSIM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** One trace record: @p gap compute instructions, then a memory op. */
+struct Op
+{
+    /** Compute (non-memory) instructions before this access. */
+    std::uint32_t gap = 0;
+    /** Store (true) or load (false). */
+    bool isWrite = false;
+    /**
+     * This access depends on the previous memory access (pointer
+     * chasing); the core serialises it behind that access.
+     */
+    bool dependsOnPrev = false;
+    /** Block-aligned physical address. */
+    Addr addr = 0;
+};
+
+/** Static facts about a workload, for reports and tables. */
+struct WorkloadInfo
+{
+    std::string name;
+    /** The paper's measured MPKI with a 2 MB LLC (Table IV). */
+    double paperMpki = 0.0;
+};
+
+/** Infinite generator of memory operations. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next operation. */
+    virtual Op next() = 0;
+
+    virtual const WorkloadInfo &info() const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** Names of the 11 evaluated workloads, in the paper's Table IV order. */
+const std::vector<std::string> &workloadNames();
+
+/**
+ * Build a named workload ("leslie3d", ..., "stream", "gups").
+ * @param seed Seed for the generator's private RNG.
+ * Throws FatalError for unknown names.
+ */
+WorkloadPtr makeWorkload(const std::string &name, std::uint64_t seed = 1);
+
+/** Table IV MPKI for a named workload. */
+double paperMpki(const std::string &name);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WORKLOAD_WORKLOAD_HH

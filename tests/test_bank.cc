@@ -1,0 +1,224 @@
+/** @file Tests for bank and rank (tFAW) device state. */
+
+#include <gtest/gtest.h>
+
+#include "nvm/bank.hh"
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+MemRequest
+req(Addr addr)
+{
+    MemRequest r;
+    r.addr = addr;
+    r.loc.bank = 0;
+    r.loc.rowTag = addr >> 10;
+    return r;
+}
+
+} // namespace
+
+TEST(Bank, StartsIdleWithNoOpenRow)
+{
+    Bank b;
+    EXPECT_TRUE(b.idleAt(0));
+    EXPECT_EQ(b.openRowTag(), kNoOpenRow);
+    EXPECT_FALSE(b.writing(0));
+}
+
+TEST(Bank, ReadOccupiesAndOpensRow)
+{
+    Bank b;
+    b.startRead(100, 50, 7);
+    EXPECT_FALSE(b.idleAt(120));
+    EXPECT_TRUE(b.idleAt(150));
+    EXPECT_EQ(b.busyUntil(), 150u);
+    EXPECT_EQ(b.openRowTag(), 7u);
+    EXPECT_EQ(b.busyTracker().busyTicks(), 50u);
+}
+
+TEST(Bank, ReadOnBusyBankPanics)
+{
+    Bank b;
+    b.startRead(0, 100, 1);
+    EXPECT_THROW(b.startRead(50, 10, 2), PanicError);
+}
+
+TEST(Bank, WriteOccupiesThroughPulse)
+{
+    Bank b;
+    b.startWrite(0, 20, 150, req(0x40), false, false);
+    EXPECT_TRUE(b.writing(100));
+    EXPECT_FALSE(b.idleAt(169));
+    EXPECT_TRUE(b.idleAt(170));
+    EXPECT_FALSE(b.cancellableWrite(100));
+    MemRequest done = b.finishWrite();
+    EXPECT_EQ(done.addr, 0x40u);
+    EXPECT_FALSE(b.writing(100));
+}
+
+TEST(Bank, WriteInvalidatesMatchingOpenRow)
+{
+    Bank b;
+    b.startRead(0, 10, 3);
+    MemRequest r = req(3 << 10); // rowTag 3
+    b.startWrite(10, 12, 150, std::move(r), false, false);
+    EXPECT_EQ(b.openRowTag(), kNoOpenRow);
+}
+
+TEST(Bank, WriteKeepsUnrelatedOpenRow)
+{
+    Bank b;
+    b.startRead(0, 10, 3);
+    MemRequest r = req(9 << 10); // rowTag 9
+    b.startWrite(10, 12, 150, std::move(r), false, false);
+    EXPECT_EQ(b.openRowTag(), 3u);
+}
+
+TEST(Bank, CancellableWriteCanBeCancelled)
+{
+    Bank b;
+    b.startWrite(0, 20, 150, req(0x80), true, true);
+    EXPECT_TRUE(b.cancellableWrite(50));
+    Tick elapsed = 0;
+    MemRequest r = b.cancelWrite(100, &elapsed);
+    EXPECT_EQ(r.addr, 0x80u);
+    EXPECT_EQ(elapsed, 80u); // pulse started at 20
+    EXPECT_TRUE(b.idleAt(100));
+    EXPECT_FALSE(b.writing(100));
+    // Busy accounting gives back the unused reservation.
+    EXPECT_EQ(b.busyTracker().busyTicks(), 100u);
+}
+
+TEST(Bank, CancelBeforePulseStartsReportsZeroElapsed)
+{
+    Bank b;
+    b.startWrite(0, 50, 150, req(0x80), true, true);
+    Tick elapsed = 99;
+    b.cancelWrite(30, &elapsed);
+    EXPECT_EQ(elapsed, 0u);
+}
+
+TEST(Bank, CancelNonCancellablePanics)
+{
+    Bank b;
+    b.startWrite(0, 10, 150, req(0x0), false, false);
+    Tick elapsed = 0;
+    EXPECT_THROW(b.cancelWrite(50, &elapsed), PanicError);
+}
+
+TEST(Bank, CancelAfterCompletionPanics)
+{
+    Bank b;
+    b.startWrite(0, 10, 100, req(0x0), true, true);
+    Tick elapsed = 0;
+    EXPECT_THROW(b.cancelWrite(200, &elapsed), PanicError);
+}
+
+TEST(Bank, FinishWithoutWritePanics)
+{
+    Bank b;
+    EXPECT_THROW(b.finishWrite(), PanicError);
+}
+
+TEST(Bank, SlowFlagAndPulseRecorded)
+{
+    Bank b;
+    b.startWrite(0, 5, 450, req(0x0), true, true);
+    EXPECT_TRUE(b.writeSlow());
+    EXPECT_EQ(b.writePulse(), 450u);
+}
+
+TEST(Rank, FourActivatesFreeThenWindowLimits)
+{
+    Rank r;
+    Tick tfaw = 50;
+    // First four activates unconstrained.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(r.nextActivateAllowed(10 * i, tfaw),
+                  static_cast<Tick>(10 * i));
+        r.recordActivate(10 * i);
+    }
+    // Fifth must wait for the first + tFAW = 50.
+    EXPECT_EQ(r.nextActivateAllowed(35, tfaw), 50u);
+    r.recordActivate(50);
+    // Sixth gated by the second (10 + 50 = 60).
+    EXPECT_EQ(r.nextActivateAllowed(55, tfaw), 60u);
+}
+
+TEST(Rank, WindowSlidesWithTime)
+{
+    Rank r;
+    Tick tfaw = 50;
+    for (int i = 0; i < 4; ++i)
+        r.recordActivate(0);
+    // Far in the future the window no longer binds.
+    EXPECT_EQ(r.nextActivateAllowed(1000, tfaw), 1000u);
+}
+
+TEST(Bank, PauseAndResumePreservesPulse)
+{
+    Bank b;
+    b.startWrite(0, 20, 450, req(0x40), true, false, /*pausable=*/true);
+    EXPECT_TRUE(b.pausableWrite(100));
+    b.pauseWrite(100);
+    EXPECT_TRUE(b.hasPausedWrite());
+    EXPECT_TRUE(b.idleAt(100));
+    EXPECT_FALSE(b.writing(100));
+    // 80 ns of pulse elapsed; 370 remain.
+    Tick done = b.resumeWrite(300);
+    EXPECT_EQ(done, 300u + 370u);
+    EXPECT_FALSE(b.hasPausedWrite());
+    EXPECT_TRUE(b.writing(400));
+    MemRequest r = b.finishWrite();
+    EXPECT_EQ(r.addr, 0x40u);
+    // Busy time: 100 (before pause) + 370 (after resume).
+    EXPECT_EQ(b.busyTracker().busyTicks(), 470u);
+}
+
+TEST(Bank, PauseBeforePulseStartKeepsWholePulse)
+{
+    Bank b;
+    b.startWrite(0, 50, 150, req(0x40), false, false, true);
+    b.pauseWrite(30); // still in the data-burst phase
+    Tick done = b.resumeWrite(100);
+    EXPECT_EQ(done, 250u);
+}
+
+TEST(Bank, PauseRepeatedly)
+{
+    Bank b;
+    b.startWrite(0, 0, 400, req(0x0), true, false, true);
+    b.pauseWrite(100); // 300 left
+    b.resumeWrite(200);
+    b.pauseWrite(300); // 200 left
+    Tick done = b.resumeWrite(1000);
+    EXPECT_EQ(done, 1200u);
+}
+
+TEST(Bank, NonPausableWriteCannotPause)
+{
+    Bank b;
+    b.startWrite(0, 0, 150, req(0x0), false, true, false);
+    EXPECT_FALSE(b.pausableWrite(50));
+    EXPECT_THROW(b.pauseWrite(50), PanicError);
+}
+
+TEST(Bank, StartWriteOverPausedWritePanics)
+{
+    Bank b;
+    b.startWrite(0, 0, 150, req(0x0), false, false, true);
+    b.pauseWrite(50);
+    EXPECT_THROW(b.startWrite(60, 60, 150, req(0x40), false, false),
+                 PanicError);
+}
+
+TEST(Bank, ResumeWithoutPausePanics)
+{
+    Bank b;
+    EXPECT_THROW(b.resumeWrite(10), PanicError);
+}

@@ -1,0 +1,234 @@
+/** @file State-by-state tests of the Figure 9 decision logic. */
+
+#include <gtest/gtest.h>
+
+#include "mellow/decision.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+
+namespace
+{
+
+BankQueueView
+view(unsigned reads, unsigned writes, unsigned eager,
+     bool drain = false, bool quota = false)
+{
+    BankQueueView v;
+    v.readsForBank = reads;
+    v.writesForBank = writes;
+    v.eagerForBank = eager;
+    v.drainMode = drain;
+    v.quotaExceeded = quota;
+    return v;
+}
+
+} // namespace
+
+// --- Reads always win over writes outside a drain ------------------
+
+TEST(Decision, ReadsBlockDemandWrites)
+{
+    for (const auto &p : paperPolicySet()) {
+        EXPECT_EQ(decideWrite(p, view(1, 3, 0)), WriteDecision::None)
+            << p.name;
+    }
+}
+
+TEST(Decision, ReadsBlockEagerWrites)
+{
+    for (const auto &p : paperPolicySet()) {
+        EXPECT_EQ(decideWrite(p, view(2, 0, 1)), WriteDecision::None)
+            << p.name;
+    }
+}
+
+// --- Figure 9 branches under BE-Mellow ------------------------------
+
+TEST(Decision, SingleWriteIssuesSlow)
+{
+    EXPECT_EQ(decideWrite(beMellow(), view(0, 1, 0)),
+              WriteDecision::SlowWrite);
+    EXPECT_EQ(decideWrite(bMellow(), view(0, 1, 0)),
+              WriteDecision::SlowWrite);
+}
+
+TEST(Decision, MultipleWritesIssueNormalWithoutQuota)
+{
+    EXPECT_EQ(decideWrite(beMellow(), view(0, 2, 0)),
+              WriteDecision::NormalWrite);
+    EXPECT_EQ(decideWrite(beMellow(), view(0, 7, 3)),
+              WriteDecision::NormalWrite);
+}
+
+TEST(Decision, MultipleWritesIssueSlowWhenQuotaExceeded)
+{
+    auto p = beMellow().withSC().withWQ();
+    EXPECT_EQ(decideWrite(p, view(0, 2, 0, false, true)),
+              WriteDecision::SlowWrite);
+    EXPECT_EQ(decideWrite(p, view(0, 2, 0, false, false)),
+              WriteDecision::NormalWrite);
+}
+
+TEST(Decision, EmptyWriteQueueDrainsEagerSlow)
+{
+    EXPECT_EQ(decideWrite(beMellow(), view(0, 0, 1)),
+              WriteDecision::EagerSlow);
+}
+
+TEST(Decision, NothingPendingIssuesNothing)
+{
+    for (const auto &p : paperPolicySet()) {
+        EXPECT_EQ(decideWrite(p, view(0, 0, 0)), WriteDecision::None)
+            << p.name;
+    }
+}
+
+// --- Per-policy speed selection --------------------------------------
+
+TEST(Decision, NormAlwaysNormalSpeed)
+{
+    EXPECT_EQ(decideWrite(norm(), view(0, 1, 0)),
+              WriteDecision::NormalWrite);
+    EXPECT_EQ(decideWrite(norm(), view(0, 5, 0)),
+              WriteDecision::NormalWrite);
+}
+
+TEST(Decision, SlowAlwaysSlowSpeed)
+{
+    EXPECT_EQ(decideWrite(slow(), view(0, 1, 0)),
+              WriteDecision::SlowWrite);
+    EXPECT_EQ(decideWrite(slow(), view(0, 5, 0)),
+              WriteDecision::SlowWrite);
+}
+
+TEST(Decision, ENormIssuesEagerAtNormalSpeed)
+{
+    EXPECT_EQ(decideWrite(eNorm(), view(0, 0, 2)),
+              WriteDecision::EagerNormal);
+    // Demand writes stay normal too.
+    EXPECT_EQ(decideWrite(eNorm(), view(0, 1, 0)),
+              WriteDecision::NormalWrite);
+}
+
+TEST(Decision, ESlowIssuesEverythingSlow)
+{
+    EXPECT_EQ(decideWrite(eSlow(), view(0, 1, 0)),
+              WriteDecision::SlowWrite);
+    EXPECT_EQ(decideWrite(eSlow(), view(0, 0, 1)),
+              WriteDecision::EagerSlow);
+}
+
+TEST(Decision, NormWithQuotaForcesSlowOnlyWhenExceeded)
+{
+    auto p = norm().withWQ();
+    EXPECT_EQ(decideWrite(p, view(0, 1, 0, false, true)),
+              WriteDecision::SlowWrite);
+    EXPECT_EQ(decideWrite(p, view(0, 1, 0, false, false)),
+              WriteDecision::NormalWrite);
+}
+
+TEST(Decision, NonEagerPoliciesIgnoreEagerQueue)
+{
+    EXPECT_EQ(decideWrite(norm(), view(0, 0, 3)), WriteDecision::None);
+    EXPECT_EQ(decideWrite(bMellow(), view(0, 0, 3)),
+              WriteDecision::None);
+}
+
+// --- Drain-mode behaviour --------------------------------------------
+
+TEST(Decision, DrainIssuesWritesDespiteReads)
+{
+    EXPECT_EQ(decideWrite(norm(), view(4, 3, 0, true)),
+              WriteDecision::NormalWrite);
+    EXPECT_EQ(decideWrite(slow(), view(4, 3, 0, true)),
+              WriteDecision::SlowWrite);
+}
+
+TEST(Decision, DrainWithReadsNeverBankAwareSlow)
+{
+    // Bank-aware slowness requires the write to be the *only* request
+    // for the bank; a read present during a drain disqualifies it.
+    EXPECT_EQ(decideWrite(beMellow(), view(1, 1, 0, true)),
+              WriteDecision::NormalWrite);
+    // With no reads, a single write still goes slow during drains.
+    EXPECT_EQ(decideWrite(beMellow(), view(0, 1, 0, true)),
+              WriteDecision::SlowWrite);
+}
+
+TEST(Decision, EagerQueueNeverParticipatesInDrains)
+{
+    // Even in drain mode, eager writes stay blocked behind reads.
+    EXPECT_EQ(decideWrite(beMellow(), view(1, 0, 4, true)),
+              WriteDecision::None);
+}
+
+// --- Cancellation eligibility ---------------------------------------
+
+TEST(Decision, CancellableFollowsSpeedFlags)
+{
+    auto sc = beMellow().withSC();
+    EXPECT_TRUE(cancellable(sc, WriteDecision::SlowWrite));
+    EXPECT_TRUE(cancellable(sc, WriteDecision::EagerSlow));
+    EXPECT_FALSE(cancellable(sc, WriteDecision::NormalWrite));
+
+    auto nc = eNorm().withNC();
+    EXPECT_TRUE(cancellable(nc, WriteDecision::NormalWrite));
+    EXPECT_TRUE(cancellable(nc, WriteDecision::EagerNormal));
+    EXPECT_FALSE(cancellable(nc, WriteDecision::SlowWrite));
+
+    EXPECT_FALSE(cancellable(norm(), WriteDecision::NormalWrite));
+    EXPECT_FALSE(cancellable(sc, WriteDecision::None));
+}
+
+TEST(Decision, IsSlowDecision)
+{
+    EXPECT_TRUE(isSlowDecision(WriteDecision::SlowWrite));
+    EXPECT_TRUE(isSlowDecision(WriteDecision::EagerSlow));
+    EXPECT_FALSE(isSlowDecision(WriteDecision::NormalWrite));
+    EXPECT_FALSE(isSlowDecision(WriteDecision::EagerNormal));
+    EXPECT_FALSE(isSlowDecision(WriteDecision::None));
+}
+
+// --- Exhaustive sweep: the decision is total and consistent ---------
+
+class DecisionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool,
+                                                 bool>>
+{
+};
+
+TEST_P(DecisionSweep, TotalAndConsistent)
+{
+    auto [reads, writes, eager, drain, quota] = GetParam();
+    BankQueueView v = view(static_cast<unsigned>(reads),
+                           static_cast<unsigned>(writes),
+                           static_cast<unsigned>(eager), drain, quota);
+    for (const auto &p : paperPolicySet()) {
+        WriteDecision d = decideWrite(p, v);
+        // Never issue from an empty queue.
+        if (d == WriteDecision::NormalWrite ||
+            d == WriteDecision::SlowWrite) {
+            EXPECT_GT(v.writesForBank, 0u) << p.name;
+        }
+        if (d == WriteDecision::EagerSlow ||
+            d == WriteDecision::EagerNormal) {
+            EXPECT_GT(v.eagerForBank, 0u) << p.name;
+            EXPECT_EQ(v.writesForBank, 0u) << p.name;
+            EXPECT_TRUE(p.eager) << p.name;
+        }
+        // Globally slow policies never issue a normal write.
+        if (p.globalSlow)
+            EXPECT_NE(d, WriteDecision::NormalWrite) << p.name;
+        // Quota-exceeded banks never issue a normal demand write.
+        if (p.wearQuota && quota)
+            EXPECT_NE(d, WriteDecision::NormalWrite) << p.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStates, DecisionSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3),
+                       ::testing::Values(0, 1, 2, 5),
+                       ::testing::Values(0, 1, 4),
+                       ::testing::Bool(), ::testing::Bool()));

@@ -1,0 +1,126 @@
+/** @file Tests reproducing Tables V and VI exactly. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+
+TEST(EnergyModel, TableVCellEnergies)
+{
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellA), 0.1);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellB), 0.2);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellC), 0.4);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellD), 0.8);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellE), 1.6);
+}
+
+TEST(EnergyModel, CellNames)
+{
+    EXPECT_EQ(cellTypeName(CellType::CellA), "CellA");
+    EXPECT_EQ(cellTypeName(CellType::CellE), "CellE");
+}
+
+/** Table VI: normal write energy per cell type, to 0.1 pJ. */
+TEST(EnergyModel, TableVINormalWriteEnergies)
+{
+    const double expect[] = {248.8, 300.0, 402.4, 607.2, 1016.8};
+    for (std::size_t i = 0; i < kAllCellTypes.size(); ++i) {
+        EnergyParams p;
+        p.cell = kAllCellTypes[i];
+        EnergyModel m(p);
+        EXPECT_NEAR(m.writeEnergyPj(false), expect[i], 0.05)
+            << cellTypeName(kAllCellTypes[i]);
+    }
+}
+
+/** Table VI: slow write energy per cell type. */
+TEST(EnergyModel, TableVISlowWriteEnergies)
+{
+    const double expect[] = {314.5, 432.3, 667.8, 1138.8, 2080.9};
+    for (std::size_t i = 0; i < kAllCellTypes.size(); ++i) {
+        EnergyParams p;
+        p.cell = kAllCellTypes[i];
+        EnergyModel m(p);
+        EXPECT_NEAR(m.writeEnergyPj(true), expect[i], 0.35)
+            << cellTypeName(kAllCellTypes[i]);
+    }
+}
+
+/** Table VI: slow/normal ratio column (1.26 ... 2.05). */
+TEST(EnergyModel, TableVISlowNormalRatios)
+{
+    const double expect[] = {1.26, 1.44, 1.66, 1.88, 2.05};
+    for (std::size_t i = 0; i < kAllCellTypes.size(); ++i) {
+        EnergyParams p;
+        p.cell = kAllCellTypes[i];
+        EnergyModel m(p);
+        EXPECT_NEAR(m.slowNormalWriteRatio(), expect[i], 0.005)
+            << cellTypeName(kAllCellTypes[i]);
+    }
+}
+
+TEST(EnergyModel, ReadEnergies)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.readEnergyPj(false), 1503.0); // buffer read
+    EXPECT_DOUBLE_EQ(m.readEnergyPj(true), 100.0);   // row-buffer hit
+}
+
+TEST(EnergyModel, AccumulatesReads)
+{
+    EnergyModel m;
+    m.recordRead(true);
+    m.recordRead(false);
+    m.recordRead(false);
+    EXPECT_DOUBLE_EQ(m.stats().readPj, 100.0 + 2 * 1503.0);
+    EXPECT_EQ(m.stats().rowHitReads, 1u);
+    EXPECT_EQ(m.stats().bufferReads, 2u);
+}
+
+TEST(EnergyModel, AccumulatesWrites)
+{
+    EnergyModel m; // CellC
+    m.recordWrite(false);
+    m.recordWrite(true);
+    EXPECT_NEAR(m.stats().writePj, 402.4 + 667.8, 0.5);
+    EXPECT_EQ(m.stats().normalWrites, 1u);
+    EXPECT_EQ(m.stats().slowWrites, 1u);
+    EXPECT_NEAR(m.stats().totalPj(), m.stats().writePj, 1e-9);
+}
+
+TEST(EnergyModel, CancelledWriteChargesProgress)
+{
+    EnergyModel m;
+    m.recordCancelledWrite(false, 0.5);
+    EXPECT_NEAR(m.stats().writePj, 402.4 * 0.5, 0.3);
+    EXPECT_EQ(m.stats().cancelledWrites, 1u);
+    EXPECT_THROW(m.recordCancelledWrite(false, 1.5), PanicError);
+    EXPECT_THROW(m.recordCancelledWrite(false, -0.1), PanicError);
+}
+
+TEST(EnergyModel, SlowEnergyScalesWithCellShareOnly)
+{
+    // The peripheral component is constant, so the slow/normal ratio
+    // must shrink as the cell energy shrinks (Section VI-F).
+    EnergyParams small;
+    small.cell = CellType::CellA;
+    EnergyParams big;
+    big.cell = CellType::CellE;
+    EXPECT_LT(EnergyModel(small).slowNormalWriteRatio(),
+              EnergyModel(big).slowNormalWriteRatio());
+}
+
+TEST(EnergyModel, RejectsBadParameters)
+{
+    EnergyParams p;
+    p.peripheralWritePj = -1.0;
+    EXPECT_THROW(EnergyModel{p}, FatalError);
+    p = EnergyParams{};
+    p.bitsPerWrite = 0;
+    EXPECT_THROW(EnergyModel{p}, FatalError);
+    p = EnergyParams{};
+    p.slowCellEnergyFactor = 0.0;
+    EXPECT_THROW(EnergyModel{p}, FatalError);
+}

@@ -1,0 +1,174 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace mellowsim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickAllowed)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&] { eq.schedule(10, [&] { ran = true; }); });
+    eq.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.scheduled(id));
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.scheduled(id));
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleTwiceReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(id));
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, DescheduleAfterFireReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_FALSE(eq.deschedule(id));
+}
+
+TEST(EventQueue, RunStopsBeforeStopAt)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(30, [&] { ++fired; });
+    std::uint64_t executed = eq.run(20);
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(fired, 1);
+    // Events exactly at stopAt are not executed.
+    EXPECT_EQ(eq.curTick(), 20u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunOnEmptyQueueAdvancesToStopAt)
+{
+    EventQueue eq;
+    eq.run(100);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            eq.scheduleIn(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(eq.curTick(), 99u);
+}
+
+TEST(EventQueue, NumPendingTracksCancellations)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(5, [] {});
+    eq.schedule(6, [] {});
+    EXPECT_EQ(eq.numPending(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 10000; ++i) {
+        Tick when = static_cast<Tick>((i * 7919) % 1000);
+        eq.schedule(when, [&, when] {
+            monotone = monotone && when >= last;
+            last = when;
+        });
+    }
+    eq.run();
+    EXPECT_TRUE(monotone);
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTick)
+{
+    EventQueue eq;
+    Tick observed = 0;
+    eq.schedule(40, [&] {
+        eq.scheduleIn(5, [&] { observed = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(observed, 45u);
+}

@@ -1,0 +1,66 @@
+/** @file Unit tests for the logging/error helpers. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom %d", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config %s", "x"), FatalError);
+}
+
+TEST(Logging, PanicMessageContainsTextAndLocation)
+{
+    try {
+        panic("custom message %d", 7);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("custom message 7"), std::string::npos);
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(panic_if(false, "no"));
+    EXPECT_THROW(panic_if(true, "yes"), PanicError);
+}
+
+TEST(Logging, FatalIfOnlyFiresWhenTrue)
+{
+    EXPECT_NO_THROW(fatal_if(false, "no"));
+    EXPECT_THROW(fatal_if(true, "yes"), FatalError);
+}
+
+TEST(Logging, FormatHandlesLongStrings)
+{
+    std::string big(10000, 'x');
+    std::string out = logFormat("%s", big.c_str());
+    EXPECT_EQ(out.size(), big.size());
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    Logger::setQuiet(true);
+    EXPECT_NO_THROW(warn("just a warning %d", 1));
+    EXPECT_NO_THROW(inform("just info"));
+    Logger::setQuiet(false);
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    Logger::setQuiet(true);
+    EXPECT_TRUE(Logger::quiet());
+    Logger::setQuiet(false);
+    EXPECT_FALSE(Logger::quiet());
+}

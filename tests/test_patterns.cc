@@ -1,0 +1,116 @@
+/** @file Tests for the workload address-pattern cursors. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "workload/patterns.hh"
+
+using namespace mellowsim;
+
+TEST(Patterns, SequentialSingleStreamWalksAndWraps)
+{
+    Rng rng(1);
+    PatternCursor c(AccessPattern::Sequential, 0, 4 * kBlockSize, rng);
+    EXPECT_EQ(c.next(), 0u * kBlockSize);
+    EXPECT_EQ(c.next(), 1u * kBlockSize);
+    EXPECT_EQ(c.next(), 2u * kBlockSize);
+    EXPECT_EQ(c.next(), 3u * kBlockSize);
+    EXPECT_EQ(c.next(), 0u * kBlockSize); // wrap
+}
+
+TEST(Patterns, SequentialMultiStreamInterleaves)
+{
+    Rng rng(1);
+    PatternCursor c(AccessPattern::Sequential, 0, 8 * kBlockSize, rng,
+                    2);
+    // Stream cursors start at 0 and (4 + 263) % 8 = 3 (the second
+    // stream carries the anti-alignment stagger) and alternate.
+    EXPECT_EQ(c.next(), 0u * kBlockSize);
+    EXPECT_EQ(c.next(), 3u * kBlockSize);
+    EXPECT_EQ(c.next(), 1u * kBlockSize);
+    EXPECT_EQ(c.next(), 4u * kBlockSize);
+}
+
+TEST(Patterns, SequentialRespectsBase)
+{
+    Rng rng(1);
+    Addr base = 1ull << 30;
+    PatternCursor c(AccessPattern::Sequential, base, 4 * kBlockSize,
+                    rng);
+    EXPECT_EQ(c.next(), base);
+    EXPECT_EQ(c.next(), base + kBlockSize);
+}
+
+TEST(Patterns, StridedAdvancesByStride)
+{
+    Rng rng(1);
+    PatternCursor c(AccessPattern::Strided, 0, 16 * kBlockSize, rng, 1,
+                    4 * kBlockSize);
+    EXPECT_EQ(c.next(), 0u);
+    EXPECT_EQ(c.next(), 4u * kBlockSize);
+    EXPECT_EQ(c.next(), 8u * kBlockSize);
+    EXPECT_EQ(c.next(), 12u * kBlockSize);
+    EXPECT_EQ(c.next(), 0u); // wrapped modulo region
+}
+
+TEST(Patterns, RandomStaysInRegionAndSpreads)
+{
+    Rng rng(5);
+    Addr base = 1ull << 20;
+    std::uint64_t blocks = 128;
+    PatternCursor c(AccessPattern::Random, base, blocks * kBlockSize,
+                    rng);
+    std::set<Addr> seen;
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = c.next();
+        ASSERT_GE(a, base);
+        ASSERT_LT(a, base + blocks * kBlockSize);
+        ASSERT_EQ(a % kBlockSize, 0u);
+        seen.insert(a);
+    }
+    // Uniform random over 128 blocks: expect near-full coverage.
+    EXPECT_GT(seen.size(), 120u);
+}
+
+TEST(Patterns, PointerChaseCoversRegion)
+{
+    Rng rng(5);
+    PatternCursor c(AccessPattern::PointerChase, 0, 64 * kBlockSize,
+                    rng);
+    std::set<Addr> seen;
+    for (int i = 0; i < 1000; ++i) {
+        Addr a = c.next();
+        ASSERT_LT(a, 64u * kBlockSize);
+        seen.insert(a);
+    }
+    EXPECT_GT(seen.size(), 55u);
+}
+
+TEST(Patterns, DeterministicUnderSameRngSeed)
+{
+    Rng r1(9), r2(9);
+    PatternCursor a(AccessPattern::Random, 0, 1 << 20, r1);
+    PatternCursor b(AccessPattern::Random, 0, 1 << 20, r2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Patterns, RejectsTinyRegion)
+{
+    Rng rng(1);
+    EXPECT_THROW(
+        PatternCursor(AccessPattern::Random, 0, kBlockSize - 1, rng),
+        FatalError);
+    EXPECT_THROW(
+        PatternCursor(AccessPattern::Sequential, 0, kBlockSize, rng, 0),
+        FatalError);
+}
+
+TEST(Patterns, PatternNames)
+{
+    EXPECT_STREQ(patternName(AccessPattern::Sequential), "sequential");
+    EXPECT_STREQ(patternName(AccessPattern::PointerChase),
+                 "pointer-chase");
+}

@@ -1,0 +1,140 @@
+/** @file Tests for the Table III policy matrix and name parsing. */
+
+#include <gtest/gtest.h>
+
+#include "mellow/policy.hh"
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+using namespace mellowsim::policies;
+
+TEST(Policy, NormDefaults)
+{
+    WritePolicyConfig p = norm();
+    EXPECT_EQ(p.name, "Norm");
+    EXPECT_FALSE(p.globalSlow);
+    EXPECT_FALSE(p.bankAware);
+    EXPECT_FALSE(p.eager);
+    EXPECT_FALSE(p.cancelNormal);
+    EXPECT_FALSE(p.cancelSlow);
+    EXPECT_FALSE(p.wearQuota);
+    EXPECT_DOUBLE_EQ(p.slowFactor, 3.0);
+    EXPECT_FALSE(p.anyMellow());
+}
+
+TEST(Policy, SlowIsGloballySlow)
+{
+    WritePolicyConfig p = slow();
+    EXPECT_TRUE(p.globalSlow);
+    EXPECT_FALSE(p.eager);
+    EXPECT_FALSE(p.anyMellow());
+}
+
+TEST(Policy, BMellowIsBankAwareOnly)
+{
+    WritePolicyConfig p = bMellow();
+    EXPECT_TRUE(p.bankAware);
+    EXPECT_FALSE(p.eager);
+    EXPECT_TRUE(p.anyMellow());
+}
+
+TEST(Policy, BeMellowAddsSlowEagerWrites)
+{
+    WritePolicyConfig p = beMellow();
+    EXPECT_TRUE(p.bankAware);
+    EXPECT_TRUE(p.eager);
+    EXPECT_TRUE(p.eagerSlow);
+    EXPECT_TRUE(p.anyMellow());
+}
+
+TEST(Policy, ENormUsesNormalSpeedEagerWrites)
+{
+    WritePolicyConfig p = eNorm();
+    EXPECT_TRUE(p.eager);
+    EXPECT_FALSE(p.eagerSlow);
+    EXPECT_FALSE(p.globalSlow);
+    EXPECT_FALSE(p.bankAware);
+}
+
+TEST(Policy, ESlowIsSlowWithEagerWrites)
+{
+    WritePolicyConfig p = eSlow();
+    EXPECT_TRUE(p.eager);
+    EXPECT_TRUE(p.eagerSlow);
+    EXPECT_TRUE(p.globalSlow);
+}
+
+TEST(Policy, ModifiersComposeAndRename)
+{
+    WritePolicyConfig p = beMellow().withSC().withWQ();
+    EXPECT_EQ(p.name, "BE-Mellow+SC+WQ");
+    EXPECT_TRUE(p.cancelSlow);
+    EXPECT_FALSE(p.cancelNormal);
+    EXPECT_TRUE(p.wearQuota);
+
+    WritePolicyConfig q = eNorm().withNC();
+    EXPECT_EQ(q.name, "E-Norm+NC");
+    EXPECT_TRUE(q.cancelNormal);
+}
+
+TEST(Policy, WithSlowFactor)
+{
+    WritePolicyConfig p = slow().withSlowFactor(1.5);
+    EXPECT_DOUBLE_EQ(p.slowFactor, 1.5);
+    EXPECT_THROW(slow().withSlowFactor(0.5), FatalError);
+}
+
+TEST(Policy, FromNameRoundTripsAllPaperPolicies)
+{
+    for (const WritePolicyConfig &p : paperPolicySet()) {
+        WritePolicyConfig q = fromName(p.name);
+        EXPECT_EQ(q.name, p.name);
+        EXPECT_EQ(q.globalSlow, p.globalSlow);
+        EXPECT_EQ(q.bankAware, p.bankAware);
+        EXPECT_EQ(q.eager, p.eager);
+        EXPECT_EQ(q.eagerSlow, p.eagerSlow);
+        EXPECT_EQ(q.cancelNormal, p.cancelNormal);
+        EXPECT_EQ(q.cancelSlow, p.cancelSlow);
+        EXPECT_EQ(q.wearQuota, p.wearQuota);
+    }
+}
+
+TEST(Policy, FromNameRejectsUnknown)
+{
+    EXPECT_THROW(fromName("FastWrites"), FatalError);
+    EXPECT_THROW(fromName("Norm+XX"), FatalError);
+    EXPECT_THROW(fromName(""), FatalError);
+}
+
+TEST(Policy, PaperPolicySetOrderMatchesFigures)
+{
+    auto set = paperPolicySet();
+    ASSERT_EQ(set.size(), 9u);
+    EXPECT_EQ(set[0].name, "Norm");
+    EXPECT_EQ(set[1].name, "E-Norm+NC");
+    EXPECT_EQ(set[2].name, "Slow");
+    EXPECT_EQ(set[3].name, "E-Slow+SC");
+    EXPECT_EQ(set[4].name, "B-Mellow+SC");
+    EXPECT_EQ(set[5].name, "BE-Mellow+SC");
+    EXPECT_EQ(set[6].name, "Norm+WQ");
+    EXPECT_EQ(set[7].name, "B-Mellow+SC+WQ");
+    EXPECT_EQ(set[8].name, "BE-Mellow+SC+WQ");
+}
+
+TEST(Policy, MultiLatencyModifier)
+{
+    WritePolicyConfig p = beMellow().withSC().withML();
+    EXPECT_EQ(p.name, "BE-Mellow+SC+ML");
+    ASSERT_EQ(p.adaptiveSlowFactors.size(), 3u);
+    EXPECT_DOUBLE_EQ(p.adaptiveSlowFactors[0], 1.5);
+    EXPECT_DOUBLE_EQ(p.adaptiveSlowFactors[2], 3.0);
+
+    WritePolicyConfig q = fromName("BE-Mellow+SC+ML");
+    EXPECT_EQ(q.adaptiveSlowFactors.size(), 3u);
+
+    // Custom ladders are sorted and validated.
+    WritePolicyConfig r = bMellow().withML({3.0, 1.5});
+    EXPECT_DOUBLE_EQ(r.adaptiveSlowFactors.front(), 1.5);
+    EXPECT_THROW(bMellow().withML({}), FatalError);
+    EXPECT_THROW(bMellow().withML({0.5}), FatalError);
+}

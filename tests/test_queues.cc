@@ -1,0 +1,139 @@
+/** @file Tests for the bank-partitioned request queues. */
+
+#include <gtest/gtest.h>
+
+#include "nvm/queues.hh"
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+MemRequest
+makeReq(unsigned bank, Addr addr, ReqType type = ReqType::Write,
+        Tick arrival = 0)
+{
+    MemRequest r;
+    r.type = type;
+    r.addr = addr;
+    r.loc.bank = bank;
+    r.arrival = arrival;
+    return r;
+}
+
+} // namespace
+
+TEST(RequestQueue, StartsEmpty)
+{
+    RequestQueue q(4, 8);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 8u);
+    EXPECT_EQ(q.countForBank(0), 0u);
+}
+
+TEST(RequestQueue, PushPopFifoPerBank)
+{
+    RequestQueue q(4, 8);
+    q.push(makeReq(1, 0x40, ReqType::Write, 10));
+    q.push(makeReq(1, 0x80, ReqType::Write, 20));
+    q.push(makeReq(2, 0xC0, ReqType::Write, 30));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.countForBank(1), 2u);
+    EXPECT_EQ(q.countForBank(2), 1u);
+
+    EXPECT_EQ(q.front(1).addr, 0x40u);
+    MemRequest r = q.pop(1);
+    EXPECT_EQ(r.addr, 0x40u);
+    EXPECT_EQ(q.front(1).addr, 0x80u);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueue, PushFrontJumpsTheLine)
+{
+    RequestQueue q(2, 8);
+    q.push(makeReq(0, 0x40));
+    q.pushFront(makeReq(0, 0x999C0));
+    EXPECT_EQ(q.front(0).addr, 0x999C0u);
+}
+
+TEST(RequestQueue, FullIsAdvisory)
+{
+    RequestQueue q(1, 2);
+    q.push(makeReq(0, 0x00));
+    EXPECT_FALSE(q.full());
+    q.push(makeReq(0, 0x40));
+    EXPECT_TRUE(q.full());
+    // Overflow allowed; the controller's drain logic handles it.
+    q.push(makeReq(0, 0x80));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_TRUE(q.full());
+}
+
+TEST(RequestQueue, BlockIndexCountsPendingWritesPerBlock)
+{
+    RequestQueue q(2, 8);
+    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 0u);
+    q.push(makeReq(0, 0x40));
+    q.push(makeReq(1, 0x40 + 16)); // same block, different offset
+    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 2u);
+    q.pop(0);
+    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 1u);
+    q.pop(1);
+    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 0u);
+}
+
+TEST(RequestQueue, OldestArrivalAcrossBanks)
+{
+    RequestQueue q(4, 8);
+    EXPECT_EQ(q.oldestArrival(), MaxTick);
+    q.push(makeReq(2, 0x80, ReqType::Write, 50));
+    q.push(makeReq(0, 0x00, ReqType::Write, 30));
+    q.push(makeReq(0, 0x40, ReqType::Write, 10)); // younger in FIFO
+    EXPECT_EQ(q.oldestArrival(), 30u);
+}
+
+TEST(RequestQueue, PopEmptyBankPanics)
+{
+    RequestQueue q(2, 4);
+    EXPECT_THROW(q.pop(0), PanicError);
+    EXPECT_THROW(q.front(1), PanicError);
+}
+
+TEST(RequestQueue, BankRangeChecked)
+{
+    RequestQueue q(2, 4);
+    EXPECT_THROW(q.push(makeReq(2, 0x0)), PanicError);
+    EXPECT_THROW(q.countForBank(5), PanicError);
+}
+
+TEST(RequestQueue, RejectsDegenerateConstruction)
+{
+    EXPECT_THROW(RequestQueue(0, 4), FatalError);
+    EXPECT_THROW(RequestQueue(4, 0), FatalError);
+}
+
+TEST(RequestQueue, StressManyPushPops)
+{
+    RequestQueue q(8, 32);
+    for (int round = 0; round < 100; ++round) {
+        for (unsigned b = 0; b < 8; ++b) {
+            q.push(makeReq(b, (round * 8 + b) * kBlockSize));
+        }
+    }
+    EXPECT_EQ(q.size(), 800u);
+    for (unsigned b = 0; b < 8; ++b) {
+        Addr prev = 0;
+        bool first = true;
+        while (q.countForBank(b) > 0) {
+            MemRequest r = q.pop(b);
+            if (!first)
+                EXPECT_GT(r.addr, prev);
+            prev = r.addr;
+            first = false;
+        }
+    }
+    EXPECT_TRUE(q.empty());
+}

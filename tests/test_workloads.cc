@@ -1,0 +1,178 @@
+/** @file Tests for the synthetic workload generators (Table IV). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/logging.hh"
+#include "workload/generators.hh"
+#include "workload/workload.hh"
+
+using namespace mellowsim;
+
+TEST(Workloads, ElevenNamedWorkloads)
+{
+    const auto &names = workloadNames();
+    ASSERT_EQ(names.size(), 11u);
+    EXPECT_EQ(names.front(), "leslie3d");
+    EXPECT_EQ(names.back(), "gups");
+}
+
+TEST(Workloads, FactoryBuildsEveryName)
+{
+    for (const std::string &name : workloadNames()) {
+        WorkloadPtr w = makeWorkload(name, 1);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->info().name, name);
+        EXPECT_GT(w->info().paperMpki, 0.0);
+        EXPECT_DOUBLE_EQ(w->info().paperMpki, paperMpki(name));
+    }
+}
+
+TEST(Workloads, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("quake3"), FatalError);
+    EXPECT_THROW(paperMpki("quake3"), FatalError);
+}
+
+TEST(Workloads, DeterministicForSameSeed)
+{
+    WorkloadPtr a = makeWorkload("milc", 42);
+    WorkloadPtr b = makeWorkload("milc", 42);
+    for (int i = 0; i < 1000; ++i) {
+        Op x = a->next();
+        Op y = b->next();
+        EXPECT_EQ(x.addr, y.addr);
+        EXPECT_EQ(x.gap, y.gap);
+        EXPECT_EQ(x.isWrite, y.isWrite);
+    }
+}
+
+TEST(Workloads, SeedsChangeTheStream)
+{
+    WorkloadPtr a = makeWorkload("milc", 1);
+    WorkloadPtr b = makeWorkload("milc", 2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a->next().addr == b->next().addr;
+    EXPECT_LT(same, 100);
+}
+
+TEST(Workloads, GupsIsPureReadModifyWrite)
+{
+    WorkloadPtr w = makeWorkload("gups", 7);
+    for (int i = 0; i < 500; ++i) {
+        Op load = w->next();
+        EXPECT_FALSE(load.isWrite);
+        Op store = w->next();
+        EXPECT_TRUE(store.isWrite);
+        EXPECT_TRUE(store.dependsOnPrev);
+        EXPECT_EQ(store.addr, load.addr);
+        EXPECT_EQ(store.gap, 0u);
+    }
+}
+
+TEST(Workloads, McfLoadsAreDependent)
+{
+    WorkloadPtr w = makeWorkload("mcf", 7);
+    int dependent = 0, loads = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Op op = w->next();
+        if (!op.isWrite) {
+            ++loads;
+            dependent += op.dependsOnPrev;
+        }
+    }
+    // All cold loads chase pointers; only (rare) hot loads don't.
+    EXPECT_GT(static_cast<double>(dependent) / loads, 0.95);
+}
+
+TEST(Workloads, StreamWriteFractionIsOneThird)
+{
+    WorkloadPtr w = makeWorkload("stream", 7);
+    int writes = 0;
+    constexpr int kOps = 30000;
+    for (int i = 0; i < kOps; ++i)
+        writes += w->next().isWrite;
+    EXPECT_NEAR(writes / static_cast<double>(kOps), 1.0 / 3.0, 0.02);
+}
+
+TEST(Workloads, LbmIsWriteHeavy)
+{
+    WorkloadPtr w = makeWorkload("lbm", 7);
+    int writes = 0;
+    constexpr int kOps = 30000;
+    for (int i = 0; i < kOps; ++i)
+        writes += w->next().isWrite;
+    EXPECT_NEAR(writes / static_cast<double>(kOps), 0.5, 0.02);
+}
+
+TEST(Workloads, MeanGapMatchesCalibration)
+{
+    // MPKI = 1000 * coldFraction / (meanGap + 1 + rmw): check the gap
+    // statistics deliver the calibrated mean.
+    for (const char *name : {"stream", "mcf", "lbm"}) {
+        WorkloadPtr w = makeWorkload(name, 3);
+        double sum_instr = 0.0;
+        constexpr int kOps = 100000;
+        for (int i = 0; i < kOps; ++i) {
+            Op op = w->next();
+            sum_instr += op.gap + 1;
+        }
+        double mpki_closed_form = 1000.0 * kOps / sum_instr;
+        EXPECT_NEAR(mpki_closed_form, paperMpki(name),
+                    paperMpki(name) * 0.05)
+            << name;
+    }
+}
+
+TEST(Workloads, AddressesAreBlockAligned)
+{
+    for (const std::string &name : workloadNames()) {
+        WorkloadPtr w = makeWorkload(name, 5);
+        for (int i = 0; i < 200; ++i)
+            EXPECT_EQ(w->next().addr % kBlockSize, 0u) << name;
+    }
+}
+
+TEST(Workloads, HotColdSplitRespectsFractions)
+{
+    WorkloadParams p;
+    p.name = "custom";
+    p.coldFraction = 0.25;
+    p.hotBytes = 64 * 1024;
+    p.footprintBytes = 16ull * 1024 * 1024;
+    p.meanGap = 10;
+    WorkloadPtr w = makeSynthetic(p, 11);
+    int cold = 0;
+    constexpr int kOps = 40000;
+    for (int i = 0; i < kOps; ++i)
+        cold += w->next().addr >= (1ull << 30);
+    EXPECT_NEAR(cold / static_cast<double>(kOps), 0.25, 0.02);
+}
+
+TEST(Workloads, SyntheticValidatesParams)
+{
+    WorkloadParams p;
+    p.coldFraction = 1.5;
+    EXPECT_THROW(makeSynthetic(p, 1), FatalError);
+    p = WorkloadParams{};
+    p.writeFraction = -0.1;
+    EXPECT_THROW(makeSynthetic(p, 1), FatalError);
+    p = WorkloadParams{};
+    p.meanGap = -1.0;
+    EXPECT_THROW(makeSynthetic(p, 1), FatalError);
+}
+
+TEST(Workloads, SequentialStreamsLandOnDistinctBanks)
+{
+    // Under the default row-granularity interleave (16 KB chunks over
+    // 16 banks), stream's three arrays must start on different banks
+    // (the stagger in PatternCursor guarantees it) so the paper's
+    // bank-level asymmetry exists.
+    WorkloadPtr w = makeWorkload("stream", 13);
+    std::set<std::uint64_t> banks;
+    for (int i = 0; i < 300; ++i)
+        banks.insert((w->next().addr / (16 * 1024)) % 16);
+    EXPECT_GE(banks.size(), 3u);
+}
