@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cancel_wear"
+  "../bench/abl_cancel_wear.pdb"
+  "CMakeFiles/abl_cancel_wear.dir/abl_cancel_wear.cc.o"
+  "CMakeFiles/abl_cancel_wear.dir/abl_cancel_wear.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cancel_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_channels"
+  "../bench/abl_channels.pdb"
+  "CMakeFiles/abl_channels.dir/abl_channels.cc.o"
+  "CMakeFiles/abl_channels.dir/abl_channels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

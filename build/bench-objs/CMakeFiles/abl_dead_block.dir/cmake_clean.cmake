@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dead_block"
+  "../bench/abl_dead_block.pdb"
+  "CMakeFiles/abl_dead_block.dir/abl_dead_block.cc.o"
+  "CMakeFiles/abl_dead_block.dir/abl_dead_block.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dead_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_eager_queue_depth"
+  "../bench/abl_eager_queue_depth.pdb"
+  "CMakeFiles/abl_eager_queue_depth.dir/abl_eager_queue_depth.cc.o"
+  "CMakeFiles/abl_eager_queue_depth.dir/abl_eager_queue_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eager_queue_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_eager_queue_depth.
+# This may be replaced when dependencies are built.

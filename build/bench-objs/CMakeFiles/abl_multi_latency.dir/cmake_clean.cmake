@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_multi_latency"
+  "../bench/abl_multi_latency.pdb"
+  "CMakeFiles/abl_multi_latency.dir/abl_multi_latency.cc.o"
+  "CMakeFiles/abl_multi_latency.dir/abl_multi_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sample_period"
+  "../bench/abl_sample_period.pdb"
+  "CMakeFiles/abl_sample_period.dir/abl_sample_period.cc.o"
+  "CMakeFiles/abl_sample_period.dir/abl_sample_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

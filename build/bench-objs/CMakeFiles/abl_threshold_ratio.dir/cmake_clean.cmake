@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_threshold_ratio"
+  "../bench/abl_threshold_ratio.pdb"
+  "CMakeFiles/abl_threshold_ratio.dir/abl_threshold_ratio.cc.o"
+  "CMakeFiles/abl_threshold_ratio.dir/abl_threshold_ratio.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_threshold_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_wear_leveling"
+  "../bench/abl_wear_leveling.pdb"
+  "CMakeFiles/abl_wear_leveling.dir/abl_wear_leveling.cc.o"
+  "CMakeFiles/abl_wear_leveling.dir/abl_wear_leveling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wear_leveling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_write_pausing"
+  "../bench/abl_write_pausing.pdb"
+  "CMakeFiles/abl_write_pausing.dir/abl_write_pausing.cc.o"
+  "CMakeFiles/abl_write_pausing.dir/abl_write_pausing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_write_pausing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_endurance_tradeoff"
+  "../bench/fig01_endurance_tradeoff.pdb"
+  "CMakeFiles/fig01_endurance_tradeoff.dir/fig01_endurance_tradeoff.cc.o"
+  "CMakeFiles/fig01_endurance_tradeoff.dir/fig01_endurance_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_endurance_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

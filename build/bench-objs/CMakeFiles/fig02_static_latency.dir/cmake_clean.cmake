@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_static_latency"
+  "../bench/fig02_static_latency.pdb"
+  "CMakeFiles/fig02_static_latency.dir/fig02_static_latency.cc.o"
+  "CMakeFiles/fig02_static_latency.dir/fig02_static_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_static_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

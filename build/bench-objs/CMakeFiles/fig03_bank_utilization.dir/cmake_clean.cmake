@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_bank_utilization"
+  "../bench/fig03_bank_utilization.pdb"
+  "CMakeFiles/fig03_bank_utilization.dir/fig03_bank_utilization.cc.o"
+  "CMakeFiles/fig03_bank_utilization.dir/fig03_bank_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bank_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

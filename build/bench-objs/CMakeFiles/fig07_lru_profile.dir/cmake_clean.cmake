@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_lru_profile"
+  "../bench/fig07_lru_profile.pdb"
+  "CMakeFiles/fig07_lru_profile.dir/fig07_lru_profile.cc.o"
+  "CMakeFiles/fig07_lru_profile.dir/fig07_lru_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lru_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

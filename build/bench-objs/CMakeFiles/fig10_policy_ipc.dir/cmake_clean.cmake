@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_policy_ipc"
+  "../bench/fig10_policy_ipc.pdb"
+  "CMakeFiles/fig10_policy_ipc.dir/fig10_policy_ipc.cc.o"
+  "CMakeFiles/fig10_policy_ipc.dir/fig10_policy_ipc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_policy_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_policy_lifetime"
+  "../bench/fig11_policy_lifetime.pdb"
+  "CMakeFiles/fig11_policy_lifetime.dir/fig11_policy_lifetime.cc.o"
+  "CMakeFiles/fig11_policy_lifetime.dir/fig11_policy_lifetime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_policy_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

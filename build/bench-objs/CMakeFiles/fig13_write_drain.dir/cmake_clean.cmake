@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_write_drain"
+  "../bench/fig13_write_drain.pdb"
+  "CMakeFiles/fig13_write_drain.dir/fig13_write_drain.cc.o"
+  "CMakeFiles/fig13_write_drain.dir/fig13_write_drain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_write_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

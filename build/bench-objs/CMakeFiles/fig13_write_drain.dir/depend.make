@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_write_drain.
+# This may be replaced when dependencies are built.

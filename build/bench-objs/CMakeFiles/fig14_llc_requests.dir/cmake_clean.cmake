@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_llc_requests"
+  "../bench/fig14_llc_requests.pdb"
+  "CMakeFiles/fig14_llc_requests.dir/fig14_llc_requests.cc.o"
+  "CMakeFiles/fig14_llc_requests.dir/fig14_llc_requests.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_llc_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

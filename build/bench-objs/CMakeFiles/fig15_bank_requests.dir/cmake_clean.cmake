@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_bank_requests"
+  "../bench/fig15_bank_requests.pdb"
+  "CMakeFiles/fig15_bank_requests.dir/fig15_bank_requests.cc.o"
+  "CMakeFiles/fig15_bank_requests.dir/fig15_bank_requests.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_bank_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_energy"
+  "../bench/fig16_energy.pdb"
+  "CMakeFiles/fig16_energy.dir/fig16_energy.cc.o"
+  "CMakeFiles/fig16_energy.dir/fig16_energy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

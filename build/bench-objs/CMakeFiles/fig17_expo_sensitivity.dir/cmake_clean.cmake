@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_expo_sensitivity"
+  "../bench/fig17_expo_sensitivity.pdb"
+  "CMakeFiles/fig17_expo_sensitivity.dir/fig17_expo_sensitivity.cc.o"
+  "CMakeFiles/fig17_expo_sensitivity.dir/fig17_expo_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_expo_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_bank_sweep"
+  "../bench/fig18_bank_sweep.pdb"
+  "CMakeFiles/fig18_bank_sweep.dir/fig18_bank_sweep.cc.o"
+  "CMakeFiles/fig18_bank_sweep.dir/fig18_bank_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_bank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

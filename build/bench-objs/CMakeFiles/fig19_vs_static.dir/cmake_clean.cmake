@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_vs_static"
+  "../bench/fig19_vs_static.pdb"
+  "CMakeFiles/fig19_vs_static.dir/fig19_vs_static.cc.o"
+  "CMakeFiles/fig19_vs_static.dir/fig19_vs_static.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab06_energy_model"
+  "../bench/tab06_energy_model.pdb"
+  "CMakeFiles/tab06_energy_model.dir/tab06_energy_model.cc.o"
+  "CMakeFiles/tab06_energy_model.dir/tab06_energy_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lifetime_guarantee"
+  "../examples/lifetime_guarantee.pdb"
+  "CMakeFiles/lifetime_guarantee.dir/lifetime_guarantee.cpp.o"
+  "CMakeFiles/lifetime_guarantee.dir/lifetime_guarantee.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/mellowsim_cache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/mellowsim_cache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/eager_profiler.cc" "src/CMakeFiles/mellowsim_cache.dir/cache/eager_profiler.cc.o" "gcc" "src/CMakeFiles/mellowsim_cache.dir/cache/eager_profiler.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/mellowsim_cache.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/mellowsim_cache.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/llc.cc" "src/CMakeFiles/mellowsim_cache.dir/cache/llc.cc.o" "gcc" "src/CMakeFiles/mellowsim_cache.dir/cache/llc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

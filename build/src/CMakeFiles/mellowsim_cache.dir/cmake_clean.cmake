@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_cache.dir/cache/cache.cc.o"
+  "CMakeFiles/mellowsim_cache.dir/cache/cache.cc.o.d"
+  "CMakeFiles/mellowsim_cache.dir/cache/eager_profiler.cc.o"
+  "CMakeFiles/mellowsim_cache.dir/cache/eager_profiler.cc.o.d"
+  "CMakeFiles/mellowsim_cache.dir/cache/hierarchy.cc.o"
+  "CMakeFiles/mellowsim_cache.dir/cache/hierarchy.cc.o.d"
+  "CMakeFiles/mellowsim_cache.dir/cache/llc.cc.o"
+  "CMakeFiles/mellowsim_cache.dir/cache/llc.cc.o.d"
+  "libmellowsim_cache.a"
+  "libmellowsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

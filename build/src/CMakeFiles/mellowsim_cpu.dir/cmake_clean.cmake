@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_cpu.dir/cpu/core.cc.o"
+  "CMakeFiles/mellowsim_cpu.dir/cpu/core.cc.o.d"
+  "libmellowsim_cpu.a"
+  "libmellowsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_energy.dir/energy/energy_model.cc.o"
+  "CMakeFiles/mellowsim_energy.dir/energy/energy_model.cc.o.d"
+  "libmellowsim_energy.a"
+  "libmellowsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mellow/decision.cc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/decision.cc.o" "gcc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/decision.cc.o.d"
+  "/root/repo/src/mellow/policy.cc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/policy.cc.o" "gcc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/policy.cc.o.d"
+  "/root/repo/src/mellow/wear_quota.cc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/wear_quota.cc.o" "gcc" "src/CMakeFiles/mellowsim_mellow.dir/mellow/wear_quota.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_wear.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_mellow.dir/mellow/decision.cc.o"
+  "CMakeFiles/mellowsim_mellow.dir/mellow/decision.cc.o.d"
+  "CMakeFiles/mellowsim_mellow.dir/mellow/policy.cc.o"
+  "CMakeFiles/mellowsim_mellow.dir/mellow/policy.cc.o.d"
+  "CMakeFiles/mellowsim_mellow.dir/mellow/wear_quota.cc.o"
+  "CMakeFiles/mellowsim_mellow.dir/mellow/wear_quota.cc.o.d"
+  "libmellowsim_mellow.a"
+  "libmellowsim_mellow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_mellow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvm/address_map.cc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/address_map.cc.o" "gcc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/address_map.cc.o.d"
+  "/root/repo/src/nvm/bank.cc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/bank.cc.o" "gcc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/bank.cc.o.d"
+  "/root/repo/src/nvm/controller.cc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/controller.cc.o" "gcc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/controller.cc.o.d"
+  "/root/repo/src/nvm/memory_system.cc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/memory_system.cc.o" "gcc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/memory_system.cc.o.d"
+  "/root/repo/src/nvm/queues.cc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/queues.cc.o" "gcc" "src/CMakeFiles/mellowsim_nvm.dir/nvm/queues.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_mellow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_nvm.dir/nvm/address_map.cc.o"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/address_map.cc.o.d"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/bank.cc.o"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/bank.cc.o.d"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/controller.cc.o"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/controller.cc.o.d"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/memory_system.cc.o"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/memory_system.cc.o.d"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/queues.cc.o"
+  "CMakeFiles/mellowsim_nvm.dir/nvm/queues.cc.o.d"
+  "libmellowsim_nvm.a"
+  "libmellowsim_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/mellowsim_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/mellowsim_sim.dir/sim/logging.cc.o"
+  "CMakeFiles/mellowsim_sim.dir/sim/logging.cc.o.d"
+  "CMakeFiles/mellowsim_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/mellowsim_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/mellowsim_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/mellowsim_sim.dir/sim/stats.cc.o.d"
+  "libmellowsim_sim.a"
+  "libmellowsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

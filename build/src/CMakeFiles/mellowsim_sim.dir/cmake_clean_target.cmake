@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmellowsim_sim.a"
+)

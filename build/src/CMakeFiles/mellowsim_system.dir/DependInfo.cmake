@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/report.cc" "src/CMakeFiles/mellowsim_system.dir/system/report.cc.o" "gcc" "src/CMakeFiles/mellowsim_system.dir/system/report.cc.o.d"
+  "/root/repo/src/system/runner.cc" "src/CMakeFiles/mellowsim_system.dir/system/runner.cc.o" "gcc" "src/CMakeFiles/mellowsim_system.dir/system/runner.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/mellowsim_system.dir/system/system.cc.o" "gcc" "src/CMakeFiles/mellowsim_system.dir/system/system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_mellow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_system.dir/system/report.cc.o"
+  "CMakeFiles/mellowsim_system.dir/system/report.cc.o.d"
+  "CMakeFiles/mellowsim_system.dir/system/runner.cc.o"
+  "CMakeFiles/mellowsim_system.dir/system/runner.cc.o.d"
+  "CMakeFiles/mellowsim_system.dir/system/system.cc.o"
+  "CMakeFiles/mellowsim_system.dir/system/system.cc.o.d"
+  "libmellowsim_system.a"
+  "libmellowsim_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wear/endurance_model.cc" "src/CMakeFiles/mellowsim_wear.dir/wear/endurance_model.cc.o" "gcc" "src/CMakeFiles/mellowsim_wear.dir/wear/endurance_model.cc.o.d"
+  "/root/repo/src/wear/security_refresh.cc" "src/CMakeFiles/mellowsim_wear.dir/wear/security_refresh.cc.o" "gcc" "src/CMakeFiles/mellowsim_wear.dir/wear/security_refresh.cc.o.d"
+  "/root/repo/src/wear/start_gap.cc" "src/CMakeFiles/mellowsim_wear.dir/wear/start_gap.cc.o" "gcc" "src/CMakeFiles/mellowsim_wear.dir/wear/start_gap.cc.o.d"
+  "/root/repo/src/wear/wear_tracker.cc" "src/CMakeFiles/mellowsim_wear.dir/wear/wear_tracker.cc.o" "gcc" "src/CMakeFiles/mellowsim_wear.dir/wear/wear_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_wear.dir/wear/endurance_model.cc.o"
+  "CMakeFiles/mellowsim_wear.dir/wear/endurance_model.cc.o.d"
+  "CMakeFiles/mellowsim_wear.dir/wear/security_refresh.cc.o"
+  "CMakeFiles/mellowsim_wear.dir/wear/security_refresh.cc.o.d"
+  "CMakeFiles/mellowsim_wear.dir/wear/start_gap.cc.o"
+  "CMakeFiles/mellowsim_wear.dir/wear/start_gap.cc.o.d"
+  "CMakeFiles/mellowsim_wear.dir/wear/wear_tracker.cc.o"
+  "CMakeFiles/mellowsim_wear.dir/wear/wear_tracker.cc.o.d"
+  "libmellowsim_wear.a"
+  "libmellowsim_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

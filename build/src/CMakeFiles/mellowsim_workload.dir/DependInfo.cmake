@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/mellowsim_workload.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/mellowsim_workload.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/CMakeFiles/mellowsim_workload.dir/workload/patterns.cc.o" "gcc" "src/CMakeFiles/mellowsim_workload.dir/workload/patterns.cc.o.d"
+  "/root/repo/src/workload/spec_workloads.cc" "src/CMakeFiles/mellowsim_workload.dir/workload/spec_workloads.cc.o" "gcc" "src/CMakeFiles/mellowsim_workload.dir/workload/spec_workloads.cc.o.d"
+  "/root/repo/src/workload/trace_workload.cc" "src/CMakeFiles/mellowsim_workload.dir/workload/trace_workload.cc.o" "gcc" "src/CMakeFiles/mellowsim_workload.dir/workload/trace_workload.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/mellowsim_workload.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/mellowsim_workload.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mellowsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

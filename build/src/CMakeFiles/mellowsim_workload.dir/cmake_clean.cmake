@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mellowsim_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/mellowsim_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/mellowsim_workload.dir/workload/patterns.cc.o"
+  "CMakeFiles/mellowsim_workload.dir/workload/patterns.cc.o.d"
+  "CMakeFiles/mellowsim_workload.dir/workload/spec_workloads.cc.o"
+  "CMakeFiles/mellowsim_workload.dir/workload/spec_workloads.cc.o.d"
+  "CMakeFiles/mellowsim_workload.dir/workload/trace_workload.cc.o"
+  "CMakeFiles/mellowsim_workload.dir/workload/trace_workload.cc.o.d"
+  "CMakeFiles/mellowsim_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/mellowsim_workload.dir/workload/workload.cc.o.d"
+  "libmellowsim_workload.a"
+  "libmellowsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mellowsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eager_profiler.dir/test_eager_profiler.cc.o"
+  "CMakeFiles/test_eager_profiler.dir/test_eager_profiler.cc.o.d"
+  "test_eager_profiler"
+  "test_eager_profiler.pdb"
+  "test_eager_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eager_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_endurance_model.dir/test_endurance_model.cc.o"
+  "CMakeFiles/test_endurance_model.dir/test_endurance_model.cc.o.d"
+  "test_endurance_model"
+  "test_endurance_model.pdb"
+  "test_endurance_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_endurance_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

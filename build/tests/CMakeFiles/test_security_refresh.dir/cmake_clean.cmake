@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security_refresh.dir/test_security_refresh.cc.o"
+  "CMakeFiles/test_security_refresh.dir/test_security_refresh.cc.o.d"
+  "test_security_refresh"
+  "test_security_refresh.pdb"
+  "test_security_refresh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wear_quota.dir/test_wear_quota.cc.o"
+  "CMakeFiles/test_wear_quota.dir/test_wear_quota.cc.o.d"
+  "test_wear_quota"
+  "test_wear_quota.pdb"
+  "test_wear_quota[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wear_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

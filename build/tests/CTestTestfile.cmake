@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_endurance_model[1]_include.cmake")
+include("/root/repo/build/tests/test_start_gap[1]_include.cmake")
+include("/root/repo/build/tests/test_security_refresh[1]_include.cmake")
+include("/root/repo/build/tests/test_wear_tracker[1]_include.cmake")
+include("/root/repo/build/tests/test_energy_model[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_decision[1]_include.cmake")
+include("/root/repo/build/tests/test_wear_quota[1]_include.cmake")
+include("/root/repo/build/tests/test_address_map[1]_include.cmake")
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_bank[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_memory_system[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_eager_profiler[1]_include.cmake")
+include("/root/repo/build/tests/test_llc[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
