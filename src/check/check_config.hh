@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Configuration of the runtime invariant-checking layer.
+ *
+ * The checkers themselves (src/check/checkers.hh) are ordinary,
+ * always-compiled classes so unit tests can exercise them in every
+ * build mode. What the MELLOWSIM_CHECKS build option gates is the
+ * *wiring*: with MELLOWSIM_CHECKS_ENABLED == 0 the System never
+ * instantiates a registry, schedules no audit events and the hooks
+ * compile to nothing, so a release build pays zero overhead.
+ */
+
+#ifndef MELLOWSIM_CHECK_CHECK_CONFIG_HH
+#define MELLOWSIM_CHECK_CHECK_CONFIG_HH
+
+#include "sim/types.hh"
+
+/**
+ * Compile-time master switch, set to 1 by the MELLOWSIM_CHECKS CMake
+ * option (see the asan-ubsan and strict presets).
+ */
+#ifndef MELLOWSIM_CHECKS_ENABLED
+#define MELLOWSIM_CHECKS_ENABLED 0
+#endif
+
+namespace mellowsim
+{
+
+/** Runtime knobs of the invariant-checking layer. */
+struct CheckConfig
+{
+    /**
+     * Master runtime switch. Only consulted when the library was
+     * built with MELLOWSIM_CHECKS=ON; a checks-enabled build may
+     * still turn auditing off per simulation.
+     */
+    bool enabled = true;
+
+    /**
+     * Strict mode: an audit that finds violations reports every one
+     * of them via warn() and then panics (PanicError), aborting the
+     * simulation. With strict off, violations are reported and
+     * counted but the run continues.
+     */
+    bool strict = true;
+
+    /**
+     * Interval between periodic audits in ticks. Zero disables the
+     * periodic sweep, leaving only the end-of-simulation audit.
+     */
+    Tick interval = 100 * kMicrosecond;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CHECK_CHECK_CONFIG_HH

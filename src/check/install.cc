@@ -1,0 +1,29 @@
+#include "check/install.hh"
+
+#include <memory>
+
+#include "check/checkers.hh"
+
+namespace mellowsim
+{
+
+void
+installStandardCheckers(InvariantRegistry &registry,
+                        const EventQueue &eventq,
+                        const MemorySystem &memory)
+{
+    registry.add(std::make_unique<EventQueueChecker>(eventq));
+    for (unsigned c = 0; c < memory.numChannels(); ++c) {
+        const MemoryController &ctrl = memory.channel(c);
+        registry.add(
+            std::make_unique<RequestConservationChecker>(ctrl, c));
+        registry.add(std::make_unique<BankStateChecker>(ctrl, c));
+        registry.add(
+            std::make_unique<WearConservationChecker>(ctrl, c));
+        registry.add(std::make_unique<EnergyCrossChecker>(ctrl, c));
+        if (ctrl.wearQuota() != nullptr)
+            registry.add(std::make_unique<WearQuotaChecker>(ctrl, c));
+    }
+}
+
+} // namespace mellowsim

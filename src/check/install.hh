@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Wires the standard checker set over a live simulated machine.
+ */
+
+#ifndef MELLOWSIM_CHECK_INSTALL_HH
+#define MELLOWSIM_CHECK_INSTALL_HH
+
+#include "check/registry.hh"
+#include "nvm/memory_system.hh"
+#include "sim/event_queue.hh"
+
+namespace mellowsim
+{
+
+/**
+ * Install the full checker complement for @p memory into @p registry:
+ * one event-queue checker plus, per channel, request-conservation,
+ * bank-state, wear-conservation and energy cross-checkers, and — when
+ * the channel runs a Wear Quota — a quota checker.
+ *
+ * The referenced components must outlive the registry.
+ */
+void installStandardCheckers(InvariantRegistry &registry,
+                             const EventQueue &eventq,
+                             const MemorySystem &memory);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CHECK_INSTALL_HH

@@ -1,0 +1,56 @@
+#include "check/registry.hh"
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+InvariantRegistry::InvariantRegistry(const CheckConfig &config)
+    : _config(config)
+{
+}
+
+void
+InvariantRegistry::add(std::unique_ptr<InvariantChecker> checker)
+{
+    fatal_if(checker == nullptr, "registering a null invariant checker");
+    _checkers.push_back(std::move(checker));
+}
+
+std::size_t
+InvariantRegistry::runAudit(Tick now)
+{
+    std::size_t before = _violations.size();
+    for (auto &checker : _checkers) {
+        ViolationSink sink(checker->name(), now, _violations);
+        checker->check(now, sink);
+    }
+    ++_audits;
+
+    std::size_t found = _violations.size() - before;
+    if (found == 0)
+        return 0;
+
+    for (std::size_t i = before; i < _violations.size(); ++i)
+        warn("invariant violation %s", _violations[i].format().c_str());
+    if (_config.strict) {
+        panic("invariant audit failed: %zu violation(s) at tick %llu; "
+              "first: %s",
+              found, static_cast<unsigned long long>(now),
+              _violations[before].format().c_str());
+    }
+    return found;
+}
+
+void
+InvariantRegistry::schedulePeriodic(EventQueue &eventq)
+{
+    if (_config.interval == 0)
+        return;
+    eventq.scheduleIn(_config.interval, [this, &eventq] {
+        runAudit(eventq.curTick());
+        schedulePeriodic(eventq);
+    });
+}
+
+} // namespace mellowsim

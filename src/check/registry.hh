@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Owns the set of invariant checkers for one simulation and drives
+ * them: periodically (via the event queue) and at end of simulation.
+ *
+ * Escalation policy: every violation is reported through warn() with
+ * its full context; in strict mode an audit pass that found anything
+ * then panics, so a misbehaving simulation stops at the first audit
+ * after the corruption instead of producing silently wrong numbers.
+ */
+
+#ifndef MELLOWSIM_CHECK_REGISTRY_HH
+#define MELLOWSIM_CHECK_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "check/check_config.hh"
+#include "check/invariant.hh"
+#include "sim/event_queue.hh"
+
+namespace mellowsim
+{
+
+/** See file comment. */
+class InvariantRegistry
+{
+  public:
+    explicit InvariantRegistry(const CheckConfig &config = {});
+
+    /** Register a checker; the registry takes ownership. */
+    void add(std::unique_ptr<InvariantChecker> checker);
+
+    /**
+     * Run every checker once at time @p now.
+     *
+     * Violations are appended to violations() and reported via
+     * warn(); in strict mode the pass then panics (after reporting
+     * all of them).
+     *
+     * @return Violations found by this pass.
+     */
+    std::size_t runAudit(Tick now);
+
+    /**
+     * Schedule recurring audits on @p eventq every config().interval
+     * ticks (no-op when the interval is zero). The registry must
+     * outlive the event queue's run.
+     */
+    void schedulePeriodic(EventQueue &eventq);
+
+    /** End-of-simulation audit; same escalation as runAudit(). */
+    void finalAudit(Tick now) { runAudit(now); }
+
+    const CheckConfig &config() const { return _config; }
+    std::size_t numCheckers() const { return _checkers.size(); }
+
+    /** All violations found so far, in detection order. */
+    const std::vector<Violation> &violations() const
+    {
+        return _violations;
+    }
+
+    /** Completed audit passes. */
+    std::uint64_t audits() const { return _audits; }
+
+  private:
+    CheckConfig _config;
+    std::vector<std::unique_ptr<InvariantChecker>> _checkers;
+    std::vector<Violation> _violations;
+    std::uint64_t _audits = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_CHECK_REGISTRY_HH

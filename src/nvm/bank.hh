@@ -106,6 +106,20 @@ class Bank
     bool writeSlow() const { return _writeSlow; }
     Tick writePulse() const { return _writePulse; }
 
+    // --- Audit accessors (src/check/) -----------------------------
+    /** Raw write-in-flight flag, independent of the current tick. */
+    bool writeInFlight() const { return _writing; }
+
+    /** Unfinished pulse time parked by pauseWrite(). */
+    Tick remainingPulse() const { return _remainingPulse; }
+
+    /**
+     * Type of the write the bank currently holds (in flight or
+     * paused); only meaningful while writeInFlight() or
+     * hasPausedWrite() is true.
+     */
+    ReqType currentWriteType() const { return _currentWrite.type; }
+
     /** Invalidate the open row (a write-through touched it). */
     void closeRow() { _openRowTag = kNoOpenRow; }
 

@@ -437,6 +437,8 @@ MemoryController::onWriteComplete(unsigned bank)
     Tick pulse = b.writePulse();
     MemRequest req = b.finishWrite();
     _writeCompletion[bank] = InvalidEventId;
+    ++(req.type == ReqType::EagerWrite ? _stats.completedEagerWrites
+                                       : _stats.completedDemandWrites);
 
     _wear.recordWrite(bank, req.loc.blockInBank, pulse, slow);
     if (_quota != nullptr)
@@ -488,6 +490,13 @@ MemoryController::drainTimeFraction() const
     if (_draining && now > _drainStart)
         total += now - _drainStart;
     return static_cast<double>(total) / static_cast<double>(now);
+}
+
+const Bank &
+MemoryController::bank(unsigned idx) const
+{
+    panic_if(idx >= _banks.size(), "bank %u out of range", idx);
+    return _banks[idx];
 }
 
 double

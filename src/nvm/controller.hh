@@ -115,6 +115,8 @@ struct MemControllerStats
     stats::Counter cancelledWrites;    ///< aborted attempts
     stats::Counter pausedWrites;       ///< +WP pauses
     stats::Counter resumedWrites;      ///< +WP resumptions
+    stats::Counter completedDemandWrites; ///< demand writes finished
+    stats::Counter completedEagerWrites;  ///< eager writes finished
 
     stats::Counter drainEntries;
     stats::Average readLatency;   ///< arrival to data delivered, ticks
@@ -183,6 +185,16 @@ class MemoryController : public MemoryPort
     double bankUtilization(unsigned bank) const;
 
     bool draining() const { return _draining; }
+
+    // --- Audit accessors (src/check/) -----------------------------
+    unsigned numBanks() const { return _config.geometry.numBanks; }
+
+    /** Device state of one bank, for auditing and tests. */
+    const Bank &bank(unsigned idx) const;
+
+    std::size_t readQueueDepth() const { return _readQ.size(); }
+    std::size_t writeQueueDepth() const { return _writeQ.size(); }
+    std::size_t eagerQueueDepth() const { return _eagerQ.size(); }
 
   private:
     // --- Scheduling -------------------------------------------------

@@ -87,6 +87,22 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t numPending() const { return _numPending; }
 
+    // --- Audit accessors (src/check/) -----------------------------
+    /**
+     * Earliest tick present in the heap (MaxTick if empty). Includes
+     * lazily-cancelled entries, which is fine for auditing: every
+     * entry was scheduled at >= the then-current tick, so even a
+     * stale entry must not sit in the past.
+     */
+    Tick
+    minPendingTick() const
+    {
+        return _heap.empty() ? MaxTick : _heap.top().when;
+    }
+
+    /** Heap entries, including cancelled ones awaiting lazy removal. */
+    std::size_t rawHeapSize() const { return _heap.size(); }
+
     /** True iff no events remain. */
     bool empty() const { return _numPending == 0; }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/install.hh"
+#include "check/registry.hh"
 #include "sim/logging.hh"
 
 namespace mellowsim
@@ -37,6 +39,14 @@ System::build()
         _eventq, _config.hierarchy, *_memory, _config.seed);
     _core = std::make_unique<TraceCore>(_eventq, _config.core,
                                         *_workload, *_hierarchy);
+
+#if MELLOWSIM_CHECKS_ENABLED
+    if (_config.checks.enabled) {
+        _checks = std::make_unique<InvariantRegistry>(_config.checks);
+        installStandardCheckers(*_checks, _eventq, *_memory);
+        _checks->schedulePeriodic(_eventq);
+    }
+#endif
 }
 
 SimReport
@@ -65,6 +75,8 @@ System::run()
     panic_if(!_core->done(),
              "event queue drained before the core finished");
     _memory->finalize();
+    if (_checks != nullptr)
+        _checks->finalAudit(_eventq.curTick());
 
     // Assemble the report.
     SimReport r;

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "cache/hierarchy.hh"
+#include "check/check_config.hh"
 #include "cpu/core.hh"
 #include "mellow/policy.hh"
 #include "nvm/memory_system.hh"
@@ -29,6 +30,8 @@
 
 namespace mellowsim
 {
+
+class InvariantRegistry;
 
 /** Complete configuration of one simulation. */
 struct SystemConfig
@@ -60,6 +63,13 @@ struct SystemConfig
 
     /** Hard wall on simulated time (safety against pathology). */
     Tick maxSimTicks = 10 * kSecond;
+
+    /**
+     * Runtime invariant auditing (src/check/). Only consulted when
+     * the library was built with MELLOWSIM_CHECKS=ON; otherwise the
+     * checking layer compiles to nothing.
+     */
+    CheckConfig checks;
 
     /**
      * Reported lifetimes are capped here (a workload that wrote
@@ -99,6 +109,15 @@ class System
     Workload &workload() { return *_workload; }
     const SystemConfig &config() const { return _config; }
 
+    /**
+     * The invariant-checker registry, or nullptr when checking is
+     * compiled out (MELLOWSIM_CHECKS=OFF) or disabled in the config.
+     */
+    const InvariantRegistry *invariantChecks() const
+    {
+        return _checks.get();
+    }
+
   private:
     void build();
 
@@ -108,6 +127,7 @@ class System
     std::unique_ptr<MemorySystem> _memory;
     std::unique_ptr<Hierarchy> _hierarchy;
     std::unique_ptr<TraceCore> _core;
+    std::unique_ptr<InvariantRegistry> _checks;
     bool _ran = false;
 };
 

@@ -200,7 +200,8 @@ TEST(Cache, LruStackInclusionProperty)
     // Every line in the small cache must be in the large cache.
     for (std::uint64_t t = 1; t <= 6; ++t) {
         Addr a = addrFor(0, t, 1);
-        if (small.probe(a))
+        if (small.probe(a)) {
             EXPECT_TRUE(large.probe(a)) << "tag " << t;
+        }
     }
 }

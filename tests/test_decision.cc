@@ -218,11 +218,13 @@ TEST_P(DecisionSweep, TotalAndConsistent)
             EXPECT_TRUE(p.eager) << p.name;
         }
         // Globally slow policies never issue a normal write.
-        if (p.globalSlow)
+        if (p.globalSlow) {
             EXPECT_NE(d, WriteDecision::NormalWrite) << p.name;
+        }
         // Quota-exceeded banks never issue a normal demand write.
-        if (p.wearQuota && quota)
+        if (p.wearQuota && quota) {
             EXPECT_NE(d, WriteDecision::NormalWrite) << p.name;
+        }
     }
 }
 

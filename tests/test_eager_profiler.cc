@@ -182,8 +182,9 @@ TEST(EagerProfiler, MonotoneInThreshold)
             hits /= 2;
         }
         p.onSamplePeriod();
-        if (!first)
+        if (!first) {
             EXPECT_LE(p.uselessFrom(), prev);
+        }
         prev = p.uselessFrom();
         first = false;
     }

@@ -129,8 +129,9 @@ TEST(RequestQueue, StressManyPushPops)
         bool first = true;
         while (q.countForBank(b) > 0) {
             MemRequest r = q.pop(b);
-            if (!first)
+            if (!first) {
                 EXPECT_GT(r.addr, prev);
+            }
             prev = r.addr;
             first = false;
         }

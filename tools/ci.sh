@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full CI pipeline for mellowsim, runnable locally or from the GitHub
+# Actions workflow (.github/workflows/ci.yml):
+#
+#   1. configure + build the asan-ubsan preset (ASan + UBSan,
+#      MELLOWSIM_CHECKS=ON so runtime invariant audits are live)
+#   2. run the whole test suite under that instrumented build
+#   3. run the determinism audit on a representative configuration
+#   4. run clang-tidy (skipped gracefully when not installed)
+#
+# Any step failing fails the pipeline.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="${CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "==> [1/4] configure + build (preset: asan-ubsan, -j${jobs})"
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "${jobs}"
+
+echo "==> [2/4] ctest (asan-ubsan preset)"
+ctest --preset asan-ubsan -j "${jobs}"
+
+echo "==> [3/4] determinism audit"
+./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
+    300000 50000 1 2
+./build-asan/tools/determinism_check lbm BE-Mellow+SC \
+    300000 50000 7 2
+
+echo "==> [4/4] clang-tidy"
+tools/lint.sh --build-dir build-asan
+
+echo "CI pipeline passed."

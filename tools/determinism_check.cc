@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Determinism audit harness.
+ *
+ * Runs the same (workload, policy, seed) configuration several times
+ * in fresh System instances and byte-compares an exhaustive stats
+ * dump across the runs. Any divergence — container iteration order
+ * leaking into results, uninitialized memory, hidden global state —
+ * shows up as a first-differing-line diff and a non-zero exit code.
+ *
+ * This is the gate any future parallelism work must keep green: the
+ * simulator's contract is that identical inputs produce bit-identical
+ * outputs.
+ *
+ * Usage:
+ *   determinism_check [workload] [policy] [instructions] [warmup]
+ *                     [seed] [runs]
+ *
+ * Defaults exercise a representative configuration: the stream
+ * workload under BE-Mellow+SC+WQ (eager queue, cancellation and Wear
+ * Quota all active).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mellow/policy.hh"
+#include "sim/logging.hh"
+#include "system/report.hh"
+#include "system/system.hh"
+
+namespace
+{
+
+using namespace mellowsim;
+
+/** Append one "name value" line; doubles use full precision. */
+void
+line(std::ostringstream &out, const char *name, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << name << ' ' << buf << '\n';
+}
+
+void
+line(std::ostringstream &out, const char *name, std::uint64_t v)
+{
+    out << name << ' ' << v << '\n';
+}
+
+/**
+ * Exhaustive textual fingerprint of one run: the full SimReport plus
+ * per-bank wear, busy-time and quota state dug out of the live
+ * system. Everything that could diverge between runs is in here.
+ */
+std::string
+fingerprint(System &sys, const SimReport &r)
+{
+    std::ostringstream out;
+    out << "workload " << r.workload << '\n';
+    out << "policy " << r.policy << '\n';
+    line(out, "instructions", r.instructions);
+    line(out, "simTicks", static_cast<std::uint64_t>(r.simTicks));
+    line(out, "ipc", r.ipc);
+    line(out, "lifetimeYears", r.lifetimeYears);
+    line(out, "avgBankUtilization", r.avgBankUtilization);
+    line(out, "drainTimeFraction", r.drainTimeFraction);
+    line(out, "mpki", r.mpki);
+    line(out, "llcDemandReads", r.llcDemandReads);
+    line(out, "llcDemandWrites", r.llcDemandWrites);
+    line(out, "llcMisses", r.llcMisses);
+    line(out, "writebacksToMem", r.writebacksToMem);
+    line(out, "eagerSent", r.eagerSent);
+    line(out, "eagerWasted", r.eagerWasted);
+    line(out, "memReads", r.memReads);
+    line(out, "forwardedReads", r.forwardedReads);
+    line(out, "issuedNormalWrites", r.issuedNormalWrites);
+    line(out, "issuedSlowWrites", r.issuedSlowWrites);
+    line(out, "issuedEagerNormal", r.issuedEagerNormal);
+    line(out, "issuedEagerSlow", r.issuedEagerSlow);
+    line(out, "cancelledWrites", r.cancelledWrites);
+    line(out, "pausedWrites", r.pausedWrites);
+    line(out, "drainEntries", r.drainEntries);
+    line(out, "avgReadLatencyNs", r.avgReadLatencyNs);
+    line(out, "readEnergyPj", r.readEnergyPj);
+    line(out, "writeEnergyPj", r.writeEnergyPj);
+    line(out, "totalEnergyPj", r.totalEnergyPj);
+    line(out, "quotaPeriods", r.quotaPeriods);
+    line(out, "quotaSlowOnlyPeriods", r.quotaSlowOnlyPeriods);
+
+    MemorySystem &mem = sys.memory();
+    for (unsigned c = 0; c < mem.numChannels(); ++c) {
+        const MemoryController &ctrl = mem.channel(c);
+        const WearTracker &wear = ctrl.wearTracker();
+        for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
+            const BankWearStats &w = wear.bankStats(b);
+            out << "ch" << c << ".bank" << b << ' ';
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.17g", w.wearUnits);
+            out << buf << ' ' << w.normalWrites << ' ' << w.slowWrites
+                << ' ' << w.cancelledWrites << ' '
+                << ctrl.bank(b).busyTracker().busyTicks() << '\n';
+        }
+        if (const WearQuota *q = ctrl.wearQuota()) {
+            for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
+                out << "ch" << c << ".quota" << b << ' ';
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.17g",
+                              q->bankWear(b));
+                out << buf << ' ' << q->slowOnlyPeriods(b) << '\n';
+            }
+        }
+    }
+    return out.str();
+}
+
+/** Report the first line where two fingerprints diverge. */
+void
+reportFirstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a), sb(b);
+    std::string la, lb;
+    unsigned lineno = 0;
+    for (;;) {
+        bool ga = static_cast<bool>(std::getline(sa, la));
+        bool gb = static_cast<bool>(std::getline(sb, lb));
+        ++lineno;
+        if (!ga && !gb)
+            return;
+        if (la != lb || ga != gb) {
+            std::fprintf(stderr,
+                         "first divergence at line %u:\n  run 1: %s\n"
+                         "  run N: %s\n",
+                         lineno, ga ? la.c_str() : "<end of dump>",
+                         gb ? lb.c_str() : "<end of dump>");
+            return;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mellowsim;
+
+    std::string workload = argc > 1 ? argv[1] : "stream";
+    std::string policy = argc > 2 ? argv[2] : "BE-Mellow+SC+WQ";
+    std::uint64_t instructions =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 300'000;
+    std::uint64_t warmup =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 50'000;
+    std::uint64_t seed =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+    unsigned runs = argc > 6
+                        ? static_cast<unsigned>(
+                              std::strtoul(argv[6], nullptr, 10))
+                        : 2;
+    if (instructions == 0 || runs < 2) {
+        std::fprintf(stderr,
+                     "usage: %s [workload] [policy] [instructions] "
+                     "[warmup] [seed] [runs>=2]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    Logger::setQuiet(true);
+
+    std::string reference;
+    for (unsigned i = 0; i < runs; ++i) {
+        SystemConfig cfg;
+        cfg.workloadName = workload;
+        cfg.policy = policies::fromName(policy);
+        cfg.instructions = instructions;
+        cfg.warmupInstructions = warmup;
+        cfg.seed = seed;
+
+        System sys(cfg);
+        SimReport r = sys.run();
+        std::string dump = fingerprint(sys, r);
+
+        if (i == 0) {
+            reference = std::move(dump);
+        } else if (dump != reference) {
+            std::fprintf(stderr,
+                         "FAIL: run %u of %s/%s (seed %" PRIu64
+                         ") diverged from run 1\n",
+                         i + 1, workload.c_str(), policy.c_str(),
+                         seed);
+            reportFirstDiff(reference, dump);
+            return 1;
+        }
+    }
+
+    std::printf("OK: %u runs of %s/%s (%" PRIu64
+                " instrs, seed %" PRIu64
+                ") produced byte-identical stats (%zu-byte dump)\n",
+                runs, workload.c_str(), policy.c_str(), instructions,
+                seed, reference.size());
+    return 0;
+}
