@@ -120,6 +120,7 @@ RequestConservationChecker::capture(const MemoryController &ctrl)
 
     s.issuedWriteAttempts = st.totalWriteIssues();
     s.cancelledWrites = st.cancelledWrites.value();
+    s.retriedWrites = st.retriedWrites.value();
     s.pausedWrites = st.pausedWrites.value();
     s.resumedWrites = st.resumedWrites.value();
 
@@ -159,10 +160,13 @@ RequestConservationChecker::evaluate(const Snapshot &s,
     conservation("eager write", s.acceptedEager,
                  s.completedEagerWrites + s.queuedEagerWrites +
                      s.inFlightEagerWrites);
+    // A retried attempt finished its pulse but failed verification,
+    // so it is neither completed nor cancelled nor in flight — it sits
+    // back in its queue awaiting reissue.
     conservation("write attempt", s.issuedWriteAttempts,
                  s.completedDemandWrites + s.completedEagerWrites +
-                     s.cancelledWrites + s.inFlightDemandWrites +
-                     s.inFlightEagerWrites);
+                     s.cancelledWrites + s.retriedWrites +
+                     s.inFlightDemandWrites + s.inFlightEagerWrites);
 
     if (s.resumedWrites > s.pausedWrites) {
         sink.add(logFormat("more resumes (%llu) than pauses (%llu)",
@@ -297,6 +301,7 @@ WearConservationChecker::capture(const MemoryController &ctrl)
     const MemControllerStats &st = ctrl.stats();
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
+    s.retriedWrites = st.retriedWrites.value();
     s.issuedWriteAttempts = st.totalWriteIssues();
 
     std::uint64_t demand = 0, eager = 0, paused = 0;
@@ -309,15 +314,21 @@ void
 WearConservationChecker::evaluate(const Snapshot &s,
                                   ViolationSink &sink)
 {
+    // Retried attempts wore the cell even though their request did
+    // not complete, so they count on the tracker side.
     std::uint64_t tracker_writes =
         s.trackerNormalWrites + s.trackerSlowWrites;
-    if (tracker_writes != s.completedWrites) {
+    std::uint64_t finished_pulses = s.completedWrites + s.retriedWrites;
+    if (tracker_writes != finished_pulses) {
         sink.add(logFormat(
             "wear tracker write count (%llu normal + %llu slow) "
-            "disagrees with the %llu writes the controller completed",
+            "disagrees with the %llu pulses the controller finished "
+            "(%llu completed + %llu retried)",
             static_cast<unsigned long long>(s.trackerNormalWrites),
             static_cast<unsigned long long>(s.trackerSlowWrites),
-            static_cast<unsigned long long>(s.completedWrites)));
+            static_cast<unsigned long long>(finished_pulses),
+            static_cast<unsigned long long>(s.completedWrites),
+            static_cast<unsigned long long>(s.retriedWrites)));
     }
     if (s.trackerCancelledWrites != s.cancelledWrites) {
         sink.add(logFormat(
@@ -326,16 +337,18 @@ WearConservationChecker::evaluate(const Snapshot &s,
             static_cast<unsigned long long>(s.trackerCancelledWrites),
             static_cast<unsigned long long>(s.cancelledWrites)));
     }
-    std::uint64_t accounted =
-        s.completedWrites + s.cancelledWrites + s.inFlightWrites;
+    std::uint64_t accounted = s.completedWrites + s.cancelledWrites +
+                              s.retriedWrites + s.inFlightWrites;
     if (s.issuedWriteAttempts != accounted) {
         sink.add(logFormat(
             "write attempts leak: %llu issued but %llu accounted for "
-            "(%llu completed + %llu cancelled + %llu in flight)",
+            "(%llu completed + %llu cancelled + %llu retried + %llu "
+            "in flight)",
             static_cast<unsigned long long>(s.issuedWriteAttempts),
             static_cast<unsigned long long>(accounted),
             static_cast<unsigned long long>(s.completedWrites),
             static_cast<unsigned long long>(s.cancelledWrites),
+            static_cast<unsigned long long>(s.retriedWrites),
             static_cast<unsigned long long>(s.inFlightWrites)));
     }
     if (s.minBankWearUnits < 0.0) {
@@ -379,6 +392,7 @@ EnergyCrossChecker::capture(const MemoryController &ctrl)
     s.writePj = e.writePj;
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
+    s.retriedWrites = st.retriedWrites.value();
     s.issuedReads = st.issuedReads.value();
     s.rowHitReads = st.rowHitReads.value();
     s.rowMissReads = st.rowMissReads.value();
@@ -388,14 +402,20 @@ EnergyCrossChecker::capture(const MemoryController &ctrl)
 void
 EnergyCrossChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 {
+    // Retried attempts drew write energy even though their request
+    // did not complete.
     std::uint64_t energy_writes =
         s.energyNormalWrites + s.energySlowWrites;
-    if (energy_writes != s.completedWrites) {
+    std::uint64_t finished_pulses = s.completedWrites + s.retriedWrites;
+    if (energy_writes != finished_pulses) {
         sink.add(logFormat(
             "energy model charged %llu completed writes but the "
-            "controller completed %llu",
+            "controller finished %llu pulses (%llu completed + %llu "
+            "retried)",
             static_cast<unsigned long long>(energy_writes),
-            static_cast<unsigned long long>(s.completedWrites)));
+            static_cast<unsigned long long>(finished_pulses),
+            static_cast<unsigned long long>(s.completedWrites),
+            static_cast<unsigned long long>(s.retriedWrites)));
     }
     if (s.energyCancelledWrites != s.cancelledWrites) {
         sink.add(logFormat(
@@ -513,6 +533,123 @@ WearQuotaChecker::check(Tick, ViolationSink &sink)
     if (quota == nullptr)
         return;
     evaluate(capture(*quota, _ctrl.numBanks()), sink);
+}
+
+// --- FaultChecker --------------------------------------------------
+
+FaultChecker::Snapshot
+FaultChecker::capture(const MemoryController &ctrl)
+{
+    const FaultModel *fm = ctrl.faultModel();
+    panic_if(fm == nullptr,
+             "fault checker installed without a fault model");
+    const FaultStats &fs = fm->stats();
+    Snapshot s;
+    s.writesToRetiredLines = fm->writesToRetiredLines();
+    s.maxRepairsOnLine = fm->maxRepairsOnLine();
+    s.remapEntries = fm->remapEntries();
+    s.remapValid = fm->remapTableValid();
+    s.retiredLines = fs.retiredLines;
+    s.deadLines = fs.deadLines;
+    s.repairsUsed = fs.repairsUsed;
+    s.permanentFaults = fs.permanentFaults;
+    s.maxSparesUsed = fm->maxSparesUsed();
+    s.retriesRequested = fs.retriesRequested;
+    s.firstFaultTick = fs.firstFaultTick;
+    s.firstUncorrectableTick = fs.firstUncorrectableTick;
+    s.repairEntriesPerLine = fm->config().repairEntriesPerLine;
+    s.spareLinesPerBank = fm->config().spareLinesPerBank;
+    s.ctrlRetriedWrites = ctrl.stats().retriedWrites.value();
+    return s;
+}
+
+void
+FaultChecker::evaluate(const Snapshot &s, ViolationSink &sink)
+{
+    if (s.writesToRetiredLines != 0) {
+        sink.add(logFormat(
+            "%llu write(s) issued to retired lines — the retirement "
+            "indirection table was bypassed",
+            static_cast<unsigned long long>(s.writesToRetiredLines)));
+    }
+    if (s.maxRepairsOnLine > s.repairEntriesPerLine) {
+        sink.add(logFormat(
+            "repair budget overdrawn: a line consumed %llu ECP "
+            "entries of %llu budgeted",
+            static_cast<unsigned long long>(s.maxRepairsOnLine),
+            static_cast<unsigned long long>(s.repairEntriesPerLine)));
+    }
+    if (!s.remapValid) {
+        sink.add("retirement remap table is not a bijection onto "
+                 "in-range spare lines of retired sources");
+    }
+    if (s.remapEntries != s.retiredLines) {
+        sink.add(logFormat(
+            "remap table has %llu entries but %llu lines are retired",
+            static_cast<unsigned long long>(s.remapEntries),
+            static_cast<unsigned long long>(s.retiredLines)));
+    }
+    if (s.maxSparesUsed > s.spareLinesPerBank) {
+        sink.add(logFormat(
+            "spare pool overdrawn: a bank consumed %llu spares of "
+            "%llu available",
+            static_cast<unsigned long long>(s.maxSparesUsed),
+            static_cast<unsigned long long>(s.spareLinesPerBank)));
+    }
+    if (s.permanentFaults !=
+        s.repairsUsed + s.retiredLines + s.deadLines) {
+        sink.add(logFormat(
+            "fault escalation leak: %llu permanent faults but %llu "
+            "repairs + %llu retirements + %llu dead lines",
+            static_cast<unsigned long long>(s.permanentFaults),
+            static_cast<unsigned long long>(s.repairsUsed),
+            static_cast<unsigned long long>(s.retiredLines),
+            static_cast<unsigned long long>(s.deadLines)));
+    }
+    if ((s.permanentFaults != 0) != (s.firstFaultTick != 0)) {
+        sink.add(logFormat(
+            "first-fault tick bookkeeping skew: %llu permanent "
+            "faults but first-fault tick is %llu",
+            static_cast<unsigned long long>(s.permanentFaults),
+            static_cast<unsigned long long>(s.firstFaultTick)));
+    }
+    if ((s.deadLines != 0) != (s.firstUncorrectableTick != 0)) {
+        sink.add(logFormat(
+            "first-uncorrectable tick bookkeeping skew: %llu dead "
+            "lines but first-uncorrectable tick is %llu",
+            static_cast<unsigned long long>(s.deadLines),
+            static_cast<unsigned long long>(
+                s.firstUncorrectableTick)));
+    }
+    if (s.firstFaultTick != 0 && s.firstUncorrectableTick != 0 &&
+        s.firstUncorrectableTick < s.firstFaultTick) {
+        sink.add(logFormat(
+            "first uncorrectable error (tick %llu) precedes the "
+            "first fault (tick %llu)",
+            static_cast<unsigned long long>(s.firstUncorrectableTick),
+            static_cast<unsigned long long>(s.firstFaultTick)));
+    }
+    if (s.ctrlRetriedWrites != s.retriesRequested) {
+        sink.add(logFormat(
+            "retry accounting skew: the fault model requested %llu "
+            "retries but the controller reissued %llu",
+            static_cast<unsigned long long>(s.retriesRequested),
+            static_cast<unsigned long long>(s.ctrlRetriedWrites)));
+    }
+}
+
+std::string
+FaultChecker::name() const
+{
+    return logFormat("fault/ch%u", _channel);
+}
+
+void
+FaultChecker::check(Tick, ViolationSink &sink)
+{
+    if (_ctrl.faultModel() == nullptr)
+        return;
+    evaluate(capture(_ctrl), sink);
 }
 
 } // namespace mellowsim

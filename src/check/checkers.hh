@@ -20,6 +20,11 @@
  *    the controller issued.
  *  - WearQuotaChecker: Wear Quota budgets and latched ExceedQuota
  *    values stay consistent with the recorded wear.
+ *  - FaultChecker: fault-injection bookkeeping is sound — retired
+ *    lines are never issued writes, per-line repair budgets are never
+ *    overdrawn, the retirement remap table is a bijection onto
+ *    in-range spares, spare pools never overflow, and every permanent
+ *    fault is accounted for as a repair, a retirement, or a dead line.
  *
  * Every checker follows the capture/evaluate split described in
  * invariant.hh: capture() reads the live components, evaluate() is a
@@ -95,6 +100,7 @@ class RequestConservationChecker : public InvariantChecker
         // Write attempts.
         std::uint64_t issuedWriteAttempts = 0;
         std::uint64_t cancelledWrites = 0;
+        std::uint64_t retriedWrites = 0; ///< verify failures reissued
         // Pause/resume pairing.
         std::uint64_t pausedWrites = 0;
         std::uint64_t resumedWrites = 0;
@@ -171,6 +177,7 @@ class WearConservationChecker : public InvariantChecker
         // Controller-side counters.
         std::uint64_t completedWrites = 0; ///< demand + eager
         std::uint64_t cancelledWrites = 0;
+        std::uint64_t retriedWrites = 0;
         std::uint64_t issuedWriteAttempts = 0;
         std::uint64_t inFlightWrites = 0; ///< incl. paused
     };
@@ -209,6 +216,7 @@ class EnergyCrossChecker : public InvariantChecker
         // Controller-side counters.
         std::uint64_t completedWrites = 0; ///< demand + eager
         std::uint64_t cancelledWrites = 0;
+        std::uint64_t retriedWrites = 0;
         std::uint64_t issuedReads = 0;
         std::uint64_t rowHitReads = 0;
         std::uint64_t rowMissReads = 0;
@@ -252,6 +260,48 @@ class WearQuotaChecker : public InvariantChecker
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
     WearQuotaChecker(const MemoryController &ctrl, unsigned channel)
+        : _ctrl(ctrl), _channel(channel)
+    {
+    }
+
+    std::string name() const override;
+    void check(Tick now, ViolationSink &sink) override;
+
+  private:
+    const MemoryController &_ctrl;
+    unsigned _channel;
+};
+
+/** Audits fault-injection bookkeeping (see file comment). */
+class FaultChecker : public InvariantChecker
+{
+  public:
+    struct Snapshot
+    {
+        // Fault-model tallies.
+        std::uint64_t writesToRetiredLines = 0;
+        std::uint64_t maxRepairsOnLine = 0;
+        std::uint64_t remapEntries = 0;
+        bool remapValid = true;
+        std::uint64_t retiredLines = 0;
+        std::uint64_t deadLines = 0;
+        std::uint64_t repairsUsed = 0;
+        std::uint64_t permanentFaults = 0;
+        std::uint64_t maxSparesUsed = 0;
+        std::uint64_t retriesRequested = 0;
+        Tick firstFaultTick = 0;
+        Tick firstUncorrectableTick = 0;
+        // Configured limits.
+        std::uint64_t repairEntriesPerLine = 0;
+        std::uint64_t spareLinesPerBank = 0;
+        // Controller-side counter.
+        std::uint64_t ctrlRetriedWrites = 0;
+    };
+
+    static Snapshot capture(const MemoryController &ctrl);
+    static void evaluate(const Snapshot &s, ViolationSink &sink);
+
+    FaultChecker(const MemoryController &ctrl, unsigned channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }

@@ -23,6 +23,8 @@ installStandardCheckers(InvariantRegistry &registry,
         registry.add(std::make_unique<EnergyCrossChecker>(ctrl, c));
         if (ctrl.wearQuota() != nullptr)
             registry.add(std::make_unique<WearQuotaChecker>(ctrl, c));
+        if (ctrl.faultModel() != nullptr)
+            registry.add(std::make_unique<FaultChecker>(ctrl, c));
     }
 }
 

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Cell-fault injection and graceful-degradation model.
+ *
+ * The analytic wear accounting (src/wear) extrapolates lifetime from
+ * Equation 2 but never makes a cell actually fail. This subsystem
+ * closes that loop so the Mellow Writes mechanisms can be stress-tested
+ * against hardware that degrades:
+ *
+ *  - Endurance variation. Every memory line draws a private endurance
+ *    budget from a lognormal distribution centred on the nominal
+ *    endurance (sigma configurable, WoLFRaM-style process variation).
+ *    The draw is a pure hash of (seed, line), so it is reproducible
+ *    and independent of access order.
+ *  - Transient write failures. A completed write pulse fails
+ *    verification with a configurable probability that shrinks with
+ *    pulse time (slower writes switch more reliably — the same
+ *    latency/reliability trade-off Equation 2 models for endurance).
+ *    The controller retries a failed write with a progressively
+ *    slower pulse, bounded by maxRetries, before escalating.
+ *  - Permanent stuck-at faults. When a line's accumulated wear (in
+ *    the same wear units as WearTracker) exceeds its drawn endurance,
+ *    a cell sticks. An ECP-style per-line repair budget absorbs the
+ *    first repairEntriesPerLine faults; after that the line is
+ *    retired and remapped to a bank-local spare through an
+ *    indirection table. When a bank's spares are exhausted the next
+ *    retirement is an uncorrectable error: the simulation keeps
+ *    running (graceful capacity degradation) and the tick of the
+ *    first such error — time-to-first-uncorrectable-error — becomes a
+ *    measured lifetime metric to hold against the analytic one.
+ *
+ * All randomness is counter-based: each draw seeds a fresh sim/rng
+ * generator from a hash of (seed, line, draw index), so identical
+ * configurations replay identically regardless of event interleaving
+ * — the property the determinism audit (tools/determinism_check)
+ * enforces with faults enabled.
+ */
+
+#ifndef MELLOWSIM_FAULT_FAULT_MODEL_HH
+#define MELLOWSIM_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Knobs of the fault-injection layer (all off by default). */
+struct FaultConfig
+{
+    /** Master switch; the controller skips everything when false. */
+    bool enabled = false;
+
+    /** Base seed for every per-line hash draw. */
+    std::uint64_t seed = 0xFA171C0DEull;
+
+    /**
+     * Sigma of the lognormal endurance-variation factor. 0 makes
+     * every line exactly nominal; 0.3 is a moderate process spread;
+     * 1.0 produces the heavy weak-line tail used by the stress tests.
+     */
+    double enduranceSigma = 0.3;
+
+    /**
+     * Median line endurance in wear units (fractions of one nominal
+     * cell life, as accumulated by WearTracker). 1.0 means a line
+     * endures its full Equation-2 life; tests and demos use tiny
+     * values (e.g. 5e-7) so failures occur within short simulations.
+     */
+    double enduranceScale = 1.0;
+
+    /**
+     * Probability that a normal-speed write pulse fails verification.
+     * The effective probability divides by the pulse slow-down
+     * factor, so slow (and retried) writes fail less often.
+     */
+    double transientFailProb = 0.0;
+
+    /** Write-verify retries per request before escalating. */
+    unsigned maxRetries = 3;
+
+    /**
+     * Pulse multiplier applied per retry: retry k of a request uses
+     * pulse * retrySlowFactor^k (the paper's latency/endurance
+     * trade-off reused as a reliability knob).
+     */
+    double retrySlowFactor = 2.0;
+
+    /** ECP-style repair entries per line (stuck-at faults absorbed). */
+    unsigned repairEntriesPerLine = 2;
+
+    /** Spare lines per bank available for retirement remapping. */
+    std::uint64_t spareLinesPerBank = 64;
+
+    // Filled in by the controller from its geometry.
+    unsigned numBanks = 16;
+    std::uint64_t blocksPerBank = 4ull * 1024 * 1024;
+};
+
+/** Aggregate fault statistics (all monotone counters). */
+struct FaultStats
+{
+    std::uint64_t linesTouched = 0;      ///< lines with recorded wear
+    std::uint64_t transientFailures = 0; ///< failed verifications
+    std::uint64_t retriesRequested = 0;  ///< verdicts asking a retry
+    std::uint64_t permanentFaults = 0;   ///< endurance-exceeded events
+    std::uint64_t repairsUsed = 0;       ///< ECP entries consumed
+    std::uint64_t retiredLines = 0;      ///< lines remapped to spares
+    std::uint64_t deadLines = 0;         ///< uncorrectable lines
+    std::uint64_t writesToDeadLines = 0; ///< degraded-mode writes
+    Tick firstFaultTick = 0;             ///< 0 = never
+    Tick firstUncorrectableTick = 0;     ///< 0 = never
+};
+
+/** One point of the effective-capacity-over-time trace. */
+struct CapacitySample
+{
+    Tick tick = 0;
+    std::uint64_t retiredLines = 0;
+    std::uint64_t deadLines = 0;
+};
+
+/** Verdict of the write-verify step at pulse completion. */
+enum class WriteVerdict
+{
+    Ok,            ///< verified; data is stable
+    Retry,         ///< transient failure; reissue with a slower pulse
+    Retired,       ///< line retired; data landed in its fresh spare
+    Uncorrectable, ///< no spare left; data lost, line soldiers on
+};
+
+/** See file comment. */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const FaultConfig &config);
+
+    /**
+     * Resolve a line through the retirement indirection table
+     * (identity for healthy lines; follows retirement chains when a
+     * spare itself retired). The controller applies this to every
+     * request at issue time, so retired lines are never written.
+     */
+    std::uint64_t remap(unsigned bank, std::uint64_t line) const;
+
+    /**
+     * Note a write issued to the (post-remap) physical @p line. A
+     * write reaching a retired line is a controller bug; it is
+     * counted so the invariant checker can flag it.
+     */
+    void noteWriteIssued(unsigned bank, std::uint64_t line);
+
+    /**
+     * Write-verify step, called when a pulse completes on the
+     * (post-remap) physical @p line.
+     *
+     * @param wearUnits    Wear the pulse inflicted (EnduranceModel).
+     * @param pulseFactor  Pulse time relative to the normal tWP.
+     * @param retriesSoFar Retries this request has already used.
+     * @param now          Completion tick (for first-fault metrics).
+     */
+    WriteVerdict verifyWrite(unsigned bank, std::uint64_t line,
+                             double wearUnits, double pulseFactor,
+                             unsigned retriesSoFar, Tick now);
+
+    // --- Introspection ---------------------------------------------
+    const FaultStats &stats() const { return _stats; }
+    const FaultConfig &config() const { return _config; }
+
+    /** The endurance budget drawn for a line (draws it if needed). */
+    double lineEndurance(unsigned bank, std::uint64_t line);
+
+    /** True if the line has been retired (remapped away). */
+    bool lineRetired(unsigned bank, std::uint64_t line) const;
+
+    /** Spares consumed by one bank so far. */
+    std::uint64_t sparesUsed(unsigned bank) const;
+
+    /** Write-verify retries requested on one bank. */
+    std::uint64_t retriesForBank(unsigned bank) const;
+
+    /**
+     * Fraction of lines still storing data reliably: 1 minus the
+     * dead (uncorrectable) share. Retired-and-remapped lines do not
+     * reduce it — that is the point of the spare pool.
+     */
+    double effectiveCapacityFraction() const;
+
+    /** Retirement/death events in occurrence order. */
+    const std::vector<CapacitySample> &capacityTrace() const
+    {
+        return _capacityTrace;
+    }
+
+    // --- Audit support (src/check/) --------------------------------
+    /** Entries in the retirement indirection table. */
+    std::uint64_t remapEntries() const { return _remap.size(); }
+
+    /**
+     * True iff the indirection table is a bijection onto distinct
+     * in-range spare lines and every source line is marked retired.
+     */
+    bool remapTableValid() const;
+
+    /** Largest repair count consumed by any single line. */
+    std::uint64_t maxRepairsOnLine() const { return _maxRepairsOnLine; }
+
+    /** Writes observed on retired lines (must stay zero). */
+    std::uint64_t writesToRetiredLines() const
+    {
+        return _writesToRetiredLines;
+    }
+
+    /** Largest per-bank spare consumption. */
+    std::uint64_t maxSparesUsed() const;
+
+  private:
+    struct LineState
+    {
+        double wear = 0.0;
+        double endurance = 0.0;  ///< drawn budget in wear units
+        std::uint64_t writes = 0;
+        unsigned repairsUsed = 0;
+        bool retired = false;
+        bool dead = false;
+    };
+
+    std::uint64_t lineKey(unsigned bank, std::uint64_t line) const;
+
+    /** State of a line, drawing its endurance on first touch. */
+    LineState &touch(unsigned bank, std::uint64_t line);
+
+    /** Uniform in [0, 1) from a pure (line, draw) hash. */
+    double hashUniform(std::uint64_t key, std::uint64_t draw,
+                      std::uint64_t salt) const;
+
+    /** One lognormal endurance draw for (line, draw index). */
+    double drawEndurance(std::uint64_t key, std::uint64_t draw) const;
+
+    /** Escalation path: repair, retire+remap, or uncorrectable. */
+    WriteVerdict escalate(unsigned bank, std::uint64_t line,
+                          LineState &state, Tick now);
+
+    FaultConfig _config;
+    FaultStats _stats;
+
+    std::unordered_map<std::uint64_t, LineState> _lines;
+    /** Retirement indirection: line key -> replacement line index. */
+    std::unordered_map<std::uint64_t, std::uint64_t> _remap;
+    std::vector<std::uint64_t> _sparesUsed;   ///< per bank
+    std::vector<std::uint64_t> _bankRetries;  ///< per bank
+    std::vector<CapacitySample> _capacityTrace;
+    std::uint64_t _maxRepairsOnLine = 0;
+    std::uint64_t _writesToRetiredLines = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_FAULT_FAULT_MODEL_HH

@@ -1,6 +1,7 @@
 #include "nvm/controller.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -46,6 +47,12 @@ MemoryController::MemoryController(EventQueue &eventq,
         _quota = std::make_unique<WearQuota>(q,
                                              _config.geometry.numBanks);
         _eventq.scheduleIn(q.samplePeriod, [this] { onQuotaPeriod(); });
+    }
+    if (_config.fault.enabled) {
+        FaultConfig f = _config.fault;
+        f.numBanks = _config.geometry.numBanks;
+        f.blocksPerBank = _config.geometry.blocksPerBank();
+        _faults = std::make_unique<FaultModel>(f);
     }
 }
 
@@ -360,6 +367,13 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
                  dec == WriteDecision::EagerNormal;
     bool slow = isSlowDecision(dec);
     MemRequest req = eager ? _eagerQ.pop(bank) : _writeQ.pop(bank);
+    if (_faults != nullptr) {
+        // Redirect retired lines through the indirection table at
+        // issue time, so writes queued before a retirement are also
+        // remapped (retired lines are never written — audited).
+        req.loc.blockInBank = _faults->remap(bank, req.loc.blockInBank);
+        _faults->noteWriteIssued(bank, req.loc.blockInBank);
+    }
     bool may_cancel = cancellable(_config.policy, dec) &&
                       req.attempts < _config.maxWriteCancellations;
     bool may_pause = _config.policy.pauseWrites;
@@ -381,6 +395,15 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
         !_config.policy.globalSlow &&
         !(_config.policy.wearQuota && quotaExceeded(bank))) {
         pulse = _timing.slowWritePulse(chooseAdaptiveFactor(bank, now));
+    }
+    if (req.retries > 0) {
+        // Write-verify retry: progressively slower pulses switch the
+        // cell more reliably (the paper's latency trade-off reused as
+        // a reliability knob). Counted as a slow write throughout.
+        pulse = static_cast<Tick>(
+            static_cast<double>(pulse) *
+            std::pow(_config.fault.retrySlowFactor, req.retries));
+        slow = true;
     }
     Tick bus_start = reserveBus(now);
     Tick pulse_start = bus_start + _timing.tBurst;
@@ -437,15 +460,46 @@ MemoryController::onWriteComplete(unsigned bank)
     Tick pulse = b.writePulse();
     MemRequest req = b.finishWrite();
     _writeCompletion[bank] = InvalidEventId;
-    ++(req.type == ReqType::EagerWrite ? _stats.completedEagerWrites
-                                       : _stats.completedDemandWrites);
+    Tick now = _eventq.curTick();
 
+    // Device-level accounting is per attempt: a pulse that later
+    // fails verification still stressed and powered the cell (and
+    // still counts against the Wear Quota).
     _wear.recordWrite(bank, req.loc.blockInBank, pulse, slow);
     if (_quota != nullptr)
         _quota->recordWear(bank, _endurance.wearPerWrite(pulse));
     _energy.recordWrite(slow);
 
-    requestSchedule(_eventq.curTick());
+    WriteVerdict verdict = WriteVerdict::Ok;
+    if (_faults != nullptr) {
+        double factor = static_cast<double>(pulse) /
+                        static_cast<double>(_timing.tWP);
+        verdict = _faults->verifyWrite(bank, req.loc.blockInBank,
+                                       _endurance.wearPerWrite(pulse),
+                                       factor, req.retries, now);
+    }
+
+    if (verdict == WriteVerdict::Retry) {
+        // Failed verification: the request reissues from the front of
+        // its queue with a slower pulse (bounded by maxRetries).
+        ++_stats.retriedWrites;
+        ++req.retries;
+        if (req.type == ReqType::Write) {
+            _writeQ.pushFront(std::move(req));
+            updateDrainState(now);
+        } else {
+            _eagerQ.pushFront(std::move(req));
+        }
+    } else {
+        // Ok, Retired (data landed in the fresh spare), and
+        // Uncorrectable (data lost, loss recorded) all complete the
+        // request — graceful degradation, never an abort.
+        ++(req.type == ReqType::EagerWrite
+               ? _stats.completedEagerWrites
+               : _stats.completedDemandWrites);
+    }
+
+    requestSchedule(now);
 }
 
 void

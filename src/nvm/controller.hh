@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "energy/energy_model.hh"
+#include "fault/fault_model.hh"
 #include "mellow/decision.hh"
 #include "mellow/policy.hh"
 #include "mellow/wear_quota.hh"
@@ -85,6 +86,11 @@ struct MemControllerConfig
     EnduranceParams endurance;
     EnergyParams energy;
     WearQuotaConfig quota;
+    /**
+     * Fault injection (off by default). numBanks/blocksPerBank are
+     * overwritten from the geometry when the model is instantiated.
+     */
+    FaultConfig fault;
     /** Leveling efficiency for the lifetime extrapolation. */
     double levelingEfficiency = 0.9;
     /** Track per-block wear through the leveler (tests/benches). */
@@ -117,6 +123,8 @@ struct MemControllerStats
     stats::Counter resumedWrites;      ///< +WP resumptions
     stats::Counter completedDemandWrites; ///< demand writes finished
     stats::Counter completedEagerWrites;  ///< eager writes finished
+    /** Write-verify failures reissued with a slower pulse. */
+    stats::Counter retriedWrites;
 
     stats::Counter drainEntries;
     stats::Average readLatency;   ///< arrival to data delivered, ticks
@@ -172,6 +180,7 @@ class MemoryController : public MemoryPort
     const WearTracker &wearTracker() const { return _wear; }
     const EnergyModel &energyModel() const { return _energy; }
     const WearQuota *wearQuota() const { return _quota.get(); }
+    const FaultModel *faultModel() const { return _faults.get(); }
     const MemControllerConfig &config() const { return _config; }
     const AddressMap &addressMap() const { return _map; }
 
@@ -261,6 +270,7 @@ class MemoryController : public MemoryPort
     WearTracker _wear;
     EnergyModel _energy;
     std::unique_ptr<WearQuota> _quota;
+    std::unique_ptr<FaultModel> _faults;
 
     MemControllerStats _stats;
 

@@ -23,6 +23,9 @@ MemorySystem::MemorySystem(EventQueue &eventq,
         MemControllerConfig per_channel = config.channel;
         per_channel.geometry.capacityBytes =
             g.capacityBytes / config.numChannels;
+        // Channels must not share weak-line draws.
+        per_channel.fault.seed +=
+            0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(c);
         _channels.push_back(
             std::make_unique<MemoryController>(eventq, per_channel));
     }

@@ -37,6 +37,8 @@ struct MemRequest
     ReadCallback onComplete;
     /** Write attempts so far (grows with each cancellation). */
     unsigned attempts = 0;
+    /** Write-verify retries consumed (fault injection only). */
+    unsigned retries = 0;
 };
 
 } // namespace mellowsim

@@ -44,6 +44,26 @@ columnValue(const SimReport &r, const std::string &col)
         return std::to_string(r.memReads);
     if (col == "writes")
         return std::to_string(r.totalBankWrites());
+    if (col == "retries")
+        return std::to_string(r.writeRetries);
+    if (col == "faults")
+        return std::to_string(r.permanentFaults);
+    if (col == "retired")
+        return std::to_string(r.retiredLines);
+    if (col == "dead")
+        return std::to_string(r.deadLines);
+    if (col == "first_fault_ns") {
+        return r.firstFaultTick == 0
+                   ? "never"
+                   : fmt("%.1f", ticksToNs(r.firstFaultTick));
+    }
+    if (col == "first_ue_ns") {
+        return r.firstUncorrectableTick == 0
+                   ? "never"
+                   : fmt("%.1f", ticksToNs(r.firstUncorrectableTick));
+    }
+    if (col == "capacity")
+        return fmt("%.6f", r.effectiveCapacityFraction);
     fatal("unknown report column '%s'", col.c_str());
 }
 
@@ -61,7 +81,10 @@ reportsToCsv(const std::vector<SimReport> &reports)
            "eager_normal,eager_slow,cancelled_writes,paused_writes,"
            "drain_entries,"
            "avg_read_latency_ns,read_energy_pj,write_energy_pj,"
-           "total_energy_pj,quota_periods,quota_slow_only\n";
+           "total_energy_pj,quota_periods,quota_slow_only,"
+           "write_retries,transient_failures,permanent_faults,"
+           "fault_repairs,retired_lines,dead_lines,first_fault_ns,"
+           "first_ue_ns,effective_capacity\n";
     for (const SimReport &r : reports) {
         out << r.workload << ',' << r.policy << ',' << r.instructions
             << ',' << fmt("%.1f", ticksToNs(r.simTicks)) << ','
@@ -83,7 +106,13 @@ reportsToCsv(const std::vector<SimReport> &reports)
             << fmt("%.3e", r.readEnergyPj) << ','
             << fmt("%.3e", r.writeEnergyPj) << ','
             << fmt("%.3e", r.totalEnergyPj) << ',' << r.quotaPeriods
-            << ',' << r.quotaSlowOnlyPeriods << '\n';
+            << ',' << r.quotaSlowOnlyPeriods << ','
+            << r.writeRetries << ',' << r.transientWriteFailures
+            << ',' << r.permanentFaults << ',' << r.faultRepairsUsed
+            << ',' << r.retiredLines << ',' << r.deadLines << ','
+            << fmt("%.1f", ticksToNs(r.firstFaultTick)) << ','
+            << fmt("%.1f", ticksToNs(r.firstUncorrectableTick)) << ','
+            << fmt("%.6f", r.effectiveCapacityFraction) << '\n';
     }
     return out.str();
 }

@@ -64,6 +64,18 @@ struct SimReport
     std::uint64_t quotaPeriods = 0;
     std::uint64_t quotaSlowOnlyPeriods = 0;
 
+    // Fault injection (all zero when the fault layer is off).
+    std::uint64_t writeRetries = 0;          ///< verify-failure reissues
+    std::uint64_t transientWriteFailures = 0;
+    std::uint64_t permanentFaults = 0;
+    std::uint64_t faultRepairsUsed = 0;      ///< ECP entries consumed
+    std::uint64_t retiredLines = 0;
+    std::uint64_t deadLines = 0;             ///< uncorrectable lines
+    Tick firstFaultTick = 0;                 ///< 0 = never
+    Tick firstUncorrectableTick = 0;         ///< 0 = never
+    /** Fraction of lines still reliable (1.0 with faults off). */
+    double effectiveCapacityFraction = 1.0;
+
     /**
      * All issued write attempts (demand + eager). Issue counters are
      * per attempt, so cancelled attempts and their retries are
@@ -90,7 +102,8 @@ std::string reportsToCsv(const std::vector<SimReport> &reports);
 /**
  * Render reports as an aligned text table with a chosen subset of
  * columns. Supported column names: workload, policy, ipc, lifetime,
- * utilization, drain, mpki, energy, reads, writes.
+ * utilization, drain, mpki, energy, reads, writes, retries, faults,
+ * retired, dead, first_fault_ns, first_ue_ns, capacity.
  */
 std::string reportsToTable(const std::vector<SimReport> &reports,
                            const std::vector<std::string> &columns);

@@ -30,6 +30,9 @@ System::build()
     // machinery into the LLC.
     _config.memory.policy = _config.policy;
     _config.hierarchy.llc.eagerEnabled = _config.policy.eager;
+    // Mix the run seed into the fault draws so different-seed runs see
+    // different weak lines (while same-seed runs replay exactly).
+    _config.memory.fault.seed ^= _config.seed * 0x2545F4914F6CDD1Dull;
 
     MemorySystemConfig mem_cfg;
     mem_cfg.numChannels = _config.numChannels;
@@ -134,6 +137,27 @@ System::run()
                 r.quotaSlowOnlyPeriods = std::max(
                     r.quotaSlowOnlyPeriods, q->slowOnlyPeriods(b));
             }
+        }
+
+        r.writeRetries += m.retriedWrites.value();
+        if (const FaultModel *fm = ctrl.faultModel()) {
+            const FaultStats &fs = fm->stats();
+            r.transientWriteFailures += fs.transientFailures;
+            r.permanentFaults += fs.permanentFaults;
+            r.faultRepairsUsed += fs.repairsUsed;
+            r.retiredLines += fs.retiredLines;
+            r.deadLines += fs.deadLines;
+            // Earliest event over channels (0 means never happened).
+            auto earliest = [](Tick acc, Tick t) {
+                return t != 0 && (acc == 0 || t < acc) ? t : acc;
+            };
+            r.firstFaultTick =
+                earliest(r.firstFaultTick, fs.firstFaultTick);
+            r.firstUncorrectableTick = earliest(
+                r.firstUncorrectableTick, fs.firstUncorrectableTick);
+            r.effectiveCapacityFraction =
+                std::min(r.effectiveCapacityFraction,
+                         fm->effectiveCapacityFraction());
         }
     }
     if (lat_samples > 0) {

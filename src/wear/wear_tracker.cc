@@ -155,7 +155,9 @@ WearTracker::bankLifetimeSeconds(unsigned bank, Tick simTime) const
 {
     panic_if(bank >= _banks.size(), "bank %u out of range", bank);
     double wear = _banks[bank].stats.wearUnits;
-    if (wear <= 0.0)
+    // No wear, or no simulated time to extrapolate from: the bank
+    // lives forever as far as this run can tell (never 0/0 = NaN).
+    if (wear <= 0.0 || simTime == 0)
         return std::numeric_limits<double>::infinity();
     double capacity = static_cast<double>(_config.blocksPerBank) *
                       _config.levelingEfficiency;

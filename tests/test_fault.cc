@@ -1,0 +1,271 @@
+/** @file Unit tests of the fault-injection model (src/fault/). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "sim/logging.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+/** Tiny geometry with sigma 0 so fault-path tests are exact. */
+FaultConfig
+smallConfig()
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.numBanks = 2;
+    f.blocksPerBank = 16;
+    f.spareLinesPerBank = 2;
+    f.repairEntriesPerLine = 1;
+    f.enduranceSigma = 0.0;
+    f.enduranceScale = 1.0;
+    f.transientFailProb = 0.0;
+    return f;
+}
+
+} // namespace
+
+TEST(FaultModel, ValidatesConfig)
+{
+    FaultConfig f = smallConfig();
+    f.enduranceScale = 0.0;
+    EXPECT_THROW(FaultModel{f}, FatalError);
+
+    f = smallConfig();
+    f.enduranceSigma = -0.5;
+    EXPECT_THROW(FaultModel{f}, FatalError);
+
+    f = smallConfig();
+    f.transientFailProb = 1.0;
+    EXPECT_THROW(FaultModel{f}, FatalError);
+
+    f = smallConfig();
+    f.retrySlowFactor = 0.5;
+    EXPECT_THROW(FaultModel{f}, FatalError);
+}
+
+TEST(FaultModel, SigmaZeroGivesExactScale)
+{
+    FaultConfig f = smallConfig();
+    f.enduranceScale = 0.125;
+    FaultModel fm(f);
+    for (std::uint64_t line = 0; line < f.blocksPerBank; ++line)
+        EXPECT_DOUBLE_EQ(fm.lineEndurance(0, line), 0.125);
+}
+
+TEST(FaultModel, EnduranceDrawsAreDeterministic)
+{
+    FaultConfig f = smallConfig();
+    f.enduranceSigma = 0.5;
+    FaultModel a(f), b(f);
+    for (std::uint64_t line = 0; line < f.blocksPerBank; ++line) {
+        EXPECT_DOUBLE_EQ(a.lineEndurance(0, line),
+                         b.lineEndurance(0, line));
+        EXPECT_DOUBLE_EQ(a.lineEndurance(1, line),
+                         b.lineEndurance(1, line));
+    }
+
+    f.seed ^= 0x1234;
+    FaultModel c(f);
+    bool any_different = false;
+    for (std::uint64_t line = 0; line < f.blocksPerBank; ++line) {
+        if (a.lineEndurance(0, line) != c.lineEndurance(0, line))
+            any_different = true;
+    }
+    EXPECT_TRUE(any_different);
+}
+
+TEST(FaultModel, LognormalMedianMatchesScale)
+{
+    FaultConfig f;
+    f.numBanks = 1;
+    f.blocksPerBank = 8192;
+    f.enduranceSigma = 1.0;
+    f.enduranceScale = 2.0;
+    FaultModel fm(f);
+
+    std::vector<double> draws;
+    for (std::uint64_t line = 0; line < 4001; ++line) {
+        double e = fm.lineEndurance(0, line);
+        EXPECT_GT(e, 0.0);
+        draws.push_back(e);
+    }
+    std::sort(draws.begin(), draws.end());
+    double median = draws[draws.size() / 2];
+    // Lognormal median equals the scale; 4001 samples pin it well.
+    EXPECT_GT(median, 0.7 * f.enduranceScale);
+    EXPECT_LT(median, 1.4 * f.enduranceScale);
+    // The spread is real: a sigma=1 tail spans far beyond the median.
+    EXPECT_LT(draws.front(), 0.2 * f.enduranceScale);
+    EXPECT_GT(draws.back(), 5.0 * f.enduranceScale);
+}
+
+TEST(FaultModel, RemapIsIdentityForHealthyLines)
+{
+    FaultModel fm(smallConfig());
+    for (std::uint64_t line = 0; line < 16; ++line) {
+        EXPECT_EQ(fm.remap(0, line), line);
+        EXPECT_FALSE(fm.lineRetired(0, line));
+    }
+    EXPECT_EQ(fm.remapEntries(), 0u);
+    EXPECT_TRUE(fm.remapTableValid());
+}
+
+TEST(FaultModel, RepairThenRetireOnWearExhaustion)
+{
+    FaultModel fm(smallConfig());
+    // Endurance 1.0, +1.0 per ECP repair, 0.6 wear per write.
+    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000),
+              WriteVerdict::Ok);
+    // Second write crosses 1.0: consumes the single repair entry.
+    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 2000),
+              WriteVerdict::Ok);
+    EXPECT_EQ(fm.stats().permanentFaults, 1u);
+    EXPECT_EQ(fm.stats().repairsUsed, 1u);
+    EXPECT_EQ(fm.stats().firstFaultTick, 2000u);
+    EXPECT_EQ(fm.maxRepairsOnLine(), 1u);
+
+    // Third write is fine (budget now 2.0), fourth exceeds it and the
+    // repair budget is gone: the line retires onto spare 16.
+    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 3000),
+              WriteVerdict::Ok);
+    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 4000),
+              WriteVerdict::Retired);
+    EXPECT_TRUE(fm.lineRetired(0, 3));
+    EXPECT_EQ(fm.remap(0, 3), 16u);
+    EXPECT_EQ(fm.sparesUsed(0), 1u);
+    EXPECT_EQ(fm.sparesUsed(1), 0u);
+    EXPECT_EQ(fm.stats().retiredLines, 1u);
+    EXPECT_EQ(fm.remapEntries(), 1u);
+    EXPECT_TRUE(fm.remapTableValid());
+    ASSERT_EQ(fm.capacityTrace().size(), 1u);
+    EXPECT_EQ(fm.capacityTrace()[0].tick, 4000u);
+    EXPECT_EQ(fm.capacityTrace()[0].retiredLines, 1u);
+
+    // A write issued to the retired line is a controller bug.
+    EXPECT_EQ(fm.writesToRetiredLines(), 0u);
+    fm.noteWriteIssued(0, 3);
+    EXPECT_EQ(fm.writesToRetiredLines(), 1u);
+}
+
+TEST(FaultModel, RetirementChainsFollowToFreshSpare)
+{
+    FaultModel fm(smallConfig());
+    // Wear out line 3 (4 writes: Ok, repair, Ok, retire -> spare 16),
+    // then wear out the spare the same way (-> spare 17).
+    for (int i = 0; i < 4; ++i)
+        fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000 + i);
+    EXPECT_EQ(fm.remap(0, 3), 16u);
+    for (int i = 0; i < 4; ++i)
+        fm.verifyWrite(0, 16, 0.6, 1.0, 0, 2000 + i);
+    EXPECT_EQ(fm.remap(0, 3), 17u);
+    EXPECT_EQ(fm.remap(0, 16), 17u);
+    EXPECT_EQ(fm.stats().retiredLines, 2u);
+    EXPECT_EQ(fm.remapEntries(), 2u);
+    EXPECT_TRUE(fm.remapTableValid());
+    EXPECT_EQ(fm.maxSparesUsed(), 2u);
+}
+
+TEST(FaultModel, SpareExhaustionGoesUncorrectable)
+{
+    FaultModel fm(smallConfig());
+    for (int i = 0; i < 4; ++i)
+        fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000 + i);
+    for (int i = 0; i < 4; ++i)
+        fm.verifyWrite(0, 16, 0.6, 1.0, 0, 2000 + i);
+    // Both spares of bank 0 are consumed; line 17's second fault has
+    // nowhere to go.
+    for (int i = 0; i < 3; ++i)
+        fm.verifyWrite(0, 17, 0.6, 1.0, 0, 3000 + i);
+    EXPECT_EQ(fm.verifyWrite(0, 17, 0.6, 1.0, 0, 4000),
+              WriteVerdict::Uncorrectable);
+    EXPECT_EQ(fm.stats().deadLines, 1u);
+    EXPECT_EQ(fm.stats().firstUncorrectableTick, 4000u);
+    EXPECT_EQ(fm.stats().permanentFaults,
+              fm.stats().repairsUsed + fm.stats().retiredLines +
+                  fm.stats().deadLines);
+
+    // The dead line soldiers on in degraded mode, never escalating
+    // again; the data loss was recorded once.
+    EXPECT_EQ(fm.verifyWrite(0, 17, 0.6, 1.0, 0, 5000),
+              WriteVerdict::Ok);
+    EXPECT_EQ(fm.stats().writesToDeadLines, 1u);
+    EXPECT_EQ(fm.stats().deadLines, 1u);
+
+    // One dead line out of 2 banks x 16 data lines.
+    EXPECT_DOUBLE_EQ(fm.effectiveCapacityFraction(), 1.0 - 1.0 / 32.0);
+    ASSERT_EQ(fm.capacityTrace().size(), 3u);
+    EXPECT_EQ(fm.capacityTrace().back().deadLines, 1u);
+    // Bank 1 is untouched.
+    EXPECT_EQ(fm.sparesUsed(1), 0u);
+}
+
+TEST(FaultModel, TransientFailuresRequestBoundedRetries)
+{
+    FaultConfig f = smallConfig();
+    f.transientFailProb = 0.9;
+    f.maxRetries = 2;
+    f.enduranceScale = 1e9; // never wears out
+    FaultModel fm(f);
+
+    // Drive writes the way the controller does: resolve the line
+    // through the indirection table at issue, and reissue with
+    // retries+1 on a Retry verdict.
+    unsigned retries_seen = 0;
+    for (int w = 0; w < 50; ++w) {
+        unsigned retries = 0;
+        for (;;) {
+            std::uint64_t line = fm.remap(0, 5);
+            WriteVerdict v =
+                fm.verifyWrite(0, line, 1e-12, 1.0, retries, 100 + w);
+            if (v != WriteVerdict::Retry)
+                break;
+            ++retries_seen;
+            ASSERT_LT(retries, f.maxRetries)
+                << "Retry verdict beyond maxRetries";
+            ++retries;
+        }
+    }
+    EXPECT_GT(fm.stats().transientFailures, 0u);
+    EXPECT_GT(retries_seen, 0u);
+    EXPECT_EQ(fm.stats().retriesRequested, retries_seen);
+    EXPECT_EQ(fm.retriesForBank(0), retries_seen);
+    EXPECT_EQ(fm.retriesForBank(1), 0u);
+    // With p=0.9 and only 2 retries, some requests must have failed
+    // all attempts and escalated to the permanent-fault path.
+    EXPECT_GT(fm.stats().permanentFaults, 0u);
+}
+
+TEST(FaultModel, SlowerPulsesFailVerificationLess)
+{
+    FaultConfig f;
+    f.numBanks = 2;
+    f.blocksPerBank = 1024;
+    f.transientFailProb = 0.5;
+    f.enduranceSigma = 0.0;
+    f.enduranceScale = 1e9;
+    f.maxRetries = 3;
+    FaultModel fm(f);
+
+    // One write per line; each line is an independent hash draw.
+    std::uint64_t fast_fails = 0, slow_fails = 0;
+    for (std::uint64_t line = 0; line < 1000; ++line) {
+        std::uint64_t before = fm.stats().transientFailures;
+        fm.verifyWrite(0, line, 1e-12, 1.0, 0, 1);
+        fast_fails += fm.stats().transientFailures - before;
+
+        before = fm.stats().transientFailures;
+        fm.verifyWrite(1, line, 1e-12, 10.0, 0, 1);
+        slow_fails += fm.stats().transientFailures - before;
+    }
+    // Effective probability divides by the pulse factor: ~500 vs ~50.
+    EXPECT_GT(fast_fails, 350u);
+    EXPECT_LT(slow_fails, 150u);
+    EXPECT_GT(fast_fails, 2 * slow_fails);
+}

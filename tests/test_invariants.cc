@@ -401,6 +401,118 @@ TEST(WearQuotaChecker, DetectsStaleExceedQuota)
               std::string::npos);
 }
 
+// --- FaultChecker --------------------------------------------------
+
+TEST(FaultChecker, PassesOnConsistentSnapshot)
+{
+    FaultChecker::Snapshot s;
+    s.repairEntriesPerLine = 2;
+    s.spareLinesPerBank = 4;
+    s.maxRepairsOnLine = 2;
+    s.repairsUsed = 5;
+    s.retiredLines = 3;
+    s.remapEntries = 3;
+    s.deadLines = 1;
+    s.permanentFaults = 9; // 5 repairs + 3 retirements + 1 dead
+    s.maxSparesUsed = 3;
+    s.firstFaultTick = 100;
+    s.firstUncorrectableTick = 900;
+    s.retriesRequested = 7;
+    s.ctrlRetriedWrites = 7;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(FaultChecker, DetectsWriteReachingRetiredLine)
+{
+    FaultChecker::Snapshot s;
+    s.writesToRetiredLines = 2;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_NE(v[0].message.find("retired"), std::string::npos);
+}
+
+TEST(FaultChecker, DetectsCorruptRemapTable)
+{
+    FaultChecker::Snapshot s;
+    s.retiredLines = 2;
+    s.remapEntries = 2;
+    s.permanentFaults = 2;
+    s.firstFaultTick = 50;
+    s.remapValid = false;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    ASSERT_EQ(v.size(), 1u);
+}
+
+TEST(FaultChecker, DetectsBudgetAndAccountingViolations)
+{
+    FaultChecker::Snapshot s;
+    s.repairEntriesPerLine = 1;
+    s.maxRepairsOnLine = 2;  // over the per-line ECP budget
+    s.spareLinesPerBank = 2;
+    s.maxSparesUsed = 3;     // over the spare pool
+    s.repairsUsed = 2;
+    s.retiredLines = 1;
+    s.remapEntries = 1;
+    s.deadLines = 0;
+    s.permanentFaults = 4;   // != 2 + 1 + 0
+    s.firstFaultTick = 10;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(FaultChecker, DetectsInconsistentFirstFaultTimestamps)
+{
+    FaultChecker::Snapshot s;
+    // Faults recorded but no first-fault tick; a dead line stamped
+    // before the first fault.
+    s.repairsUsed = 1;
+    s.permanentFaults = 2;
+    s.deadLines = 1;
+    s.firstFaultTick = 0;
+    s.firstUncorrectableTick = 5;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    EXPECT_FALSE(v.empty());
+}
+
+TEST(FaultChecker, DetectsRetryCounterMismatch)
+{
+    FaultChecker::Snapshot s;
+    s.retriesRequested = 3;
+    s.ctrlRetriedWrites = 2;
+    auto v = collect("fault", [&](ViolationSink &sink) {
+        FaultChecker::evaluate(s, sink);
+    });
+    ASSERT_EQ(v.size(), 1u);
+}
+
+TEST(FaultChecker, InstalledOnlyWhenFaultInjectionIsOn)
+{
+    SystemConfig cfg;
+    cfg.workloadName = "lbm";
+    cfg.policy = policies::beMellow().withSC().withWQ();
+    cfg.instructions = 200'000;
+    cfg.warmupInstructions = 50'000;
+    cfg.memory.fault.enabled = true;
+    System sys(cfg);
+    sys.run();
+    InvariantRegistry reg;
+    installStandardCheckers(reg, sys.eventQueue(), sys.memory());
+    // Event queue + 4 per-channel checkers + quota + fault.
+    EXPECT_EQ(reg.numCheckers(), 7u);
+    EXPECT_EQ(reg.runAudit(sys.eventQueue().curTick()), 0u);
+}
+
 // --- InvariantRegistry ---------------------------------------------
 
 TEST(InvariantRegistry, CleanAuditReportsNothing)

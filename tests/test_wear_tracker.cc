@@ -82,6 +82,26 @@ TEST(WearTracker, LifetimeInfiniteWithoutWrites)
     EXPECT_TRUE(std::isinf(t.lifetimeSeconds(kSecond)));
 }
 
+TEST(WearTracker, LifetimeAtZeroSimTimeIsInfiniteNotNaN)
+{
+    // Regression: asking for a lifetime before the clock has advanced
+    // (e.g. a report generated at tick 0) used to divide by zero.
+    // With wear but no time — or neither — the answer is +inf, never
+    // NaN, so min-over-banks and downstream report math stay sane.
+    EnduranceModel model;
+    WearTracker t(smallConfig(), model);
+    t.recordWrite(0, 0, kNorm, false);
+    EXPECT_TRUE(std::isinf(t.lifetimeSeconds(0)));
+    EXPECT_TRUE(std::isinf(t.bankLifetimeSeconds(0, 0)));
+    EXPECT_FALSE(std::isnan(t.lifetimeYears(0)));
+    EXPECT_TRUE(std::isinf(t.lifetimeYears(0)));
+
+    // Zero wear with zero time (0/0) must also be +inf, not NaN.
+    WearTracker untouched(smallConfig(), model);
+    EXPECT_TRUE(std::isinf(untouched.lifetimeSeconds(0)));
+    EXPECT_FALSE(std::isnan(untouched.lifetimeYears(0)));
+}
+
 TEST(WearTracker, LifetimeMatchesClosedForm)
 {
     EnduranceModel model;

@@ -29,6 +29,11 @@ echo "==> [3/4] determinism audit"
     300000 50000 1 2
 ./build-asan/tools/determinism_check lbm BE-Mellow+SC \
     300000 50000 7 2
+# Same audit with fault injection layered on: the per-line endurance
+# draws, write-verify retries, repairs, retirements and remapping must
+# all replay byte-identically too (trailing 1 = faults on).
+./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
+    200000 50000 1 2 1
 
 echo "==> [4/4] clang-tidy"
 tools/lint.sh --build-dir build-asan

@@ -14,11 +14,15 @@
  *
  * Usage:
  *   determinism_check [workload] [policy] [instructions] [warmup]
- *                     [seed] [runs]
+ *                     [seed] [runs] [faults(0|1)]
  *
  * Defaults exercise a representative configuration: the stream
  * workload under BE-Mellow+SC+WQ (eager queue, cancellation and Wear
- * Quota all active).
+ * Quota all active). With faults=1 an aggressive fault-injection
+ * configuration is layered on top (tiny endurance, heavy variation,
+ * transient verify failures) so the fault RNG draws, retries,
+ * repairs, retirements and remap traffic are all covered by the
+ * byte-identical same-seed audit.
  */
 
 #include <cinttypes>
@@ -92,6 +96,17 @@ fingerprint(System &sys, const SimReport &r)
     line(out, "totalEnergyPj", r.totalEnergyPj);
     line(out, "quotaPeriods", r.quotaPeriods);
     line(out, "quotaSlowOnlyPeriods", r.quotaSlowOnlyPeriods);
+    line(out, "writeRetries", r.writeRetries);
+    line(out, "transientWriteFailures", r.transientWriteFailures);
+    line(out, "permanentFaults", r.permanentFaults);
+    line(out, "faultRepairsUsed", r.faultRepairsUsed);
+    line(out, "retiredLines", r.retiredLines);
+    line(out, "deadLines", r.deadLines);
+    line(out, "firstFaultTick",
+         static_cast<std::uint64_t>(r.firstFaultTick));
+    line(out, "firstUncorrectableTick",
+         static_cast<std::uint64_t>(r.firstUncorrectableTick));
+    line(out, "effectiveCapacityFraction", r.effectiveCapacityFraction);
 
     MemorySystem &mem = sys.memory();
     for (unsigned c = 0; c < mem.numChannels(); ++c) {
@@ -113,6 +128,20 @@ fingerprint(System &sys, const SimReport &r)
                 std::snprintf(buf, sizeof(buf), "%.17g",
                               q->bankWear(b));
                 out << buf << ' ' << q->slowOnlyPeriods(b) << '\n';
+            }
+        }
+        if (const FaultModel *fm = ctrl.faultModel()) {
+            for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
+                out << "ch" << c << ".fault" << b << ' '
+                    << fm->sparesUsed(b) << ' ' << fm->retriesForBank(b)
+                    << '\n';
+            }
+            // The capacity trace is appended in event order, so its
+            // exact sequence must replay too.
+            for (const CapacitySample &cs : fm->capacityTrace()) {
+                out << "ch" << c << ".trace "
+                    << static_cast<std::uint64_t>(cs.tick) << ' '
+                    << cs.retiredLines << ' ' << cs.deadLines << '\n';
             }
         }
     }
@@ -162,10 +191,12 @@ main(int argc, char **argv)
                         ? static_cast<unsigned>(
                               std::strtoul(argv[6], nullptr, 10))
                         : 2;
+    bool faults =
+        argc > 7 && std::strtoul(argv[7], nullptr, 10) != 0;
     if (instructions == 0 || runs < 2) {
         std::fprintf(stderr,
                      "usage: %s [workload] [policy] [instructions] "
-                     "[warmup] [seed] [runs>=2]\n",
+                     "[warmup] [seed] [runs>=2] [faults(0|1)]\n",
                      argv[0]);
         return 2;
     }
@@ -180,6 +211,20 @@ main(int argc, char **argv)
         cfg.instructions = instructions;
         cfg.warmupInstructions = warmup;
         cfg.seed = seed;
+        if (faults) {
+            // Aggressive settings so every fault path fires within a
+            // short run: near-instant endurance exhaustion, a heavy
+            // weak-line tail, frequent verify failures, and repair /
+            // spare pools small enough to exhaust.
+            FaultConfig &f = cfg.memory.fault;
+            f.enabled = true;
+            f.enduranceScale = 5e-7;
+            f.enduranceSigma = 1.0;
+            f.transientFailProb = 0.02;
+            f.maxRetries = 3;
+            f.repairEntriesPerLine = 1;
+            f.spareLinesPerBank = 8;
+        }
 
         System sys(cfg);
         SimReport r = sys.run();
