@@ -83,12 +83,12 @@ main()
 
             Rng rng(42);
             for (std::uint64_t i = 0; i < kWrites; ++i) {
-                t.recordWrite(0, nextBlock(skew, rng),
+                t.recordWrite(BankId(0), DeviceAddr(nextBlock(skew, rng)),
                               150 * kNanosecond, false);
             }
 
-            double ratio = t.maxBlockWear(0) / t.meanBlockWear(0);
-            std::uint64_t maint = t.bankStats(0).gapMoveWrites;
+            double ratio = t.maxBlockWear(BankId(0)) / t.meanBlockWear(BankId(0));
+            std::uint64_t maint = t.bankStats(BankId(0)).gapMoveWrites;
             std::printf("%-11s %-18s %10.2f %12llu %11.2f%%\n",
                         skewName(skew), wearLevelerKindName(kind),
                         ratio, static_cast<unsigned long long>(maint),

@@ -34,15 +34,15 @@ main()
             EnduranceParams p;
             p.expoFactor = e;
             EnduranceModel m(p);
-            std::printf(" %-13.4g", m.enduranceAtFactor(n));
+            std::printf(" %-13.4g", m.enduranceAtFactor(PulseFactor(n)));
         }
         std::printf("\n");
     }
 
     std::printf("\nTable II check (expo=2.0): 1.5x=%.4g 2x=%.4g 3x=%.4g "
                 "writes\n",
-                EnduranceModel{}.enduranceAtFactor(1.5),
-                EnduranceModel{}.enduranceAtFactor(2.0),
-                EnduranceModel{}.enduranceAtFactor(3.0));
+                EnduranceModel{}.enduranceAtFactor(PulseFactor(1.5)),
+                EnduranceModel{}.enduranceAtFactor(PulseFactor(2.0)),
+                EnduranceModel{}.enduranceAtFactor(PulseFactor(3.0)));
     return 0;
 }

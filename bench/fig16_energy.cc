@@ -30,7 +30,7 @@ main()
     for (const auto &p : policies) {
         auto vals = normalizedMetric(reports, wl, p.name, "Norm",
                                      [](const SimReport &r) {
-                                         return r.totalEnergyPj;
+                                         return r.totalEnergyPj.value();
                                      });
         series(p.name, wl, vals);
     }
@@ -40,14 +40,15 @@ main()
     for (const std::string &w : wl) {
         const SimReport &r = findReport(reports, w, "BE-Mellow+SC+WQ");
         std::printf("%-12s %12.4f %12.4f\n", w.c_str(),
-                    r.readEnergyPj * 1e-9, r.writeEnergyPj * 1e-9);
+                    r.readEnergyPj.value() * 1e-9,
+                    r.writeEnergyPj.value() * 1e-9);
     }
 
     std::printf("\nHeadline check: BE-Mellow+SC+WQ geomean energy vs "
                 "Norm: %.3fx (paper: ~1.39x)\n",
                 geoMeanNormalized(reports, wl, "BE-Mellow+SC+WQ",
                                   "Norm", [](const SimReport &r) {
-                                      return r.totalEnergyPj;
+                                      return r.totalEnergyPj.value();
                                   }));
     return 0;
 }

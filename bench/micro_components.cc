@@ -69,7 +69,7 @@ BM_CacheAccess(benchmark::State &state)
     SetAssocCache cache(cfg);
     Rng rng(3);
     for (auto _ : state) {
-        Addr addr = rng.nextBounded(1 << 16) * kBlockSize;
+        LogicalAddr addr(rng.nextBounded(1 << 16) * kBlockSize);
         if (!cache.access(addr, false).hit)
             cache.insert(addr, false);
     }
@@ -97,7 +97,7 @@ BM_ControllerReadPath(benchmark::State &state)
     Rng rng(11);
     std::uint64_t done = 0;
     for (auto _ : state) {
-        ctrl.read(rng.nextBounded(1 << 24) * kBlockSize,
+        ctrl.read(LogicalAddr(rng.nextBounded(1 << 24) * kBlockSize),
                   [&done] { ++done; });
         eq.run(eq.curTick() + 200 * kNanosecond);
     }

@@ -21,16 +21,16 @@ SetAssocCache::SetAssocCache(const CacheConfig &config) : _config(config)
 }
 
 std::uint64_t
-SetAssocCache::setIndex(Addr addr) const
+SetAssocCache::setIndex(LogicalAddr addr) const
 {
-    return (addr >> kBlockShift) & (_numSets - 1);
+    return blockNumber(addr) & (_numSets - 1);
 }
 
 CacheAccessResult
-SetAssocCache::access(Addr addr, bool isWrite, bool updateLru,
+SetAssocCache::access(LogicalAddr addr, bool isWrite, bool updateLru,
                       std::uint32_t stamp)
 {
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
     auto &set = _sets[setIndex(addr)];
     _lastWriteWastedEager = false;
 
@@ -57,9 +57,9 @@ SetAssocCache::access(Addr addr, bool isWrite, bool updateLru,
 }
 
 bool
-SetAssocCache::probe(Addr addr) const
+SetAssocCache::probe(LogicalAddr addr) const
 {
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
     const auto &set = _sets[setIndex(addr)];
     for (const CacheLine &line : set) {
         if (line.valid && line.blockAddr == block)
@@ -69,9 +69,9 @@ SetAssocCache::probe(Addr addr) const
 }
 
 CacheVictim
-SetAssocCache::insert(Addr addr, bool dirty, std::uint32_t stamp)
+SetAssocCache::insert(LogicalAddr addr, bool dirty, std::uint32_t stamp)
 {
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
     auto &set = _sets[setIndex(addr)];
     panic_if(probe(addr), "%s: inserting a line already present",
              _config.name.c_str());
@@ -95,9 +95,9 @@ SetAssocCache::insert(Addr addr, bool dirty, std::uint32_t stamp)
 }
 
 bool
-SetAssocCache::cleanLineForEagerWrite(Addr addr)
+SetAssocCache::cleanLineForEagerWrite(LogicalAddr addr)
 {
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
     auto &set = _sets[setIndex(addr)];
     for (CacheLine &line : set) {
         if (line.valid && line.blockAddr == block) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -33,7 +34,7 @@ struct CacheConfig
 /** One cache line. */
 struct CacheLine
 {
-    Addr blockAddr = 0; ///< block-aligned address
+    LogicalAddr blockAddr{0}; ///< block-aligned address
     bool valid = false;
     bool dirty = false;
     /**
@@ -62,7 +63,7 @@ struct CacheVictim
 {
     bool valid = false; ///< an occupied line was evicted
     bool dirty = false;
-    Addr blockAddr = 0;
+    LogicalAddr blockAddr{0};
 };
 
 /**
@@ -82,46 +83,54 @@ class SetAssocCache
      *                   level, which should not promote the line.
      * @param stamp      Recency stamp recorded on the line on a hit.
      */
-    CacheAccessResult access(Addr addr, bool isWrite,
+    CacheAccessResult access(LogicalAddr addr, bool isWrite,
                              bool updateLru = true,
                              std::uint32_t stamp = 0);
 
     /** Non-destructive lookup (no LRU update, no dirtying). */
-    bool probe(Addr addr) const;
+    [[nodiscard]] bool probe(LogicalAddr addr) const;
 
     /**
      * Allocate a line for @p addr at MRU (evicting LRU if the set is
      * full) and return the victim. @p addr must not be present.
      */
-    CacheVictim insert(Addr addr, bool dirty, std::uint32_t stamp = 0);
+    CacheVictim insert(LogicalAddr addr, bool dirty,
+                       std::uint32_t stamp = 0);
 
     /**
      * Mark the line holding @p addr clean and remember it was eagerly
      * cleaned. No-op if absent.
      * @retval true the line was present and dirty.
      */
-    bool cleanLineForEagerWrite(Addr addr);
+    bool cleanLineForEagerWrite(LogicalAddr addr);
 
     /** Number of sets. */
-    std::uint64_t numSets() const { return _numSets; }
-    unsigned assoc() const { return _config.assoc; }
-    Tick hitLatency() const { return _config.hitLatency; }
-    const CacheConfig &config() const { return _config; }
+    [[nodiscard]] std::uint64_t numSets() const { return _numSets; }
+    [[nodiscard]] unsigned assoc() const { return _config.assoc; }
+    [[nodiscard]] Tick hitLatency() const
+    {
+        return _config.hitLatency;
+    }
+    [[nodiscard]] const CacheConfig &config() const { return _config; }
 
     /**
      * Lines of one set ordered by recency: index 0 is MRU. Exposed
      * for the eager scanner's random-set walks.
      */
-    const std::vector<CacheLine> &set(std::uint64_t index) const;
+    [[nodiscard]] const std::vector<CacheLine> &
+    set(std::uint64_t index) const;
 
     /** Count of valid dirty lines over the whole array (tests). */
-    std::uint64_t countDirtyLines() const;
+    [[nodiscard]] std::uint64_t countDirtyLines() const;
 
     /** True iff a store re-dirtied an eagerly cleaned line. */
-    bool lastWriteWastedEager() const { return _lastWriteWastedEager; }
+    [[nodiscard]] bool lastWriteWastedEager() const
+    {
+        return _lastWriteWastedEager;
+    }
 
   private:
-    std::uint64_t setIndex(Addr addr) const;
+    [[nodiscard]] std::uint64_t setIndex(LogicalAddr addr) const;
 
     CacheConfig _config;
     std::uint64_t _numSets;

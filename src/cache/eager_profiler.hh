@@ -59,23 +59,23 @@ class EagerProfiler
      * candidates. Equals assoc (nothing useless) until the first
      * period with traffic completes.
      */
-    unsigned uselessFrom() const { return _uselessFrom; }
+    [[nodiscard]] unsigned uselessFrom() const { return _uselessFrom; }
 
     /** True iff stack position @p lruPos is currently useless. */
-    bool isUseless(unsigned lruPos) const
+    [[nodiscard]] bool isUseless(unsigned lruPos) const
     {
         return lruPos >= _uselessFrom;
     }
 
     /** Counters for introspection/benches (current period). */
-    const std::vector<std::uint64_t> &hitCounters() const
+    [[nodiscard]] const std::vector<std::uint64_t> &hitCounters() const
     {
         return _hits;
     }
-    std::uint64_t missCounter() const { return _misses; }
-    std::uint64_t periods() const { return _periods; }
+    [[nodiscard]] std::uint64_t missCounter() const { return _misses; }
+    [[nodiscard]] std::uint64_t periods() const { return _periods; }
 
-    const EagerProfilerConfig &config() const { return _config; }
+    [[nodiscard]] const EagerProfilerConfig &config() const { return _config; }
 
   private:
     EagerProfilerConfig _config;

@@ -15,13 +15,13 @@ Hierarchy::Hierarchy(EventQueue &eventq, const HierarchyConfig &config,
 }
 
 void
-Hierarchy::writeIntoLlc(Addr blockAddr)
+Hierarchy::writeIntoLlc(LogicalAddr blockAddr)
 {
     _llc.writebackFromUpper(blockAddr);
 }
 
 void
-Hierarchy::writeIntoL2(Addr blockAddr)
+Hierarchy::writeIntoL2(LogicalAddr blockAddr)
 {
     CacheAccessResult res =
         _l2.access(blockAddr, /*isWrite=*/true, /*updateLru=*/false);
@@ -33,7 +33,7 @@ Hierarchy::writeIntoL2(Addr blockAddr)
 }
 
 void
-Hierarchy::fillUpper(Addr blockAddr, bool dirtyInL1)
+Hierarchy::fillUpper(LogicalAddr blockAddr, bool dirtyInL1)
 {
     if (!_l2.probe(blockAddr)) {
         CacheVictim victim = _l2.insert(blockAddr, /*dirty=*/false);
@@ -50,10 +50,10 @@ Hierarchy::fillUpper(Addr blockAddr, bool dirtyInL1)
 }
 
 AccessTicket
-Hierarchy::access(Addr addr, bool isWrite, Callback done)
+Hierarchy::access(LogicalAddr addr, bool isWrite, Callback done)
 {
     ++_stats.accesses;
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
 
     // L1.
     CacheAccessResult l1_res = _l1.access(block, isWrite);
@@ -111,18 +111,19 @@ Hierarchy::access(Addr addr, bool isWrite, Callback done)
 }
 
 void
-Hierarchy::prime(Addr addr, bool isWrite)
+Hierarchy::prime(LogicalAddr addr, bool isWrite)
 {
-    Addr block = addr & ~Addr(kBlockSize - 1);
+    LogicalAddr block = blockAlign(addr);
+    // Victims dropped deliberately: warm-up only.
     if (!_l1.access(block, isWrite).hit)
-        _l1.insert(block, isWrite); // victims dropped: warm-up only
+        (void)_l1.insert(block, isWrite);
     if (!_l2.access(block, false).hit)
-        _l2.insert(block, false);
+        (void)_l2.insert(block, false);
     _llc.prime(block, isWrite);
 }
 
 void
-Hierarchy::onFill(Addr blockAddr)
+Hierarchy::onFill(LogicalAddr blockAddr)
 {
     auto it = _mshrs.find(blockAddr);
     panic_if(it == _mshrs.end(), "fill for an unknown MSHR");

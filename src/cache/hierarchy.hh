@@ -85,7 +85,7 @@ class Hierarchy
      * @param done     Fired at completion for Miss outcomes.
      * @return Issue-time ticket (see AccessOutcome).
      */
-    AccessTicket access(Addr addr, bool isWrite, Callback done);
+    AccessTicket access(LogicalAddr addr, bool isWrite, Callback done);
 
     /**
      * Register the (single) consumer to poke when a Blocked access
@@ -98,14 +98,17 @@ class Hierarchy
      * in all levels with no timing, statistics, or memory traffic.
      * Victims are dropped silently.
      */
-    void prime(Addr addr, bool isWrite);
+    void prime(LogicalAddr addr, bool isWrite);
 
-    const HierarchyStats &stats() const { return _stats; }
-    Llc &llc() { return _llc; }
-    const Llc &llc() const { return _llc; }
+    [[nodiscard]] const HierarchyStats &stats() const { return _stats; }
+    [[nodiscard]] Llc &llc() { return _llc; }
+    [[nodiscard]] const Llc &llc() const { return _llc; }
 
     /** Outstanding LLC misses (MSHR occupancy). */
-    std::size_t outstandingMisses() const { return _mshrs.size(); }
+    [[nodiscard]] std::size_t outstandingMisses() const
+    {
+        return _mshrs.size();
+    }
 
   private:
     struct MshrWaiter
@@ -114,11 +117,11 @@ class Hierarchy
         Callback done;
     };
 
-    void onFill(Addr blockAddr);
-    void writeIntoL2(Addr blockAddr);
-    void writeIntoLlc(Addr blockAddr);
+    void onFill(LogicalAddr blockAddr);
+    void writeIntoL2(LogicalAddr blockAddr);
+    void writeIntoLlc(LogicalAddr blockAddr);
     /** Install a block into L2 and L1 after an LLC hit or fill. */
-    void fillUpper(Addr blockAddr, bool dirtyInL1);
+    void fillUpper(LogicalAddr blockAddr, bool dirtyInL1);
 
     EventQueue &_eventq;
     HierarchyConfig _config;
@@ -127,7 +130,7 @@ class Hierarchy
     SetAssocCache _l2;
     Llc _llc;
 
-    std::unordered_map<Addr, std::vector<MshrWaiter>> _mshrs;
+    std::unordered_map<LogicalAddr, std::vector<MshrWaiter>> _mshrs;
     bool _blockedEpisode = false;
     Callback _retryCb;
 

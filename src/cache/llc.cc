@@ -35,7 +35,7 @@ Llc::onSamplePeriod()
 }
 
 CacheAccessResult
-Llc::access(Addr addr, bool isWrite)
+Llc::access(LogicalAddr addr, bool isWrite)
 {
     if (isWrite)
         ++_stats.demandWrites;
@@ -71,7 +71,7 @@ Llc::handleVictim(const CacheVictim &victim)
 }
 
 void
-Llc::writebackFromUpper(Addr addr)
+Llc::writebackFromUpper(LogicalAddr addr)
 {
     ++_stats.demandWrites;
     CacheAccessResult res = _array.access(addr, /*isWrite=*/true,
@@ -91,7 +91,7 @@ Llc::writebackFromUpper(Addr addr)
 }
 
 void
-Llc::fillFromMemory(Addr addr)
+Llc::fillFromMemory(LogicalAddr addr)
 {
     // A concurrent upper-level write back may have raced the fill in.
     if (_array.probe(addr))
@@ -100,11 +100,13 @@ Llc::fillFromMemory(Addr addr)
 }
 
 void
-Llc::prime(Addr addr, bool dirty)
+Llc::prime(LogicalAddr addr, bool dirty)
 {
     CacheAccessResult res = _array.access(addr, dirty);
-    if (!res.hit)
-        _array.insert(addr, dirty); // victim dropped: warm-up only
+    if (!res.hit) {
+        // Victim dropped deliberately: warm-up only.
+        (void)_array.insert(addr, dirty);
+    }
 }
 
 bool

@@ -89,42 +89,50 @@ class Llc
      * Updates LRU, profiler counters and dirty state; on a write to
      * an eagerly-cleaned line, counts the waste.
      */
-    CacheAccessResult access(Addr addr, bool isWrite);
+    CacheAccessResult access(LogicalAddr addr, bool isWrite);
 
     /** Write back from L2 (no LRU promotion; allocates on miss). */
-    void writebackFromUpper(Addr addr);
+    void writebackFromUpper(LogicalAddr addr);
 
     /** Install a line fetched from memory (clean). */
-    void fillFromMemory(Addr addr);
+    void fillFromMemory(LogicalAddr addr);
 
     /** Warm-up touch: no statistics, no profiler, no memory traffic. */
-    void prime(Addr addr, bool dirty);
+    void prime(LogicalAddr addr, bool dirty);
 
-    const LlcStats &stats() const { return _stats; }
+    [[nodiscard]] const LlcStats &stats() const { return _stats; }
 
     /**
      * Whole-run hit counts per LRU stack position (the profiler's own
      * counters reset every T_sample; these never reset). Drives the
      * Figure 7 reproduction.
      */
-    const std::vector<std::uint64_t> &cumulativeHitsByPos() const
+    [[nodiscard]] const std::vector<std::uint64_t> &
+    cumulativeHitsByPos() const
     {
         return _cumHits;
     }
 
-    const EagerProfiler &profiler() const { return _profiler; }
-    const SetAssocCache &array() const { return _array; }
-    const LlcConfig &config() const { return _config; }
+    [[nodiscard]] const EagerProfiler &profiler() const
+    {
+        return _profiler;
+    }
+    [[nodiscard]] const SetAssocCache &array() const { return _array; }
+    [[nodiscard]] const LlcConfig &config() const { return _config; }
 
     /** Current profiling period number (the decay stamp domain). */
-    std::uint32_t currentPeriod() const { return _period; }
+    [[nodiscard]] std::uint32_t currentPeriod() const
+    {
+        return _period;
+    }
 
   private:
     void onSamplePeriod();
     void onScan();
     void handleVictim(const CacheVictim &victim);
     /** Eager candidacy test for one line under the active selector. */
-    bool eagerCandidate(const CacheLine &line, unsigned pos) const;
+    [[nodiscard]] bool eagerCandidate(const CacheLine &line,
+                                      unsigned pos) const;
 
     EventQueue &_eventq;
     LlcConfig _config;

@@ -38,7 +38,7 @@ countInFlightWrites(const MemoryController &ctrl, std::uint64_t *demand,
 {
     *demand = *eager = *paused = 0;
     for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
-        const Bank &bank = ctrl.bank(b);
+        const Bank &bank = ctrl.bank(BankId(b));
         if (bank.hasPausedWrite())
             ++*paused;
         if (!bank.writeInFlight() && !bank.hasPausedWrite())
@@ -190,7 +190,7 @@ RequestConservationChecker::evaluate(const Snapshot &s,
 std::string
 RequestConservationChecker::name() const
 {
-    return logFormat("request-conservation/ch%u", _channel);
+    return logFormat("request-conservation/ch%u", _channel.value());
 }
 
 void
@@ -207,7 +207,7 @@ BankStateChecker::capture(const MemoryController &ctrl)
     Snapshot s;
     s.banks.reserve(ctrl.numBanks());
     for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
-        const Bank &bank = ctrl.bank(b);
+        const Bank &bank = ctrl.bank(BankId(b));
         BankSnapshot bs;
         bs.writing = bank.writeInFlight();
         bs.paused = bank.hasPausedWrite();
@@ -270,7 +270,7 @@ BankStateChecker::evaluate(const Snapshot &s, Tick now,
 std::string
 BankStateChecker::name() const
 {
-    return logFormat("bank-state/ch%u", _channel);
+    return logFormat("bank-state/ch%u", _channel.value());
 }
 
 void
@@ -287,7 +287,7 @@ WearConservationChecker::capture(const MemoryController &ctrl)
     const WearTracker &wear = ctrl.wearTracker();
     Snapshot s;
     for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
-        const BankWearStats &bw = wear.bankStats(b);
+        const BankWearStats &bw = wear.bankStats(BankId(b));
         s.trackerNormalWrites += bw.normalWrites;
         s.trackerSlowWrites += bw.slowWrites;
         s.trackerCancelledWrites += bw.cancelledWrites;
@@ -366,7 +366,7 @@ WearConservationChecker::evaluate(const Snapshot &s,
 std::string
 WearConservationChecker::name() const
 {
-    return logFormat("wear-conservation/ch%u", _channel);
+    return logFormat("wear-conservation/ch%u", _channel.value());
 }
 
 void
@@ -388,8 +388,8 @@ EnergyCrossChecker::capture(const MemoryController &ctrl)
     s.energyCancelledWrites = e.cancelledWrites;
     s.energyBufferReads = e.bufferReads;
     s.energyRowHitReads = e.rowHitReads;
-    s.readPj = e.readPj;
-    s.writePj = e.writePj;
+    s.readPj = e.readPj.value();
+    s.writePj = e.writePj.value();
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
     s.retriedWrites = st.retriedWrites.value();
@@ -453,7 +453,7 @@ EnergyCrossChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 EnergyCrossChecker::name() const
 {
-    return logFormat("energy-cross-check/ch%u", _channel);
+    return logFormat("energy-cross-check/ch%u", _channel.value());
 }
 
 void
@@ -473,9 +473,9 @@ WearQuotaChecker::capture(const WearQuota &quota, unsigned numBanks)
     s.banks.reserve(numBanks);
     for (unsigned b = 0; b < numBanks; ++b) {
         BankSnapshot bs;
-        bs.wear = quota.bankWear(b);
-        bs.exceed = quota.exceedQuota(b);
-        bs.slowOnlyPeriods = quota.slowOnlyPeriods(b);
+        bs.wear = quota.bankWear(BankId(b));
+        bs.exceed = quota.exceedQuota(BankId(b));
+        bs.slowOnlyPeriods = quota.slowOnlyPeriods(BankId(b));
         s.banks.push_back(bs);
     }
     return s;
@@ -523,7 +523,7 @@ WearQuotaChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 WearQuotaChecker::name() const
 {
-    return logFormat("wear-quota/ch%u", _channel);
+    return logFormat("wear-quota/ch%u", _channel.value());
 }
 
 void
@@ -641,7 +641,7 @@ FaultChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 FaultChecker::name() const
 {
-    return logFormat("fault/ch%u", _channel);
+    return logFormat("fault/ch%u", _channel.value());
 }
 
 void

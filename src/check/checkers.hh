@@ -68,7 +68,7 @@ class EventQueueChecker : public InvariantChecker
     {
     }
 
-    std::string name() const override { return "event-queue"; }
+    [[nodiscard]] std::string name() const override { return "event-queue"; }
     void check(Tick now, ViolationSink &sink) override;
 
   private:
@@ -111,17 +111,17 @@ class RequestConservationChecker : public InvariantChecker
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
     RequestConservationChecker(const MemoryController &ctrl,
-                               unsigned channel)
+                               ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 /** Audits per-bank device state machines. */
@@ -148,17 +148,17 @@ class BankStateChecker : public InvariantChecker
     static void evaluate(const Snapshot &s, Tick now,
                          ViolationSink &sink);
 
-    BankStateChecker(const MemoryController &ctrl, unsigned channel)
+    BankStateChecker(const MemoryController &ctrl, ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 /** Audits wear-accounting conservation against controller counters. */
@@ -186,17 +186,17 @@ class WearConservationChecker : public InvariantChecker
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
     WearConservationChecker(const MemoryController &ctrl,
-                            unsigned channel)
+                            ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 /** Cross-checks the energy model against controller statistics. */
@@ -225,17 +225,17 @@ class EnergyCrossChecker : public InvariantChecker
     static Snapshot capture(const MemoryController &ctrl);
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
-    EnergyCrossChecker(const MemoryController &ctrl, unsigned channel)
+    EnergyCrossChecker(const MemoryController &ctrl, ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 /** Audits Wear Quota bookkeeping (only meaningful with +WQ). */
@@ -259,17 +259,17 @@ class WearQuotaChecker : public InvariantChecker
     static Snapshot capture(const WearQuota &quota, unsigned numBanks);
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
-    WearQuotaChecker(const MemoryController &ctrl, unsigned channel)
+    WearQuotaChecker(const MemoryController &ctrl, ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 /** Audits fault-injection bookkeeping (see file comment). */
@@ -301,17 +301,17 @@ class FaultChecker : public InvariantChecker
     static Snapshot capture(const MemoryController &ctrl);
     static void evaluate(const Snapshot &s, ViolationSink &sink);
 
-    FaultChecker(const MemoryController &ctrl, unsigned channel)
+    FaultChecker(const MemoryController &ctrl, ChannelId channel)
         : _ctrl(ctrl), _channel(channel)
     {
     }
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     void check(Tick now, ViolationSink &sink) override;
 
   private:
     const MemoryController &_ctrl;
-    unsigned _channel;
+    ChannelId _channel;
 };
 
 } // namespace mellowsim

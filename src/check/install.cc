@@ -14,17 +14,18 @@ installStandardCheckers(InvariantRegistry &registry,
 {
     registry.add(std::make_unique<EventQueueChecker>(eventq));
     for (unsigned c = 0; c < memory.numChannels(); ++c) {
-        const MemoryController &ctrl = memory.channel(c);
+        const ChannelId ch(c);
+        const MemoryController &ctrl = memory.channel(ch);
         registry.add(
-            std::make_unique<RequestConservationChecker>(ctrl, c));
-        registry.add(std::make_unique<BankStateChecker>(ctrl, c));
+            std::make_unique<RequestConservationChecker>(ctrl, ch));
+        registry.add(std::make_unique<BankStateChecker>(ctrl, ch));
         registry.add(
-            std::make_unique<WearConservationChecker>(ctrl, c));
-        registry.add(std::make_unique<EnergyCrossChecker>(ctrl, c));
+            std::make_unique<WearConservationChecker>(ctrl, ch));
+        registry.add(std::make_unique<EnergyCrossChecker>(ctrl, ch));
         if (ctrl.wearQuota() != nullptr)
-            registry.add(std::make_unique<WearQuotaChecker>(ctrl, c));
+            registry.add(std::make_unique<WearQuotaChecker>(ctrl, ch));
         if (ctrl.faultModel() != nullptr)
-            registry.add(std::make_unique<FaultChecker>(ctrl, c));
+            registry.add(std::make_unique<FaultChecker>(ctrl, ch));
     }
 }
 

@@ -65,7 +65,7 @@ class ViolationSink
     }
 
     /** Violations recorded by any checker in this pass so far. */
-    std::size_t total() const { return _out.size(); }
+    [[nodiscard]] std::size_t total() const { return _out.size(); }
 
   private:
     std::string _checker;
@@ -80,7 +80,7 @@ class InvariantChecker
     virtual ~InvariantChecker() = default;
 
     /** Stable name used in violation reports, e.g. "bank-state". */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /**
      * Audit the invariant at simulation time @p now, reporting every

@@ -53,17 +53,17 @@ class InvariantRegistry
     /** End-of-simulation audit; same escalation as runAudit(). */
     void finalAudit(Tick now) { runAudit(now); }
 
-    const CheckConfig &config() const { return _config; }
-    std::size_t numCheckers() const { return _checkers.size(); }
+    [[nodiscard]] const CheckConfig &config() const { return _config; }
+    [[nodiscard]] std::size_t numCheckers() const { return _checkers.size(); }
 
     /** All violations found so far, in detection order. */
-    const std::vector<Violation> &violations() const
+    [[nodiscard]] const std::vector<Violation> &violations() const
     {
         return _violations;
     }
 
     /** Completed audit passes. */
-    std::uint64_t audits() const { return _audits; }
+    [[nodiscard]] std::uint64_t audits() const { return _audits; }
 
   private:
     CheckConfig _config;

@@ -159,8 +159,10 @@ TraceCore::process()
         ++_stats.memOps;
         if (_currentOp.isWrite) {
             ++_stats.stores;
+            // A workload op enters the logical address space here.
             AccessTicket t = _hierarchy.access(
-                _currentOp.addr, true, [this] { onStoreComplete(); });
+                LogicalAddr(_currentOp.addr), true,
+                [this] { onStoreComplete(); });
             if (t.outcome == AccessOutcome::Blocked) {
                 _waitingRetry = true;
                 return; // retry the same op when poked
@@ -172,7 +174,7 @@ TraceCore::process()
             ++_stats.loads;
             std::uint64_t id = _nextLoadId++;
             AccessTicket t = _hierarchy.access(
-                _currentOp.addr, false,
+                LogicalAddr(_currentOp.addr), false,
                 [this, id] { onLoadComplete(id); });
             if (t.outcome == AccessOutcome::Blocked) {
                 --_nextLoadId;

@@ -71,16 +71,16 @@ class TraceCore
     /** Begin execution; the core retires @p instrLimit instructions. */
     void start(std::uint64_t instrLimit);
 
-    bool done() const { return _done; }
+    [[nodiscard]] bool done() const { return _done; }
 
     /** Tick at which the last instruction dispatched. */
-    Tick finishTick() const { return _finishTick; }
+    [[nodiscard]] Tick finishTick() const { return _finishTick; }
 
     /** Instructions per (core) cycle over the whole run. */
-    double ipc() const;
+    [[nodiscard]] double ipc() const;
 
-    const CoreStats &stats() const { return _stats; }
-    const CoreConfig &config() const { return _config; }
+    [[nodiscard]] const CoreStats &stats() const { return _stats; }
+    [[nodiscard]] const CoreConfig &config() const { return _config; }
 
   private:
     struct LoadEntry

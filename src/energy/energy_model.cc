@@ -5,15 +5,15 @@
 namespace mellowsim
 {
 
-double
+Picojoules
 cellEnergyPj(CellType cell)
 {
     switch (cell) {
-      case CellType::CellA: return 0.1;
-      case CellType::CellB: return 0.2;
-      case CellType::CellC: return 0.4;
-      case CellType::CellD: return 0.8;
-      case CellType::CellE: return 1.6;
+      case CellType::CellA: return Picojoules(0.1);
+      case CellType::CellB: return Picojoules(0.2);
+      case CellType::CellC: return Picojoules(0.4);
+      case CellType::CellD: return Picojoules(0.8);
+      case CellType::CellE: return Picojoules(1.6);
     }
     panic("unknown cell type");
 }
@@ -33,27 +33,27 @@ cellTypeName(CellType cell)
 
 EnergyModel::EnergyModel(const EnergyParams &params) : _params(params)
 {
-    fatal_if(_params.peripheralWritePj < 0.0,
+    fatal_if(_params.peripheralWritePj < Picojoules(0.0),
              "peripheral write energy must be non-negative");
     fatal_if(_params.bitsPerWrite == 0, "bits per write must be positive");
     fatal_if(_params.slowCellEnergyFactor <= 0.0,
              "slow cell energy factor must be positive");
 }
 
-double
+Picojoules
 EnergyModel::writeEnergyPj(bool slow) const
 {
-    double cell = cellEnergyPj(_params.cell);
-    double peripheral = _params.peripheralWritePj;
+    Picojoules cell = cellEnergyPj(_params.cell);
+    Picojoules peripheral = _params.peripheralWritePj;
     if (slow) {
-        cell *= _params.slowCellEnergyFactor;
+        cell = cell * _params.slowCellEnergyFactor;
         peripheral = _params.peripheralSlowWritePj;
     }
     return peripheral +
            static_cast<double>(_params.bitsPerWrite) * cell;
 }
 
-double
+Picojoules
 EnergyModel::readEnergyPj(bool rowHit) const
 {
     return rowHit ? _params.rowHitReadPj : _params.bufferReadPj;
@@ -62,6 +62,7 @@ EnergyModel::readEnergyPj(bool rowHit) const
 double
 EnergyModel::slowNormalWriteRatio() const
 {
+    // Picojoules / Picojoules is dimensionless by construction.
     return writeEnergyPj(true) / writeEnergyPj(false);
 }
 

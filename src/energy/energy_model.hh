@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -36,11 +37,11 @@ namespace mellowsim
 /** The five ReRAM cell design points of Table V. */
 enum class CellType { CellA, CellB, CellC, CellD, CellE };
 
-/** Per-cell set/reset energy in pJ for a cell type (Table V). */
-double cellEnergyPj(CellType cell);
+/** Per-cell set/reset energy for a cell type (Table V). */
+[[nodiscard]] Picojoules cellEnergyPj(CellType cell);
 
 /** Printable name ("CellA", ...). */
-std::string cellTypeName(CellType cell);
+[[nodiscard]] std::string cellTypeName(CellType cell);
 
 /** All five cell types, for sweeps. */
 constexpr std::array<CellType, 5> kAllCellTypes = {
@@ -51,26 +52,26 @@ constexpr std::array<CellType, 5> kAllCellTypes = {
 struct EnergyParams
 {
     CellType cell = CellType::CellC;   ///< paper's Figure 16 choice
-    double peripheralWritePj = 197.6;  ///< normal-write peripheral
-    double peripheralSlowWritePj = 196.74; ///< slow-write peripheral
+    Picojoules peripheralWritePj{197.6};  ///< normal-write peripheral
+    Picojoules peripheralSlowWritePj{196.74}; ///< slow-write peripheral
     unsigned bitsPerWrite = 512;       ///< 64-byte line
     double slowCellEnergyFactor = 2.3; ///< 0.767x power * 3x time
-    double bufferReadPj = 1503.0;      ///< row-buffer-miss read
-    double rowHitReadPj = 100.0;       ///< row-buffer-hit read
+    Picojoules bufferReadPj{1503.0};   ///< row-buffer-miss read
+    Picojoules rowHitReadPj{100.0};    ///< row-buffer-hit read
 };
 
-/** Running totals, in pJ. */
+/** Running totals. */
 struct EnergyStats
 {
-    double readPj = 0.0;
-    double writePj = 0.0;
+    Picojoules readPj;
+    Picojoules writePj;
     std::uint64_t bufferReads = 0;
     std::uint64_t rowHitReads = 0;
     std::uint64_t normalWrites = 0;
     std::uint64_t slowWrites = 0;
     std::uint64_t cancelledWrites = 0;
 
-    double totalPj() const { return readPj + writePj; }
+    [[nodiscard]] Picojoules totalPj() const { return readPj + writePj; }
 };
 
 /**
@@ -81,14 +82,14 @@ class EnergyModel
   public:
     explicit EnergyModel(const EnergyParams &params = {});
 
-    /** Energy of one write at normal or slow speed, in pJ. */
-    double writeEnergyPj(bool slow) const;
+    /** Energy of one write at normal or slow speed. */
+    [[nodiscard]] Picojoules writeEnergyPj(bool slow) const;
 
-    /** Energy of one read, by row-buffer outcome, in pJ. */
-    double readEnergyPj(bool rowHit) const;
+    /** Energy of one read, by row-buffer outcome. */
+    [[nodiscard]] Picojoules readEnergyPj(bool rowHit) const;
 
     /** Ratio slow/normal write energy (Table VI rightmost column). */
-    double slowNormalWriteRatio() const;
+    [[nodiscard]] double slowNormalWriteRatio() const;
 
     /** Account one completed read. */
     void recordRead(bool rowHit);
@@ -102,8 +103,8 @@ class EnergyModel
      */
     void recordCancelledWrite(bool slow, double progress);
 
-    const EnergyStats &stats() const { return _stats; }
-    const EnergyParams &params() const { return _params; }
+    [[nodiscard]] const EnergyStats &stats() const { return _stats; }
+    [[nodiscard]] const EnergyParams &params() const { return _params; }
 
   private:
     EnergyParams _params;

@@ -44,16 +44,18 @@ FaultModel::FaultModel(const FaultConfig &config)
 }
 
 std::uint64_t
-FaultModel::lineKey(unsigned bank, std::uint64_t line) const
+FaultModel::lineKey(BankId bank, DeviceAddr line) const
 {
     // Lines per bank including the spare pool; keys never collide
     // across banks.
     std::uint64_t stride =
         _config.blocksPerBank + _config.spareLinesPerBank;
-    panic_if(line >= stride, "line %llu out of range (stride %llu)",
-             static_cast<unsigned long long>(line),
+    panic_if(line.value() >= stride,
+             "line %llu out of range (stride %llu)",
+             static_cast<unsigned long long>(line.value()),
              static_cast<unsigned long long>(stride));
-    return static_cast<std::uint64_t>(bank) * stride + line;
+    return static_cast<std::uint64_t>(bank.value()) * stride +
+           line.value();
 }
 
 double
@@ -85,7 +87,7 @@ FaultModel::drawEndurance(std::uint64_t key, std::uint64_t draw) const
 }
 
 FaultModel::LineState &
-FaultModel::touch(unsigned bank, std::uint64_t line)
+FaultModel::touch(BankId bank, DeviceAddr line)
 {
     std::uint64_t key = lineKey(bank, line);
     auto [it, inserted] = _lines.try_emplace(key);
@@ -96,24 +98,26 @@ FaultModel::touch(unsigned bank, std::uint64_t line)
     return it->second;
 }
 
-std::uint64_t
-FaultModel::remap(unsigned bank, std::uint64_t line) const
+DeviceAddr
+FaultModel::remap(BankId bank, LineIndex line) const
 {
     // Follow the retirement chain; each hop was remapped to a freshly
     // allocated spare, so the chain is acyclic by construction.
     std::uint64_t stride =
         _config.blocksPerBank + _config.spareLinesPerBank;
-    std::uint64_t key = static_cast<std::uint64_t>(bank) * stride + line;
+    std::uint64_t cur = line.value();
+    std::uint64_t key =
+        static_cast<std::uint64_t>(bank.value()) * stride + cur;
     for (auto it = _remap.find(key); it != _remap.end();
          it = _remap.find(key)) {
-        line = it->second;
-        key = static_cast<std::uint64_t>(bank) * stride + line;
+        cur = it->second;
+        key = static_cast<std::uint64_t>(bank.value()) * stride + cur;
     }
-    return line;
+    return DeviceAddr(cur);
 }
 
 void
-FaultModel::noteWriteIssued(unsigned bank, std::uint64_t line)
+FaultModel::noteWriteIssued(BankId bank, DeviceAddr line)
 {
     auto it = _lines.find(lineKey(bank, line));
     if (it != _lines.end() && it->second.retired)
@@ -121,7 +125,7 @@ FaultModel::noteWriteIssued(unsigned bank, std::uint64_t line)
 }
 
 WriteVerdict
-FaultModel::escalate(unsigned bank, std::uint64_t line,
+FaultModel::escalate(BankId bank, DeviceAddr line,
                      LineState &state, Tick now)
 {
     // Retired lines must never see traffic (the controller remaps at
@@ -130,7 +134,8 @@ FaultModel::escalate(unsigned bank, std::uint64_t line,
     panic_if(state.retired,
              "escalating a fault on already-retired line %llu of "
              "bank %u",
-             static_cast<unsigned long long>(line), bank);
+             static_cast<unsigned long long>(line.value()),
+             bank.value());
     ++_stats.permanentFaults;
     if (_stats.firstFaultTick == 0)
         _stats.firstFaultTick = now;
@@ -149,15 +154,16 @@ FaultModel::escalate(unsigned bank, std::uint64_t line,
         return WriteVerdict::Ok;
     }
 
-    if (_sparesUsed[bank] < _config.spareLinesPerBank) {
+    if (_sparesUsed[bank.value()] < _config.spareLinesPerBank) {
         // Retire the line; all future traffic is redirected to a
         // fresh bank-local spare through the indirection table.
         state.retired = true;
         ++_stats.retiredLines;
         std::uint64_t spare =
-            _config.blocksPerBank + _sparesUsed[bank]++;
+            _config.blocksPerBank + _sparesUsed[bank.value()]++;
         _remap[lineKey(bank, line)] = spare;
-        touch(bank, spare); // fresh endurance draw for the spare
+        // Fresh endurance draw for the spare.
+        touch(bank, DeviceAddr(spare));
         _capacityTrace.push_back(
             {now, _stats.retiredLines, _stats.deadLines});
         return WriteVerdict::Retired;
@@ -175,10 +181,12 @@ FaultModel::escalate(unsigned bank, std::uint64_t line,
 }
 
 WriteVerdict
-FaultModel::verifyWrite(unsigned bank, std::uint64_t line,
-                        double wearUnits, double pulseFactor,
+FaultModel::verifyWrite(BankId bankId, DeviceAddr deviceLine,
+                        double wearUnits, PulseFactor pulseFactor,
                         unsigned retriesSoFar, Tick now)
 {
+    const BankId bank = bankId;
+    const DeviceAddr line = deviceLine;
     LineState &state = touch(bank, line);
     if (state.dead) {
         // Already uncorrectable; count degraded-mode traffic but stop
@@ -193,14 +201,15 @@ FaultModel::verifyWrite(unsigned bank, std::uint64_t line,
     ++state.writes;
 
     if (_config.transientFailProb > 0.0) {
-        double p = _config.transientFailProb /
-                   std::max(1.0, pulseFactor);
+        // PulseFactor is >= 1 by construction, so the division only
+        // ever shrinks the failure probability.
+        double p = _config.transientFailProb / pulseFactor.value();
         if (hashUniform(lineKey(bank, line), state.writes,
                         kTransientSalt) < p) {
             ++_stats.transientFailures;
             if (retriesSoFar < _config.maxRetries) {
                 ++_stats.retriesRequested;
-                ++_bankRetries[bank];
+                ++_bankRetries[bank.value()];
                 return WriteVerdict::Retry;
             }
             // Retries exhausted: the cell would not switch even with
@@ -215,30 +224,32 @@ FaultModel::verifyWrite(unsigned bank, std::uint64_t line,
 }
 
 double
-FaultModel::lineEndurance(unsigned bank, std::uint64_t line)
+FaultModel::lineEndurance(BankId bank, DeviceAddr line)
 {
     return touch(bank, line).endurance;
 }
 
 bool
-FaultModel::lineRetired(unsigned bank, std::uint64_t line) const
+FaultModel::lineRetired(BankId bank, DeviceAddr line) const
 {
     auto it = _lines.find(lineKey(bank, line));
     return it != _lines.end() && it->second.retired;
 }
 
 std::uint64_t
-FaultModel::sparesUsed(unsigned bank) const
+FaultModel::sparesUsed(BankId bank) const
 {
-    panic_if(bank >= _sparesUsed.size(), "bank %u out of range", bank);
-    return _sparesUsed[bank];
+    panic_if(bank.value() >= _sparesUsed.size(), "bank %u out of range",
+             bank.value());
+    return _sparesUsed[bank.value()];
 }
 
 std::uint64_t
-FaultModel::retriesForBank(unsigned bank) const
+FaultModel::retriesForBank(BankId bank) const
 {
-    panic_if(bank >= _bankRetries.size(), "bank %u out of range", bank);
-    return _bankRetries[bank];
+    panic_if(bank.value() >= _bankRetries.size(),
+             "bank %u out of range", bank.value());
+    return _bankRetries[bank.value()];
 }
 
 double
@@ -255,6 +266,7 @@ FaultModel::remapTableValid() const
     std::uint64_t stride =
         _config.blocksPerBank + _config.spareLinesPerBank;
     std::unordered_set<std::uint64_t> targets;
+    // mlint: allow(unordered-iter): order-independent validity check.
     for (const auto &[key, spare] : _remap) {
         unsigned bank = static_cast<unsigned>(key / stride);
         // Targets must be distinct spare slots of the same bank.

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -132,6 +133,18 @@ enum class WriteVerdict
     Uncorrectable, ///< no spare left; data lost, line soldiers on
 };
 
+/**
+ * The no-fault half of the sanctioned LineIndex -> DeviceAddr
+ * boundary: with fault remapping disabled (or no FaultModel present)
+ * every logical line is its own device line. The other half is
+ * FaultModel::remap.
+ */
+[[nodiscard]] constexpr DeviceAddr
+deviceLineOf(LineIndex line)
+{
+    return DeviceAddr(line.value());
+}
+
 /** See file comment. */
 class FaultModel
 {
@@ -139,83 +152,91 @@ class FaultModel
     explicit FaultModel(const FaultConfig &config);
 
     /**
-     * Resolve a line through the retirement indirection table
-     * (identity for healthy lines; follows retirement chains when a
-     * spare itself retired). The controller applies this to every
-     * request at issue time, so retired lines are never written.
+     * Resolve a logical line to its current device line through the
+     * retirement indirection table (identity for healthy lines;
+     * follows retirement chains when a spare itself retired). The
+     * controller applies this to every request at issue time, so
+     * retired lines are never written. This is the sanctioned
+     * LineIndex -> DeviceAddr conversion (see strong_types.hh).
      */
-    std::uint64_t remap(unsigned bank, std::uint64_t line) const;
+    [[nodiscard]] DeviceAddr remap(BankId bank, LineIndex line) const;
 
     /**
-     * Note a write issued to the (post-remap) physical @p line. A
+     * Note a write issued to the (post-remap) device @p line. A
      * write reaching a retired line is a controller bug; it is
      * counted so the invariant checker can flag it.
      */
-    void noteWriteIssued(unsigned bank, std::uint64_t line);
+    void noteWriteIssued(BankId bank, DeviceAddr line);
 
     /**
      * Write-verify step, called when a pulse completes on the
-     * (post-remap) physical @p line.
+     * (post-remap) device @p line.
      *
      * @param wearUnits    Wear the pulse inflicted (EnduranceModel).
      * @param pulseFactor  Pulse time relative to the normal tWP.
      * @param retriesSoFar Retries this request has already used.
      * @param now          Completion tick (for first-fault metrics).
      */
-    WriteVerdict verifyWrite(unsigned bank, std::uint64_t line,
-                             double wearUnits, double pulseFactor,
+    WriteVerdict verifyWrite(BankId bank, DeviceAddr line,
+                             double wearUnits, PulseFactor pulseFactor,
                              unsigned retriesSoFar, Tick now);
 
     // --- Introspection ---------------------------------------------
-    const FaultStats &stats() const { return _stats; }
-    const FaultConfig &config() const { return _config; }
+    [[nodiscard]] const FaultStats &stats() const { return _stats; }
+    [[nodiscard]] const FaultConfig &config() const { return _config; }
 
     /** The endurance budget drawn for a line (draws it if needed). */
-    double lineEndurance(unsigned bank, std::uint64_t line);
+    [[nodiscard]] double lineEndurance(BankId bank, DeviceAddr line);
 
     /** True if the line has been retired (remapped away). */
-    bool lineRetired(unsigned bank, std::uint64_t line) const;
+    [[nodiscard]] bool lineRetired(BankId bank, DeviceAddr line) const;
 
     /** Spares consumed by one bank so far. */
-    std::uint64_t sparesUsed(unsigned bank) const;
+    [[nodiscard]] std::uint64_t sparesUsed(BankId bank) const;
 
     /** Write-verify retries requested on one bank. */
-    std::uint64_t retriesForBank(unsigned bank) const;
+    [[nodiscard]] std::uint64_t retriesForBank(BankId bank) const;
 
     /**
      * Fraction of lines still storing data reliably: 1 minus the
      * dead (uncorrectable) share. Retired-and-remapped lines do not
      * reduce it — that is the point of the spare pool.
      */
-    double effectiveCapacityFraction() const;
+    [[nodiscard]] double effectiveCapacityFraction() const;
 
     /** Retirement/death events in occurrence order. */
-    const std::vector<CapacitySample> &capacityTrace() const
+    [[nodiscard]] const std::vector<CapacitySample> &capacityTrace() const
     {
         return _capacityTrace;
     }
 
     // --- Audit support (src/check/) --------------------------------
     /** Entries in the retirement indirection table. */
-    std::uint64_t remapEntries() const { return _remap.size(); }
+    [[nodiscard]] std::uint64_t remapEntries() const
+    {
+        return _remap.size();
+    }
 
     /**
      * True iff the indirection table is a bijection onto distinct
      * in-range spare lines and every source line is marked retired.
      */
-    bool remapTableValid() const;
+    [[nodiscard]] bool remapTableValid() const;
 
     /** Largest repair count consumed by any single line. */
-    std::uint64_t maxRepairsOnLine() const { return _maxRepairsOnLine; }
+    [[nodiscard]] std::uint64_t maxRepairsOnLine() const
+    {
+        return _maxRepairsOnLine;
+    }
 
     /** Writes observed on retired lines (must stay zero). */
-    std::uint64_t writesToRetiredLines() const
+    [[nodiscard]] std::uint64_t writesToRetiredLines() const
     {
         return _writesToRetiredLines;
     }
 
     /** Largest per-bank spare consumption. */
-    std::uint64_t maxSparesUsed() const;
+    [[nodiscard]] std::uint64_t maxSparesUsed() const;
 
   private:
     struct LineState
@@ -228,20 +249,23 @@ class FaultModel
         bool dead = false;
     };
 
-    std::uint64_t lineKey(unsigned bank, std::uint64_t line) const;
+    [[nodiscard]] std::uint64_t lineKey(BankId bank,
+                                        DeviceAddr line) const;
 
     /** State of a line, drawing its endurance on first touch. */
-    LineState &touch(unsigned bank, std::uint64_t line);
+    LineState &touch(BankId bank, DeviceAddr line);
 
     /** Uniform in [0, 1) from a pure (line, draw) hash. */
-    double hashUniform(std::uint64_t key, std::uint64_t draw,
-                      std::uint64_t salt) const;
+    [[nodiscard]] double hashUniform(std::uint64_t key,
+                                     std::uint64_t draw,
+                                     std::uint64_t salt) const;
 
     /** One lognormal endurance draw for (line, draw index). */
-    double drawEndurance(std::uint64_t key, std::uint64_t draw) const;
+    [[nodiscard]] double drawEndurance(std::uint64_t key,
+                                       std::uint64_t draw) const;
 
     /** Escalation path: repair, retire+remap, or uncorrectable. */
-    WriteVerdict escalate(unsigned bank, std::uint64_t line,
+    WriteVerdict escalate(BankId bank, DeviceAddr line,
                           LineState &state, Tick now);
 
     FaultConfig _config;

@@ -58,14 +58,15 @@ enum class WriteDecision
  *     if there are also no reads for the bank; the eager queue never
  *     participates in drains.
  */
-WriteDecision decideWrite(const WritePolicyConfig &policy,
-                          const BankQueueView &bank);
+[[nodiscard]] WriteDecision decideWrite(const WritePolicyConfig &policy,
+                                        const BankQueueView &bank);
 
 /** True if a write issued at the given decision may be cancelled. */
-bool cancellable(const WritePolicyConfig &policy, WriteDecision decision);
+[[nodiscard]] bool cancellable(const WritePolicyConfig &policy,
+                               WriteDecision decision);
 
 /** True if the decision issues at slow device speed. */
-bool isSlowDecision(WriteDecision decision);
+[[nodiscard]] bool isSlowDecision(WriteDecision decision);
 
 } // namespace mellowsim
 

@@ -75,22 +75,29 @@ struct WritePolicyConfig
     std::vector<double> adaptiveSlowFactors;
 
     /** True if any mellow mechanism (bank-aware or eager-slow) is on. */
-    bool
+    [[nodiscard]] bool
     anyMellow() const
     {
         return bankAware || (eager && eagerSlow && !globalSlow);
     }
 
     // --- Chainable modifiers -------------------------------------
-    WritePolicyConfig withNC() const;
-    WritePolicyConfig withSC() const;
-    WritePolicyConfig withWQ() const;
-    WritePolicyConfig withSlowFactor(double factor) const;
+    [[nodiscard]] WritePolicyConfig withNC() const;
+    [[nodiscard]] WritePolicyConfig withSC() const;
+    [[nodiscard]] WritePolicyConfig withWQ() const;
+    /**
+     * Replace the slow-latency factor. Validates loudly (fatal on
+     * factors below 1.0) rather than clamping: a config typo should
+     * abort a run, not silently become a PulseFactor of 1.0. The
+     * controller converts the validated value to a PulseFactor at its
+     * timing boundary.
+     */
+    [[nodiscard]] WritePolicyConfig withSlowFactor(double factor) const;
     /** Enable +ML with the given latency ladder (default 1.5/2/3). */
-    WritePolicyConfig withML(
+    [[nodiscard]] WritePolicyConfig withML(
         std::vector<double> factors = {1.5, 2.0, 3.0}) const;
     /** Enable +WP write pausing. */
-    WritePolicyConfig withWP() const;
+    [[nodiscard]] WritePolicyConfig withWP() const;
 };
 
 /** Namespace-style factory for the Table III base policies. */

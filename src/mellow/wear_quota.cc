@@ -32,10 +32,11 @@ WearQuota::WearQuota(const WearQuotaConfig &config, unsigned numBanks)
 }
 
 void
-WearQuota::recordWear(unsigned bank, double wearUnits)
+WearQuota::recordWear(BankId bank, double wearUnits)
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    _banks[bank].wear += wearUnits;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    _banks[bank.value()].wear += wearUnits;
 }
 
 void
@@ -52,31 +53,35 @@ WearQuota::onPeriodBoundary()
 }
 
 bool
-WearQuota::slowOnly(unsigned bank) const
+WearQuota::slowOnly(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].slowOnly;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].slowOnly;
 }
 
 double
-WearQuota::exceedQuota(unsigned bank) const
+WearQuota::exceedQuota(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].exceed;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].exceed;
 }
 
 double
-WearQuota::bankWear(unsigned bank) const
+WearQuota::bankWear(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].wear;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].wear;
 }
 
 std::uint64_t
-WearQuota::slowOnlyPeriods(unsigned bank) const
+WearQuota::slowOnlyPeriods(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].slowOnlyPeriods;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].slowOnlyPeriods;
 }
 
 } // namespace mellowsim

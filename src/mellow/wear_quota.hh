@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -61,10 +62,10 @@ class WearQuota
     WearQuota(const WearQuotaConfig &config, unsigned numBanks);
 
     /** Per-bank wear budget for a single period, in wear units. */
-    double wearBoundBank() const { return _wearBoundBank; }
+    [[nodiscard]] double wearBoundBank() const { return _wearBoundBank; }
 
     /** Account wear units placed on a bank. */
-    void recordWear(unsigned bank, double wearUnits);
+    void recordWear(BankId bank, double wearUnits);
 
     /**
      * Close the current period: recompute each bank's ExceedQuota and
@@ -73,21 +74,24 @@ class WearQuota
     void onPeriodBoundary();
 
     /** True if the bank may only issue slow writes this period. */
-    bool slowOnly(unsigned bank) const;
+    [[nodiscard]] bool slowOnly(BankId bank) const;
 
     /** ExceedQuota of a bank as of the last period boundary. */
-    double exceedQuota(unsigned bank) const;
+    [[nodiscard]] double exceedQuota(BankId bank) const;
 
     /** Total wear units recorded for a bank so far. */
-    double bankWear(unsigned bank) const;
+    [[nodiscard]] double bankWear(BankId bank) const;
 
     /** Completed sample periods. */
-    std::uint64_t numPeriods() const { return _numPeriods; }
+    [[nodiscard]] std::uint64_t numPeriods() const { return _numPeriods; }
 
     /** Periods during which a given bank was slow-only. */
-    std::uint64_t slowOnlyPeriods(unsigned bank) const;
+    [[nodiscard]] std::uint64_t slowOnlyPeriods(BankId bank) const;
 
-    const WearQuotaConfig &config() const { return _config; }
+    [[nodiscard]] const WearQuotaConfig &config() const
+    {
+        return _config;
+    }
 
   private:
     struct BankState

@@ -54,16 +54,16 @@ AddressMap::AddressMap(const MemGeometry &geometry) : _geometry(geometry)
     }
 }
 
-Addr
-AddressMap::translate(Addr addr) const
+LogicalAddr
+AddressMap::translate(LogicalAddr addr) const
 {
-    addr %= _geometry.capacityBytes;
+    Addr raw = addr.value() % _geometry.capacityBytes;
     // Fewer than four pages: nothing meaningful to permute.
     if (!_geometry.pageScramble || _pageBits < 2)
-        return addr;
+        return LogicalAddr(raw);
 
-    std::uint64_t page = addr / _geometry.pageBytes;
-    std::uint64_t offset = addr % _geometry.pageBytes;
+    std::uint64_t page = raw / _geometry.pageBytes;
+    std::uint64_t offset = raw % _geometry.pageBytes;
 
     // Unbalanced Feistel network over the page index: each round
     // XOR-masks one half with a hash of the other, which is a
@@ -82,22 +82,22 @@ AddressMap::translate(Addr addr) const
         page = (lo << a) | hi;
         std::swap(a, b);
     }
-    return page * _geometry.pageBytes + offset;
+    return LogicalAddr(page * _geometry.pageBytes + offset);
 }
 
 DecodedAddr
-AddressMap::decode(Addr addr) const
+AddressMap::decode(LogicalAddr addr) const
 {
-    std::uint64_t block = translate(addr) >> kBlockShift;
+    std::uint64_t block = translate(addr).value() >> kBlockShift;
     std::uint64_t chunk = block / _blocksPerChunk;
     std::uint64_t offset = block % _blocksPerChunk;
 
     DecodedAddr d;
-    d.bank = static_cast<unsigned>(chunk % _geometry.numBanks);
-    d.rank = d.bank / _geometry.banksPerRank();
-    d.blockInBank =
-        chunk / _geometry.numBanks * _blocksPerChunk + offset;
-    d.rowTag = d.blockInBank / _blocksPerRowBuffer;
+    d.bank = BankId(static_cast<unsigned>(chunk % _geometry.numBanks));
+    d.rank = d.bank.value() / _geometry.banksPerRank();
+    d.blockInBank = LineIndex(
+        chunk / _geometry.numBanks * _blocksPerChunk + offset);
+    d.rowTag = d.blockInBank.value() / _blocksPerRowBuffer;
     return d;
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -46,8 +47,11 @@ struct MemGeometry
     bool pageScramble = true;
     std::uint64_t pageBytes = 4096;
 
-    unsigned banksPerRank() const { return numBanks / numRanks; }
-    std::uint64_t blocksPerBank() const
+    [[nodiscard]] unsigned banksPerRank() const
+    {
+        return numBanks / numRanks;
+    }
+    [[nodiscard]] std::uint64_t blocksPerBank() const
     {
         return capacityBytes / kBlockSize / numBanks;
     }
@@ -56,10 +60,10 @@ struct MemGeometry
 /** Where one block-aligned address lives. */
 struct DecodedAddr
 {
-    unsigned bank = 0;
+    BankId bank{0};
     unsigned rank = 0;
-    /** Block index within the bank (pre-wear-leveling / logical). */
-    std::uint64_t blockInBank = 0;
+    /** Line index within the bank (logical space, pre-fault-remap). */
+    LineIndex blockInBank{0};
     /** Row-buffer segment tag within the bank (open-page tracking). */
     std::uint64_t rowTag = 0;
 };
@@ -70,15 +74,18 @@ class AddressMap
   public:
     explicit AddressMap(const MemGeometry &geometry);
 
-    DecodedAddr decode(Addr addr) const;
+    [[nodiscard]] DecodedAddr decode(LogicalAddr addr) const;
 
     /**
-     * The page-permuted physical address (identity when scrambling is
+     * The page-permuted logical address (identity when scrambling is
      * off). Exposed for tests: the permutation must be a bijection.
      */
-    Addr translate(Addr addr) const;
+    [[nodiscard]] LogicalAddr translate(LogicalAddr addr) const;
 
-    const MemGeometry &geometry() const { return _geometry; }
+    [[nodiscard]] const MemGeometry &geometry() const
+    {
+        return _geometry;
+    }
 
   private:
     MemGeometry _geometry;

@@ -29,12 +29,12 @@ class Bank
 {
   public:
     /** The bank can start a new operation at this tick. */
-    Tick busyUntil() const { return _busyUntil; }
+    [[nodiscard]] Tick busyUntil() const { return _busyUntil; }
 
-    bool idleAt(Tick now) const { return _busyUntil <= now; }
+    [[nodiscard]] bool idleAt(Tick now) const { return _busyUntil <= now; }
 
     /** Row-buffer segment currently latched for reads. */
-    std::uint64_t openRowTag() const { return _openRowTag; }
+    [[nodiscard]] std::uint64_t openRowTag() const { return _openRowTag; }
 
     /** Begin a read: occupies the bank for the array access. */
     void startRead(Tick now, Tick access, std::uint64_t rowTag);
@@ -59,7 +59,7 @@ class Bank
                     bool slow, bool cancellable, bool pausable = false);
 
     /** True iff the in-flight write may be paused by a read. */
-    bool pausableWrite(Tick now) const
+    [[nodiscard]] bool pausableWrite(Tick now) const
     {
         return writing(now) && _writePausable;
     }
@@ -72,7 +72,7 @@ class Bank
     void pauseWrite(Tick now);
 
     /** A paused write is parked at this bank awaiting resumption. */
-    bool hasPausedWrite() const { return _paused; }
+    [[nodiscard]] bool hasPausedWrite() const { return _paused; }
 
     /**
      * Resume the paused write at @p now.
@@ -87,10 +87,10 @@ class Bank
     MemRequest finishWrite();
 
     /** True iff a write pulse is in flight at @p now. */
-    bool writing(Tick now) const { return _writing && _busyUntil > now; }
+    [[nodiscard]] bool writing(Tick now) const { return _writing && _busyUntil > now; }
 
     /** True iff the in-flight write may be cancelled. */
-    bool cancellableWrite(Tick now) const
+    [[nodiscard]] bool cancellableWrite(Tick now) const
     {
         return writing(now) && _writeCancellable;
     }
@@ -103,29 +103,29 @@ class Bank
      */
     MemRequest cancelWrite(Tick now, Tick *elapsedPulse);
 
-    bool writeSlow() const { return _writeSlow; }
-    Tick writePulse() const { return _writePulse; }
+    [[nodiscard]] bool writeSlow() const { return _writeSlow; }
+    [[nodiscard]] Tick writePulse() const { return _writePulse; }
 
     // --- Audit accessors (src/check/) -----------------------------
     /** Raw write-in-flight flag, independent of the current tick. */
-    bool writeInFlight() const { return _writing; }
+    [[nodiscard]] bool writeInFlight() const { return _writing; }
 
     /** Unfinished pulse time parked by pauseWrite(). */
-    Tick remainingPulse() const { return _remainingPulse; }
+    [[nodiscard]] Tick remainingPulse() const { return _remainingPulse; }
 
     /**
      * Type of the write the bank currently holds (in flight or
      * paused); only meaningful while writeInFlight() or
      * hasPausedWrite() is true.
      */
-    ReqType currentWriteType() const { return _currentWrite.type; }
+    [[nodiscard]] ReqType currentWriteType() const { return _currentWrite.type; }
 
     /** Invalidate the open row (a write-through touched it). */
     void closeRow() { _openRowTag = kNoOpenRow; }
 
     /** Busy-time accounting for utilisation reporting. */
     stats::BusyTracker &busyTracker() { return _busy; }
-    const stats::BusyTracker &busyTracker() const { return _busy; }
+    [[nodiscard]] const stats::BusyTracker &busyTracker() const { return _busy; }
 
   private:
     Tick _busyUntil = 0;
@@ -152,7 +152,7 @@ class Rank
      * Earliest tick >= @p now at which a new activate may start,
      * honouring at most four activates per tFAW window.
      */
-    Tick nextActivateAllowed(Tick now, Tick tFAW) const;
+    [[nodiscard]] Tick nextActivateAllowed(Tick now, Tick tFAW) const;
 
     /** Record an activate starting at @p when. */
     void recordActivate(Tick when);

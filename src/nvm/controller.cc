@@ -12,7 +12,8 @@ MemoryController::MemoryController(EventQueue &eventq,
                                    const MemControllerConfig &config)
     : _eventq(eventq), _config(config), _map(config.geometry),
       _timing(config.timing),
-      _slowPulse(config.timing.slowWritePulse(config.policy.slowFactor)),
+      _slowPulse(config.timing.slowWritePulse(
+          PulseFactor(config.policy.slowFactor))),
       _readQ(config.geometry.numBanks, config.readQueueSize),
       _writeQ(config.geometry.numBanks, config.writeQueueSize),
       _eagerQ(config.geometry.numBanks, config.eagerQueueSize),
@@ -67,13 +68,13 @@ MemoryController::onQuotaPeriod()
 }
 
 bool
-MemoryController::quotaExceeded(unsigned bank) const
+MemoryController::quotaExceeded(BankId bank) const
 {
     return _quota != nullptr && _quota->slowOnly(bank);
 }
 
 BankQueueView
-MemoryController::bankView(unsigned bank) const
+MemoryController::bankView(BankId bank) const
 {
     BankQueueView v;
     v.readsForBank = _readQ.countForBank(bank);
@@ -85,7 +86,7 @@ MemoryController::bankView(unsigned bank) const
 }
 
 void
-MemoryController::read(Addr addr, ReadCallback onComplete)
+MemoryController::read(LogicalAddr addr, ReadCallback onComplete)
 {
     Tick now = _eventq.curTick();
     ++_stats.demandReads;
@@ -93,9 +94,8 @@ MemoryController::read(Addr addr, ReadCallback onComplete)
     // Read forwarding: a queued (or eager-queued) write to the same
     // block supplies the data from the controller's buffers without
     // touching the memory array.
-    Addr block = addr >> kBlockShift;
-    if (_writeQ.countForBlock(block) > 0 ||
-        _eagerQ.countForBlock(block) > 0) {
+    if (_writeQ.countForBlock(addr) > 0 ||
+        _eagerQ.countForBlock(addr) > 0) {
         ++_stats.forwardedReads;
         _stats.readLatency.sample(
             static_cast<double>(_config.forwardLatency));
@@ -110,13 +110,13 @@ MemoryController::read(Addr addr, ReadCallback onComplete)
     req.loc = _map.decode(addr);
     req.arrival = now;
     req.onComplete = std::move(onComplete);
-    _lastReadArrival[req.loc.bank] = now;
+    _lastReadArrival[req.loc.bank.value()] = now;
     _readQ.push(std::move(req));
     requestSchedule(now);
 }
 
 void
-MemoryController::writeback(Addr addr)
+MemoryController::writeback(LogicalAddr addr)
 {
     Tick now = _eventq.curTick();
     ++_stats.acceptedWritebacks;
@@ -131,7 +131,7 @@ MemoryController::writeback(Addr addr)
 }
 
 bool
-MemoryController::eagerWrite(Addr addr)
+MemoryController::eagerWrite(LogicalAddr addr)
 {
     Tick now = _eventq.curTick();
     if (_eagerQ.full()) {
@@ -209,9 +209,9 @@ MemoryController::reserveBus(Tick earliest)
 }
 
 void
-MemoryController::cancelBankWrite(unsigned bank, Tick now)
+MemoryController::cancelBankWrite(BankId bank, Tick now)
 {
-    Bank &b = _banks[bank];
+    Bank &b = _banks[bank.value()];
     bool slow = b.writeSlow();
     Tick pulse = b.writePulse();
 
@@ -223,8 +223,8 @@ MemoryController::cancelBankWrite(unsigned bank, Tick now)
         pulse ? static_cast<double>(elapsed) / static_cast<double>(pulse)
               : 0.0;
 
-    _wear.recordCancelledWrite(bank, w.loc.blockInBank, pulse, elapsed,
-                               slow, _config.cancelWearFraction);
+    _wear.recordCancelledWrite(bank, w.line, pulse, elapsed, slow,
+                               _config.cancelWearFraction);
     if (_quota != nullptr) {
         _quota->recordWear(bank, _endurance.wearPerWrite(pulse) *
                                      progress *
@@ -233,9 +233,9 @@ MemoryController::cancelBankWrite(unsigned bank, Tick now)
     _energy.recordCancelledWrite(slow, progress);
     ++_stats.cancelledWrites;
 
-    if (_writeCompletion[bank] != InvalidEventId) {
-        _eventq.deschedule(_writeCompletion[bank]);
-        _writeCompletion[bank] = InvalidEventId;
+    if (_writeCompletion[bank.value()] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank.value()]);
+        _writeCompletion[bank.value()] = InvalidEventId;
     }
 
     // The aborted write retries from the front of its queue.
@@ -248,7 +248,7 @@ MemoryController::cancelBankWrite(unsigned bank, Tick now)
 }
 
 bool
-MemoryController::tryIssueRead(unsigned bank, Tick now, Tick *nextWake)
+MemoryController::tryIssueRead(BankId bank, Tick now, Tick *nextWake)
 {
     if (_readQ.countForBank(bank) == 0)
         return false;
@@ -256,7 +256,7 @@ MemoryController::tryIssueRead(unsigned bank, Tick now, Tick *nextWake)
     if (_draining && _writeQ.countForBank(bank) > 0)
         return false;
 
-    Bank &b = _banks[bank];
+    Bank &b = _banks[bank.value()];
     if (!_draining) {
         if (b.pausableWrite(now))
             pauseBankWrite(bank, now);
@@ -311,9 +311,9 @@ MemoryController::tryIssueRead(unsigned bank, Tick now, Tick *nextWake)
 }
 
 bool
-MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
+MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
 {
-    Bank &bank_state = _banks[bank];
+    Bank &bank_state = _banks[bank.value()];
 
     // A paused write owns the bank's write machinery: it resumes as
     // soon as the bank is clear of reads, before anything new issues.
@@ -326,7 +326,7 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
         }
         Tick done = bank_state.resumeWrite(now);
         ++_stats.resumedWrites;
-        _writeCompletion[bank] =
+        _writeCompletion[bank.value()] =
             _eventq.schedule(done, [this, bank] {
                 onWriteComplete(bank);
             });
@@ -340,13 +340,12 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
     // Recent-read guard: keep slow/eager writes off banks a read
     // stream is actively visiting (see MemControllerConfig).
     Tick window = _config.recentReadWindow;
-    if (window != 0 && _lastReadArrival[bank] != 0 &&
-        now < _lastReadArrival[bank] + window) {
+    Tick last_read = _lastReadArrival[bank.value()];
+    if (window != 0 && last_read != 0 && now < last_read + window) {
         bool eager_dec = dec == WriteDecision::EagerSlow ||
                          dec == WriteDecision::EagerNormal;
         if (eager_dec) {
-            *nextWake =
-                std::min(*nextWake, _lastReadArrival[bank] + window);
+            *nextWake = std::min(*nextWake, last_read + window);
             return false;
         }
         if (dec == WriteDecision::SlowWrite && !_config.policy.globalSlow
@@ -355,7 +354,7 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
         }
     }
 
-    Bank &b = _banks[bank];
+    Bank &b = _banks[bank.value()];
     if (!b.idleAt(now)) {
         *nextWake = std::min(*nextWake, b.busyUntil());
         return false;
@@ -367,13 +366,13 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
                  dec == WriteDecision::EagerNormal;
     bool slow = isSlowDecision(dec);
     MemRequest req = eager ? _eagerQ.pop(bank) : _writeQ.pop(bank);
-    if (_faults != nullptr) {
-        // Redirect retired lines through the indirection table at
-        // issue time, so writes queued before a retirement are also
-        // remapped (retired lines are never written — audited).
-        req.loc.blockInBank = _faults->remap(bank, req.loc.blockInBank);
-        _faults->noteWriteIssued(bank, req.loc.blockInBank);
-    }
+    // Resolve the device line at issue time, so writes queued before
+    // a retirement are also redirected through the indirection table
+    // (retired lines are never written — audited). loc.blockInBank
+    // itself stays in the logical space.
+    req.line = deviceLineFor(req);
+    if (_faults != nullptr)
+        _faults->noteWriteIssued(req.loc.bank, req.line);
     bool may_cancel = cancellable(_config.policy, dec) &&
                       req.attempts < _config.maxWriteCancellations;
     bool may_pause = _config.policy.pauseWrites;
@@ -400,6 +399,8 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
         // Write-verify retry: progressively slower pulses switch the
         // cell more reliably (the paper's latency trade-off reused as
         // a reliability knob). Counted as a slow write throughout.
+        // Truncation (not rounding) is the device's historical retry
+        // behaviour; keep it bit-stable across the type change.
         pulse = static_cast<Tick>(
             static_cast<double>(pulse) *
             std::pow(_config.fault.retrySlowFactor, req.retries));
@@ -416,7 +417,7 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
     b.startWrite(now, pulse_start, pulse, std::move(req), slow,
                  may_cancel, may_pause);
 
-    _writeCompletion[bank] = _eventq.schedule(
+    _writeCompletion[bank.value()] = _eventq.schedule(
         pulse_start + pulse, [this, bank] { onWriteComplete(bank); });
 
     if (!eager)
@@ -425,56 +426,65 @@ MemoryController::tryIssueWrite(unsigned bank, Tick now, Tick *nextWake)
 }
 
 void
-MemoryController::pauseBankWrite(unsigned bank, Tick now)
+MemoryController::pauseBankWrite(BankId bank, Tick now)
 {
-    Bank &b = _banks[bank];
+    Bank &b = _banks[bank.value()];
     b.pauseWrite(now);
     ++_stats.pausedWrites;
-    if (_writeCompletion[bank] != InvalidEventId) {
-        _eventq.deschedule(_writeCompletion[bank]);
-        _writeCompletion[bank] = InvalidEventId;
+    if (_writeCompletion[bank.value()] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank.value()]);
+        _writeCompletion[bank.value()] = InvalidEventId;
     }
 }
 
-double
-MemoryController::chooseAdaptiveFactor(unsigned bank, Tick now) const
+PulseFactor
+MemoryController::chooseAdaptiveFactor(BankId bank, Tick now) const
 {
     const auto &ladder = _config.policy.adaptiveSlowFactors;
     // Quiet time since the last read arrival predicts how long the
     // bank will stay undisturbed; a never-read bank is wide open.
-    Tick quiet = _lastReadArrival[bank] == 0
-                     ? MaxTick
-                     : now - _lastReadArrival[bank];
+    Tick last_read = _lastReadArrival[bank.value()];
+    Tick quiet = last_read == 0 ? MaxTick : now - last_read;
     for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
-        if (_timing.slowWritePulse(*it) <= quiet)
-            return *it;
+        if (_timing.slowWritePulse(PulseFactor(*it)) <= quiet)
+            return PulseFactor(*it);
     }
-    return ladder.front();
+    return PulseFactor(ladder.front());
+}
+
+DeviceAddr
+MemoryController::deviceLineFor(const MemRequest &req) const
+{
+    if (_faults != nullptr)
+        return _faults->remap(req.loc.bank, req.loc.blockInBank);
+    return deviceLineOf(req.loc.blockInBank);
 }
 
 void
-MemoryController::onWriteComplete(unsigned bank)
+MemoryController::onWriteComplete(BankId bank)
 {
-    Bank &b = _banks[bank];
+    Bank &b = _banks[bank.value()];
     bool slow = b.writeSlow();
     Tick pulse = b.writePulse();
     MemRequest req = b.finishWrite();
-    _writeCompletion[bank] = InvalidEventId;
+    _writeCompletion[bank.value()] = InvalidEventId;
     Tick now = _eventq.curTick();
 
     // Device-level accounting is per attempt: a pulse that later
     // fails verification still stressed and powered the cell (and
     // still counts against the Wear Quota).
-    _wear.recordWrite(bank, req.loc.blockInBank, pulse, slow);
+    _wear.recordWrite(bank, req.line, pulse, slow);
     if (_quota != nullptr)
         _quota->recordWear(bank, _endurance.wearPerWrite(pulse));
     _energy.recordWrite(slow);
 
     WriteVerdict verdict = WriteVerdict::Ok;
     if (_faults != nullptr) {
-        double factor = static_cast<double>(pulse) /
-                        static_cast<double>(_timing.tWP);
-        verdict = _faults->verifyWrite(bank, req.loc.blockInBank,
+        // Issued pulses are never shorter than tWP, so the ratio is
+        // a legitimate PulseFactor by construction.
+        PulseFactor factor(static_cast<double>(pulse) /
+                           static_cast<double>(_timing.tWP));
+        verdict = _faults->verifyWrite(bank, req.line,
                                        _endurance.wearPerWrite(pulse),
                                        factor, req.retries, now);
     }
@@ -514,9 +524,9 @@ MemoryController::trySchedule()
     Tick next_wake = MaxTick;
     unsigned n = _config.geometry.numBanks;
     for (unsigned bank = 0; bank < n; ++bank)
-        tryIssueRead(bank, now, &next_wake);
+        tryIssueRead(BankId(bank), now, &next_wake);
     for (unsigned bank = 0; bank < n; ++bank)
-        tryIssueWrite(bank, now, &next_wake);
+        tryIssueWrite(BankId(bank), now, &next_wake);
 
     if (next_wake != MaxTick)
         requestSchedule(next_wake);
@@ -547,17 +557,20 @@ MemoryController::drainTimeFraction() const
 }
 
 const Bank &
-MemoryController::bank(unsigned idx) const
+MemoryController::bank(BankId idx) const
 {
-    panic_if(idx >= _banks.size(), "bank %u out of range", idx);
-    return _banks[idx];
+    panic_if(idx.value() >= _banks.size(), "bank %u out of range",
+             idx.value());
+    return _banks[idx.value()];
 }
 
 double
-MemoryController::bankUtilization(unsigned bank) const
+MemoryController::bankUtilization(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].busyTracker().utilization(_eventq.curTick());
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].busyTracker().utilization(
+        _eventq.curTick());
 }
 
 double
@@ -565,7 +578,7 @@ MemoryController::avgBankUtilization() const
 {
     double sum = 0.0;
     for (unsigned i = 0; i < _banks.size(); ++i)
-        sum += bankUtilization(i);
+        sum += bankUtilization(BankId(i));
     return sum / static_cast<double>(_banks.size());
 }
 

@@ -134,7 +134,7 @@ struct MemControllerStats
      * incremented per attempt, so cancelled attempts (and their
      * retries) are already included.
      */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalWriteIssues() const
     {
         return issuedNormalWrites.value() + issuedSlowWrites.value() +
@@ -153,57 +153,87 @@ class MemoryController : public MemoryPort
 
     // --- LLC-facing interface -------------------------------------
     /** Enqueue a demand read; @p onComplete fires when data arrives. */
-    void read(Addr addr, ReadCallback onComplete) override;
+    void read(LogicalAddr addr, ReadCallback onComplete) override;
 
     /** Enqueue a demand write back (dirty eviction). */
-    void writeback(Addr addr) override;
+    void writeback(LogicalAddr addr) override;
 
     /**
      * Enqueue an eager mellow write back.
      * @retval false the eager queue is full; the LLC keeps the line
      *               dirty and may try again later.
      */
-    bool eagerWrite(Addr addr) override;
+    bool eagerWrite(LogicalAddr addr) override;
 
     /** True if the eager queue has room. */
-    bool eagerQueueHasSpace() const override;
+    [[nodiscard]] bool eagerQueueHasSpace() const override;
 
     /** Outstanding demand reads (for MSHR-style admission checks). */
-    std::size_t pendingReads() const;
+    [[nodiscard]] std::size_t pendingReads() const;
 
     // --- End-of-run ------------------------------------------------
     /** Truncate busy/drain accounting at the current tick. */
     void finalize();
 
     // --- Introspection ----------------------------------------------
-    const MemControllerStats &stats() const { return _stats; }
-    const WearTracker &wearTracker() const { return _wear; }
-    const EnergyModel &energyModel() const { return _energy; }
-    const WearQuota *wearQuota() const { return _quota.get(); }
-    const FaultModel *faultModel() const { return _faults.get(); }
-    const MemControllerConfig &config() const { return _config; }
-    const AddressMap &addressMap() const { return _map; }
+    [[nodiscard]] const MemControllerStats &stats() const
+    {
+        return _stats;
+    }
+    [[nodiscard]] const WearTracker &wearTracker() const
+    {
+        return _wear;
+    }
+    [[nodiscard]] const EnergyModel &energyModel() const
+    {
+        return _energy;
+    }
+    [[nodiscard]] const WearQuota *wearQuota() const
+    {
+        return _quota.get();
+    }
+    [[nodiscard]] const FaultModel *faultModel() const
+    {
+        return _faults.get();
+    }
+    [[nodiscard]] const MemControllerConfig &config() const
+    {
+        return _config;
+    }
+    [[nodiscard]] const AddressMap &addressMap() const { return _map; }
 
     /** Fraction of [0, now] spent in write-drain mode. */
-    double drainTimeFraction() const;
+    [[nodiscard]] double drainTimeFraction() const;
 
     /** Mean bank utilisation over [0, now]. */
-    double avgBankUtilization() const;
+    [[nodiscard]] double avgBankUtilization() const;
 
     /** Utilisation of a single bank over [0, now]. */
-    double bankUtilization(unsigned bank) const;
+    [[nodiscard]] double bankUtilization(BankId bank) const;
 
-    bool draining() const { return _draining; }
+    [[nodiscard]] bool draining() const { return _draining; }
 
     // --- Audit accessors (src/check/) -----------------------------
-    unsigned numBanks() const { return _config.geometry.numBanks; }
+    [[nodiscard]] unsigned numBanks() const
+    {
+        return _config.geometry.numBanks;
+    }
 
     /** Device state of one bank, for auditing and tests. */
-    const Bank &bank(unsigned idx) const;
+    [[nodiscard]] const Bank &bank(BankId idx) const;
 
-    std::size_t readQueueDepth() const { return _readQ.size(); }
-    std::size_t writeQueueDepth() const { return _writeQ.size(); }
-    std::size_t eagerQueueDepth() const { return _eagerQ.size(); }
+    [[nodiscard]] std::size_t readQueueDepth() const
+    {
+        return _readQ.size();
+    }
+    [[nodiscard]] std::size_t writeQueueDepth() const
+    {
+        return _writeQ.size();
+    }
+    [[nodiscard]] std::size_t eagerQueueDepth() const
+    {
+        return _eagerQ.size();
+    }
 
   private:
     // --- Scheduling -------------------------------------------------
@@ -214,35 +244,39 @@ class MemoryController : public MemoryPort
     void requestSchedule(Tick when);
 
     /** Issue the oldest read for @p bank if possible. */
-    bool tryIssueRead(unsigned bank, Tick now, Tick *nextWake);
+    bool tryIssueRead(BankId bank, Tick now, Tick *nextWake);
 
     /** Issue a write/eager write for @p bank per Figure 9. */
-    bool tryIssueWrite(unsigned bank, Tick now, Tick *nextWake);
+    bool tryIssueWrite(BankId bank, Tick now, Tick *nextWake);
 
     /** Cancel the bank's in-flight write and requeue it. */
-    void cancelBankWrite(unsigned bank, Tick now);
+    void cancelBankWrite(BankId bank, Tick now);
 
     /** Pause the bank's in-flight write (+WP). */
-    void pauseBankWrite(unsigned bank, Tick now);
+    void pauseBankWrite(BankId bank, Tick now);
 
     /**
      * +ML: pick the largest configured latency factor whose pulse
      * fits the bank's observed quiet time (see WritePolicyConfig).
      */
-    double chooseAdaptiveFactor(unsigned bank, Tick now) const;
+    [[nodiscard]] PulseFactor chooseAdaptiveFactor(BankId bank,
+                                                   Tick now) const;
+
+    /** Device line a request targets (fault remap or identity). */
+    [[nodiscard]] DeviceAddr deviceLineFor(const MemRequest &req) const;
 
     /** Reserve the data bus; returns the burst start tick. */
     Tick reserveBus(Tick earliest);
 
     /** True if the bus backlog allows another reservation at @p now. */
-    bool busAvailable(Tick now, Tick *nextWake) const;
+    [[nodiscard]] bool busAvailable(Tick now, Tick *nextWake) const;
 
     void updateDrainState(Tick now);
-    void onWriteComplete(unsigned bank);
+    void onWriteComplete(BankId bank);
     void onQuotaPeriod();
 
-    bool quotaExceeded(unsigned bank) const;
-    BankQueueView bankView(unsigned bank) const;
+    [[nodiscard]] bool quotaExceeded(BankId bank) const;
+    [[nodiscard]] BankQueueView bankView(BankId bank) const;
 
     EventQueue &_eventq;
     MemControllerConfig _config;

@@ -11,6 +11,7 @@
 #define MELLOWSIM_NVM_MEMORY_PORT_HH
 
 #include "nvm/request.hh"
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -23,24 +24,24 @@ class MemoryPort
     virtual ~MemoryPort() = default;
 
     /** Enqueue a demand read; @p onComplete fires when data arrives. */
-    virtual void read(Addr addr, ReadCallback onComplete) = 0;
+    virtual void read(LogicalAddr addr, ReadCallback onComplete) = 0;
 
     /** Enqueue a demand write back (dirty eviction). */
-    virtual void writeback(Addr addr) = 0;
+    virtual void writeback(LogicalAddr addr) = 0;
 
     /**
      * Enqueue an eager mellow write back.
      * @retval false the responsible channel's eager queue is full;
      *               the LLC keeps the line dirty.
      */
-    virtual bool eagerWrite(Addr addr) = 0;
+    virtual bool eagerWrite(LogicalAddr addr) = 0;
 
     /**
      * True if at least one channel's eager queue has room (the LLC's
      * cheap gate before scanning for a candidate; the eagerWrite()
      * itself still routes by address and may be rejected).
      */
-    virtual bool eagerQueueHasSpace() const = 0;
+    [[nodiscard]] virtual bool eagerQueueHasSpace() const = 0;
 };
 
 } // namespace mellowsim

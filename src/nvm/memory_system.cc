@@ -31,42 +31,44 @@ MemorySystem::MemorySystem(EventQueue &eventq,
     }
 }
 
-unsigned
-MemorySystem::channelOf(Addr addr) const
+ChannelId
+MemorySystem::channelOf(LogicalAddr addr) const
 {
-    std::uint64_t block = (addr % _totalCapacity) >> kBlockShift;
+    std::uint64_t block = (addr.value() % _totalCapacity) >> kBlockShift;
     std::uint64_t chunk = block / _blocksPerChunk;
-    return static_cast<unsigned>(chunk % _channels.size());
+    return ChannelId(static_cast<unsigned>(chunk % _channels.size()));
 }
 
-Addr
-MemorySystem::localAddr(Addr addr) const
+LogicalAddr
+MemorySystem::localAddr(LogicalAddr addr) const
 {
-    std::uint64_t block = (addr % _totalCapacity) >> kBlockShift;
+    std::uint64_t block = (addr.value() % _totalCapacity) >> kBlockShift;
     std::uint64_t chunk = block / _blocksPerChunk;
     std::uint64_t offset = block % _blocksPerChunk;
     std::uint64_t local_chunk = chunk / _channels.size();
-    return (local_chunk * _blocksPerChunk + offset) * kBlockSize +
-           addr % kBlockSize;
+    return LogicalAddr((local_chunk * _blocksPerChunk + offset) *
+                           kBlockSize +
+                       addr.value() % kBlockSize);
 }
 
 void
-MemorySystem::read(Addr addr, ReadCallback onComplete)
+MemorySystem::read(LogicalAddr addr, ReadCallback onComplete)
 {
-    _channels[channelOf(addr)]->read(localAddr(addr),
-                                     std::move(onComplete));
+    _channels[channelOf(addr).value()]->read(localAddr(addr),
+                                             std::move(onComplete));
 }
 
 void
-MemorySystem::writeback(Addr addr)
+MemorySystem::writeback(LogicalAddr addr)
 {
-    _channels[channelOf(addr)]->writeback(localAddr(addr));
+    _channels[channelOf(addr).value()]->writeback(localAddr(addr));
 }
 
 bool
-MemorySystem::eagerWrite(Addr addr)
+MemorySystem::eagerWrite(LogicalAddr addr)
 {
-    return _channels[channelOf(addr)]->eagerWrite(localAddr(addr));
+    return _channels[channelOf(addr).value()]->eagerWrite(
+        localAddr(addr));
 }
 
 bool
@@ -80,17 +82,19 @@ MemorySystem::eagerQueueHasSpace() const
 }
 
 MemoryController &
-MemorySystem::channel(unsigned idx)
+MemorySystem::channel(ChannelId idx)
 {
-    panic_if(idx >= _channels.size(), "channel %u out of range", idx);
-    return *_channels[idx];
+    panic_if(idx.value() >= _channels.size(), "channel %u out of range",
+             idx.value());
+    return *_channels[idx.value()];
 }
 
 const MemoryController &
-MemorySystem::channel(unsigned idx) const
+MemorySystem::channel(ChannelId idx) const
 {
-    panic_if(idx >= _channels.size(), "channel %u out of range", idx);
-    return *_channels[idx];
+    panic_if(idx.value() >= _channels.size(), "channel %u out of range",
+             idx.value());
+    return *_channels[idx.value()];
 }
 
 void

@@ -46,39 +46,42 @@ class MemorySystem : public MemoryPort
     MemorySystem(EventQueue &eventq, const MemorySystemConfig &config);
 
     // --- MemoryPort --------------------------------------------------
-    void read(Addr addr, ReadCallback onComplete) override;
-    void writeback(Addr addr) override;
-    bool eagerWrite(Addr addr) override;
-    bool eagerQueueHasSpace() const override;
+    void read(LogicalAddr addr, ReadCallback onComplete) override;
+    void writeback(LogicalAddr addr) override;
+    bool eagerWrite(LogicalAddr addr) override;
+    [[nodiscard]] bool eagerQueueHasSpace() const override;
 
     // --- Aggregation --------------------------------------------------
-    unsigned numChannels() const
+    [[nodiscard]] unsigned numChannels() const
     {
         return static_cast<unsigned>(_channels.size());
     }
 
-    MemoryController &channel(unsigned idx);
-    const MemoryController &channel(unsigned idx) const;
+    [[nodiscard]] MemoryController &channel(ChannelId idx);
+    [[nodiscard]] const MemoryController &channel(ChannelId idx) const;
 
     /** Truncate busy/drain accounting on every channel. */
     void finalize();
 
     /** Minimum leveled lifetime over every bank of every channel. */
-    double lifetimeYears(Tick simTime) const;
+    [[nodiscard]] double lifetimeYears(Tick simTime) const;
 
     /** Mean bank utilisation over all channels. */
-    double avgBankUtilization() const;
+    [[nodiscard]] double avgBankUtilization() const;
 
     /** Mean drain-time fraction over all channels. */
-    double drainTimeFraction() const;
+    [[nodiscard]] double drainTimeFraction() const;
 
     /** Which channel serves @p addr. */
-    unsigned channelOf(Addr addr) const;
+    [[nodiscard]] ChannelId channelOf(LogicalAddr addr) const;
 
     /** The channel-local address @p addr maps to. */
-    Addr localAddr(Addr addr) const;
+    [[nodiscard]] LogicalAddr localAddr(LogicalAddr addr) const;
 
-    const MemorySystemConfig &config() const { return _config; }
+    [[nodiscard]] const MemorySystemConfig &config() const
+    {
+        return _config;
+    }
 
   private:
     MemorySystemConfig _config;

@@ -11,22 +11,23 @@ RequestQueue::RequestQueue(unsigned numBanks, unsigned capacity)
 }
 
 unsigned
-RequestQueue::countForBank(unsigned bank) const
+RequestQueue::countForBank(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return static_cast<unsigned>(_banks[bank].size());
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return static_cast<unsigned>(_banks[bank.value()].size());
 }
 
 void
 RequestQueue::indexAdd(const MemRequest &req)
 {
-    ++_blockIndex[req.addr >> kBlockShift];
+    ++_blockIndex[blockNumber(req.addr)];
 }
 
 void
 RequestQueue::indexRemove(const MemRequest &req)
 {
-    auto it = _blockIndex.find(req.addr >> kBlockShift);
+    auto it = _blockIndex.find(blockNumber(req.addr));
     panic_if(it == _blockIndex.end(), "request missing from block index");
     if (--it->second == 0)
         _blockIndex.erase(it);
@@ -35,47 +36,50 @@ RequestQueue::indexRemove(const MemRequest &req)
 void
 RequestQueue::push(MemRequest req)
 {
-    panic_if(req.loc.bank >= _banks.size(), "bank %u out of range",
-             req.loc.bank);
+    panic_if(req.loc.bank.value() >= _banks.size(),
+             "bank %u out of range", req.loc.bank.value());
     indexAdd(req);
-    _banks[req.loc.bank].push_back(std::move(req));
+    _banks[req.loc.bank.value()].push_back(std::move(req));
     ++_size;
 }
 
 void
 RequestQueue::pushFront(MemRequest req)
 {
-    panic_if(req.loc.bank >= _banks.size(), "bank %u out of range",
-             req.loc.bank);
+    panic_if(req.loc.bank.value() >= _banks.size(),
+             "bank %u out of range", req.loc.bank.value());
     indexAdd(req);
-    _banks[req.loc.bank].push_front(std::move(req));
+    _banks[req.loc.bank.value()].push_front(std::move(req));
     ++_size;
 }
 
 const MemRequest &
-RequestQueue::front(unsigned bank) const
+RequestQueue::front(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    panic_if(_banks[bank].empty(), "front() on empty bank FIFO");
-    return _banks[bank].front();
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    panic_if(_banks[bank.value()].empty(),
+             "front() on empty bank FIFO");
+    return _banks[bank.value()].front();
 }
 
 MemRequest
-RequestQueue::pop(unsigned bank)
+RequestQueue::pop(BankId bank)
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    panic_if(_banks[bank].empty(), "pop() on empty bank FIFO");
-    MemRequest req = std::move(_banks[bank].front());
-    _banks[bank].pop_front();
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    panic_if(_banks[bank.value()].empty(), "pop() on empty bank FIFO");
+    MemRequest req = std::move(_banks[bank.value()].front());
+    _banks[bank.value()].pop_front();
     indexRemove(req);
     --_size;
     return req;
 }
 
 unsigned
-RequestQueue::countForBlock(Addr blockAddr) const
+RequestQueue::countForBlock(LogicalAddr addr) const
 {
-    auto it = _blockIndex.find(blockAddr);
+    auto it = _blockIndex.find(blockNumber(addr));
     return it == _blockIndex.end() ? 0 : it->second;
 }
 

@@ -36,14 +36,14 @@ class RequestQueue
     RequestQueue(unsigned numBanks, unsigned capacity);
 
     /** Total queued requests across banks. */
-    std::size_t size() const { return _size; }
+    [[nodiscard]] std::size_t size() const { return _size; }
 
-    bool empty() const { return _size == 0; }
-    bool full() const { return _size >= _capacity; }
-    unsigned capacity() const { return _capacity; }
+    [[nodiscard]] bool empty() const { return _size == 0; }
+    [[nodiscard]] bool full() const { return _size >= _capacity; }
+    [[nodiscard]] unsigned capacity() const { return _capacity; }
 
     /** Queued requests for one bank. */
-    unsigned countForBank(unsigned bank) const;
+    [[nodiscard]] unsigned countForBank(BankId bank) const;
 
     /** Append a request to its bank FIFO. */
     void push(MemRequest req);
@@ -52,20 +52,20 @@ class RequestQueue
     void pushFront(MemRequest req);
 
     /** Oldest request for a bank; bank FIFO must be non-empty. */
-    const MemRequest &front(unsigned bank) const;
+    [[nodiscard]] const MemRequest &front(BankId bank) const;
 
     /** Remove and return the oldest request for a bank. */
-    MemRequest pop(unsigned bank);
+    MemRequest pop(BankId bank);
 
-    /** Number of queued requests whose block address matches. */
-    unsigned countForBlock(Addr blockAddr) const;
+    /** Number of queued requests in @p addr's 64-byte block. */
+    [[nodiscard]] unsigned countForBlock(LogicalAddr addr) const;
 
     /** Oldest arrival tick across all banks (MaxTick if empty). */
-    Tick oldestArrival() const;
+    [[nodiscard]] Tick oldestArrival() const;
 
   private:
     std::vector<std::deque<MemRequest>> _banks;
-    std::unordered_map<Addr, unsigned> _blockIndex;
+    std::unordered_map<std::uint64_t, unsigned> _blockIndex;
     std::size_t _size = 0;
     unsigned _capacity;
 

@@ -30,8 +30,15 @@ using ReadCallback = std::function<void()>;
 struct MemRequest
 {
     ReqType type = ReqType::Read;
-    Addr addr = 0;
+    /** Block-aligned logical byte address (channel-local). */
+    LogicalAddr addr{0};
+    /** Decoded location; loc.blockInBank stays in the logical space. */
     DecodedAddr loc;
+    /**
+     * Device line the request targets after fault-model retirement
+     * remapping; set at issue time (identity when faults are off).
+     */
+    DeviceAddr line{0};
     Tick arrival = 0;
     /** Non-null for reads. */
     ReadCallback onComplete;

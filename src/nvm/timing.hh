@@ -11,6 +11,9 @@
 #ifndef MELLOWSIM_NVM_TIMING_HH
 #define MELLOWSIM_NVM_TIMING_HH
 
+#include <cmath>
+
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -32,15 +35,20 @@ struct NvmTimingParams
     /** Data bus occupancy of one 64-byte transfer (8 beats, 64-bit). */
     Tick tBurst = 20 * kNanosecond;
 
-    /** Slow write pulse time for a latency factor N. */
-    Tick
-    slowWritePulse(double factor) const
+    /**
+     * Slow write pulse time for a latency factor N, rounded to the
+     * nearest tick (PulseFactor guarantees N >= 1, so the result is
+     * never shorter than tWP).
+     */
+    [[nodiscard]] Tick
+    slowWritePulse(PulseFactor factor) const
     {
-        return Tick(static_cast<double>(tWP) * factor);
+        return Tick(
+            std::llround(static_cast<double>(tWP) * factor.value()));
     }
 
     /** Total bank occupancy of a read (array access only). */
-    Tick
+    [[nodiscard]] Tick
     readAccess(bool rowHit) const
     {
         return rowHit ? tCAS : tRCD + tCAS;

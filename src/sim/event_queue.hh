@@ -55,7 +55,7 @@ class EventQueue
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulation time. */
-    Tick curTick() const { return _curTick; }
+    [[nodiscard]] Tick curTick() const { return _curTick; }
 
     /**
      * Schedule @p action to run at absolute tick @p when.
@@ -82,10 +82,10 @@ class EventQueue
     bool deschedule(EventId id);
 
     /** True iff the event with identity @p id is still pending. */
-    bool scheduled(EventId id) const;
+    [[nodiscard]] bool scheduled(EventId id) const;
 
     /** Number of pending (non-cancelled) events. */
-    std::size_t numPending() const { return _numPending; }
+    [[nodiscard]] std::size_t numPending() const { return _numPending; }
 
     // --- Audit accessors (src/check/) -----------------------------
     /**
@@ -94,17 +94,17 @@ class EventQueue
      * entry was scheduled at >= the then-current tick, so even a
      * stale entry must not sit in the past.
      */
-    Tick
+    [[nodiscard]] Tick
     minPendingTick() const
     {
         return _heap.empty() ? MaxTick : _heap.top().when;
     }
 
     /** Heap entries, including cancelled ones awaiting lazy removal. */
-    std::size_t rawHeapSize() const { return _heap.size(); }
+    [[nodiscard]] std::size_t rawHeapSize() const { return _heap.size(); }
 
     /** True iff no events remain. */
-    bool empty() const { return _numPending == 0; }
+    [[nodiscard]] bool empty() const { return _numPending == 0; }
 
     /**
      * Run events until the queue empties or @p stopAt is reached.

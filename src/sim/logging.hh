@@ -52,10 +52,12 @@ std::string logFormat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Report an internal simulator bug and throw PanicError. */
+// mlint: allow(raw-addr-param): source location, not a memory address
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 
 /** Report an unrecoverable user error and throw FatalError. */
+// mlint: allow(raw-addr-param): source location, not a memory address
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &msg);
 

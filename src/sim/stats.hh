@@ -31,7 +31,7 @@ class Counter
     void operator++() { ++_value; }
     void operator++(int) { ++_value; }
     void operator+=(std::uint64_t v) { _value += v; }
-    std::uint64_t value() const { return _value; }
+    [[nodiscard]] std::uint64_t value() const { return _value; }
     void reset() { _value = 0; }
 
   private:
@@ -51,11 +51,11 @@ class Average
         _max = std::max(_max, v);
     }
 
-    double mean() const { return _count ? _sum / _count : 0.0; }
-    double sum() const { return _sum; }
-    std::uint64_t count() const { return _count; }
-    double min() const { return _count ? _min : 0.0; }
-    double max() const { return _count ? _max : 0.0; }
+    [[nodiscard]] double mean() const { return _count ? _sum / _count : 0.0; }
+    [[nodiscard]] double sum() const { return _sum; }
+    [[nodiscard]] std::uint64_t count() const { return _count; }
+    [[nodiscard]] double min() const { return _count ? _min : 0.0; }
+    [[nodiscard]] double max() const { return _count ? _max : 0.0; }
 
     void
     reset()
@@ -115,10 +115,10 @@ class BusyTracker
         }
     }
 
-    Tick busyTicks() const { return _busyTicks; }
+    [[nodiscard]] Tick busyTicks() const { return _busyTicks; }
 
     /** Fraction of [0, total] the resource was busy. */
-    double
+    [[nodiscard]] double
     utilization(Tick total) const
     {
         return total ? static_cast<double>(std::min(_busyTicks, total)) /
@@ -126,7 +126,7 @@ class BusyTracker
                      : 0.0;
     }
 
-    Tick busyUntil() const { return _busyUntil; }
+    [[nodiscard]] Tick busyUntil() const { return _busyUntil; }
 
   private:
     Tick _busyTicks = 0;
@@ -155,8 +155,8 @@ class Histogram
         ++_counts[idx];
     }
 
-    std::uint64_t total() const { return _total; }
-    const std::vector<std::uint64_t> &buckets() const { return _counts; }
+    [[nodiscard]] std::uint64_t total() const { return _total; }
+    [[nodiscard]] const std::vector<std::uint64_t> &buckets() const { return _counts; }
 
   private:
     double _max;

@@ -39,7 +39,7 @@ columnValue(const SimReport &r, const std::string &col)
     if (col == "mpki")
         return fmt("%.2f", r.mpki);
     if (col == "energy")
-        return fmt("%.3e", r.totalEnergyPj);
+        return fmt("%.3e", r.totalEnergyPj.value());
     if (col == "reads")
         return std::to_string(r.memReads);
     if (col == "writes")
@@ -103,9 +103,10 @@ reportsToCsv(const std::vector<SimReport> &reports)
             << r.issuedEagerSlow << ',' << r.cancelledWrites << ','
             << r.pausedWrites << ',' << r.drainEntries << ','
             << fmt("%.2f", r.avgReadLatencyNs) << ','
-            << fmt("%.3e", r.readEnergyPj) << ','
-            << fmt("%.3e", r.writeEnergyPj) << ','
-            << fmt("%.3e", r.totalEnergyPj) << ',' << r.quotaPeriods
+            << fmt("%.3e", r.readEnergyPj.value()) << ','
+            << fmt("%.3e", r.writeEnergyPj.value()) << ','
+            << fmt("%.3e", r.totalEnergyPj.value()) << ','
+            << r.quotaPeriods
             << ',' << r.quotaSlowOnlyPeriods << ','
             << r.writeRetries << ',' << r.transientWriteFailures
             << ',' << r.permanentFaults << ',' << r.faultRepairsUsed

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -55,10 +56,10 @@ struct SimReport
     std::uint64_t drainEntries = 0;
     double avgReadLatencyNs = 0.0;
 
-    // Energy (Figure 16), in pJ.
-    double readEnergyPj = 0.0;
-    double writeEnergyPj = 0.0;
-    double totalEnergyPj = 0.0;
+    // Energy (Figure 16).
+    Picojoules readEnergyPj;
+    Picojoules writeEnergyPj;
+    Picojoules totalEnergyPj;
 
     // Wear Quota activity.
     std::uint64_t quotaPeriods = 0;
@@ -81,7 +82,7 @@ struct SimReport
      * per attempt, so cancelled attempts and their retries are
      * already included.
      */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalBankWrites() const
     {
         return issuedNormalWrites + issuedSlowWrites +
@@ -89,7 +90,7 @@ struct SimReport
     }
 
     /** All requests issued to banks (Figure 15's y-axis). */
-    std::uint64_t
+    [[nodiscard]] std::uint64_t
     totalBankRequests() const
     {
         return memReads + totalBankWrites();

@@ -84,7 +84,8 @@ runConfigs(std::vector<SystemConfig> configs)
         }
     };
     std::vector<std::thread> threads;
-    unsigned n = std::min<std::size_t>(jobs, configs.size());
+    unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(jobs, configs.size()));
     threads.reserve(n);
     for (unsigned t = 0; t < n; ++t)
         threads.emplace_back(worker);

@@ -63,7 +63,7 @@ System::run()
     while (warm_instrs < _config.warmupInstructions) {
         Op op = _workload->next();
         warm_instrs += op.gap + 1;
-        _hierarchy->prime(op.addr, op.isWrite);
+        _hierarchy->prime(LogicalAddr(op.addr), op.isWrite);
     }
 
     _core->start(_config.instructions);
@@ -111,7 +111,7 @@ System::run()
     double lat_weighted = 0.0;
     std::uint64_t lat_samples = 0;
     for (unsigned c = 0; c < _memory->numChannels(); ++c) {
-        const MemoryController &ctrl = _memory->channel(c);
+        const MemoryController &ctrl = _memory->channel(ChannelId(c));
         const MemControllerStats &m = ctrl.stats();
         r.memReads += m.issuedReads.value();
         r.forwardedReads += m.forwardedReads.value();
@@ -134,8 +134,9 @@ System::run()
             r.quotaPeriods = std::max(r.quotaPeriods, q->numPeriods());
             for (unsigned b = 0;
                  b < ctrl.config().geometry.numBanks; ++b) {
-                r.quotaSlowOnlyPeriods = std::max(
-                    r.quotaSlowOnlyPeriods, q->slowOnlyPeriods(b));
+                r.quotaSlowOnlyPeriods =
+                    std::max(r.quotaSlowOnlyPeriods,
+                             q->slowOnlyPeriods(BankId(b)));
             }
         }
 

@@ -100,20 +100,23 @@ class System
     SimReport run();
 
     // Component access for examples/tests that want to inspect state.
-    EventQueue &eventQueue() { return _eventq; }
-    MemorySystem &memory() { return *_memory; }
+    [[nodiscard]] EventQueue &eventQueue() { return _eventq; }
+    [[nodiscard]] MemorySystem &memory() { return *_memory; }
     /** Channel 0's controller (the only one in the paper's setup). */
-    MemoryController &controller() { return _memory->channel(0); }
-    Hierarchy &hierarchy() { return *_hierarchy; }
-    TraceCore &core() { return *_core; }
-    Workload &workload() { return *_workload; }
-    const SystemConfig &config() const { return _config; }
+    [[nodiscard]] MemoryController &controller()
+    {
+        return _memory->channel(ChannelId(0));
+    }
+    [[nodiscard]] Hierarchy &hierarchy() { return *_hierarchy; }
+    [[nodiscard]] TraceCore &core() { return *_core; }
+    [[nodiscard]] Workload &workload() { return *_workload; }
+    [[nodiscard]] const SystemConfig &config() const { return _config; }
 
     /**
      * The invariant-checker registry, or nullptr when checking is
      * compiled out (MELLOWSIM_CHECKS=OFF) or disabled in the config.
      */
-    const InvariantRegistry *invariantChecks() const
+    [[nodiscard]] const InvariantRegistry *invariantChecks() const
     {
         return _checks.get();
     }

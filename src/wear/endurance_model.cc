@@ -20,18 +20,26 @@ EnduranceModel::EnduranceModel(const EnduranceParams &params)
 }
 
 double
-EnduranceModel::enduranceAtFactor(double n) const
+EnduranceModel::enduranceAtRatio(double n) const
 {
     fatal_if(n <= 0.0, "latency factor must be positive (got %f)", n);
     return _params.baseEndurance * std::pow(n, _params.expoFactor);
 }
 
 double
+EnduranceModel::enduranceAtFactor(PulseFactor n) const
+{
+    return enduranceAtRatio(n.value());
+}
+
+double
 EnduranceModel::enduranceAt(Tick writeLatency) const
 {
+    // Cancelled or test-driven pulses may be shorter than the
+    // baseline; the ratio path deliberately stays unclamped.
     double n = static_cast<double>(writeLatency) /
                static_cast<double>(_params.baseWriteLatency);
-    return enduranceAtFactor(n);
+    return enduranceAtRatio(n);
 }
 
 double
@@ -41,7 +49,7 @@ EnduranceModel::wearPerWrite(Tick writeLatency) const
 }
 
 double
-EnduranceModel::wearPerWriteFactor(double n) const
+EnduranceModel::wearPerWriteFactor(PulseFactor n) const
 {
     return 1.0 / enduranceAtFactor(n);
 }

@@ -15,6 +15,7 @@
 #ifndef MELLOWSIM_WEAR_ENDURANCE_MODEL_HH
 #define MELLOWSIM_WEAR_ENDURANCE_MODEL_HH
 
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 
 namespace mellowsim
@@ -43,23 +44,29 @@ class EnduranceModel
     explicit EnduranceModel(const EnduranceParams &params = {});
 
     /** Endurance (total writes to failure) for a given pulse time. */
-    double enduranceAt(Tick writeLatency) const;
+    [[nodiscard]] double enduranceAt(Tick writeLatency) const;
 
     /** Endurance for a latency slow-down factor N (N=1 is baseline). */
-    double enduranceAtFactor(double n) const;
+    [[nodiscard]] double enduranceAtFactor(PulseFactor n) const;
 
     /**
      * Wear units contributed by a single write at the given latency:
      * the fraction of the cell's life consumed, 1 / Endurance.
      */
-    double wearPerWrite(Tick writeLatency) const;
+    [[nodiscard]] double wearPerWrite(Tick writeLatency) const;
 
     /** Wear units for a latency factor N. */
-    double wearPerWriteFactor(double n) const;
+    [[nodiscard]] double wearPerWriteFactor(PulseFactor n) const;
 
-    const EnduranceParams &params() const { return _params; }
+    [[nodiscard]] const EnduranceParams &params() const
+    {
+        return _params;
+    }
 
   private:
+    /** Shared power law over the (unclamped) latency ratio. */
+    [[nodiscard]] double enduranceAtRatio(double n) const;
+
     EnduranceParams _params;
 };
 

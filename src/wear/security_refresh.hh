@@ -41,30 +41,31 @@ class SecurityRefresh : public WearLeveler
                     std::uint64_t refreshInterval = 100,
                     std::uint64_t seed = 0xBADC0DE5ull);
 
-    std::uint64_t numBlocks() const override { return _numBlocks; }
-    std::uint64_t numPhysicalBlocks() const override
+    [[nodiscard]] std::uint64_t numBlocks() const override { return _numBlocks; }
+    [[nodiscard]] std::uint64_t numPhysicalBlocks() const override
     {
         return _numBlocks;
     }
 
-    std::uint64_t remap(std::uint64_t logicalBlock) const override;
+    [[nodiscard]] std::uint64_t
+    remap(std::uint64_t logicalBlock) const override;
 
     unsigned noteWrite(std::uint64_t *extra = nullptr) override;
 
-    const char *name() const override { return "security-refresh"; }
+    [[nodiscard]] const char *name() const override { return "security-refresh"; }
 
     /** Completed refresh rounds (key rotations). */
-    std::uint64_t rounds() const { return _rounds; }
+    [[nodiscard]] std::uint64_t rounds() const { return _rounds; }
 
     /** Refresh-pointer position within the current round. */
-    std::uint64_t refreshPointer() const { return _rp; }
+    [[nodiscard]] std::uint64_t refreshPointer() const { return _rp; }
 
-    std::uint64_t currentKey() const { return _kCur; }
-    std::uint64_t nextKey() const { return _kNext; }
+    [[nodiscard]] std::uint64_t currentKey() const { return _kCur; }
+    [[nodiscard]] std::uint64_t nextKey() const { return _kNext; }
 
   private:
     /** True once the current round has re-keyed this block. */
-    bool refreshed(std::uint64_t logicalBlock) const;
+    [[nodiscard]] bool refreshed(std::uint64_t logicalBlock) const;
 
     std::uint64_t _numBlocks;
     std::uint64_t _mask;

@@ -46,16 +46,17 @@ class StartGap : public WearLeveler
                       std::uint64_t gapWritePeriod = 100);
 
     /** Number of logical blocks. */
-    std::uint64_t numBlocks() const override { return _numBlocks; }
+    [[nodiscard]] std::uint64_t numBlocks() const override { return _numBlocks; }
 
     /** Number of physical blocks (logical + 1 gap). */
-    std::uint64_t numPhysicalBlocks() const override
+    [[nodiscard]] std::uint64_t numPhysicalBlocks() const override
     {
         return _numBlocks + 1;
     }
 
     /** Map a logical block index to its current physical block. */
-    std::uint64_t remap(std::uint64_t logicalBlock) const override;
+    [[nodiscard]] std::uint64_t
+    remap(std::uint64_t logicalBlock) const override;
 
     /**
      * Account one demand write; possibly moves the gap.
@@ -67,11 +68,11 @@ class StartGap : public WearLeveler
      */
     unsigned noteWrite(std::uint64_t *extra = nullptr) override;
 
-    const char *name() const override { return "start-gap"; }
+    [[nodiscard]] const char *name() const override { return "start-gap"; }
 
-    std::uint64_t start() const { return _start; }
-    std::uint64_t gap() const { return _gap; }
-    std::uint64_t gapMoves() const { return _gapMoves; }
+    [[nodiscard]] std::uint64_t start() const { return _start; }
+    [[nodiscard]] std::uint64_t gap() const { return _gap; }
+    [[nodiscard]] std::uint64_t gapMoves() const { return _gapMoves; }
 
   private:
     std::uint64_t _numBlocks;

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "sim/strong_types.hh"
+
 namespace mellowsim
 {
 
@@ -27,7 +29,7 @@ enum class WearLevelerKind
 };
 
 /** Printable name of a leveler kind. */
-const char *wearLevelerKindName(WearLevelerKind kind);
+[[nodiscard]] const char *wearLevelerKindName(WearLevelerKind kind);
 
 /** Logical-to-physical block remapper that rotates over time. */
 class WearLeveler
@@ -36,13 +38,30 @@ class WearLeveler
     virtual ~WearLeveler() = default;
 
     /** Logical blocks managed. */
-    virtual std::uint64_t numBlocks() const = 0;
+    [[nodiscard]] virtual std::uint64_t numBlocks() const = 0;
 
     /** Physical blocks used (>= numBlocks; Start-Gap has one spare). */
-    virtual std::uint64_t numPhysicalBlocks() const = 0;
+    [[nodiscard]] virtual std::uint64_t numPhysicalBlocks() const = 0;
 
-    /** Current physical home of a logical block. */
-    virtual std::uint64_t remap(std::uint64_t logicalBlock) const = 0;
+    /**
+     * Current physical home of a block, as a raw index permutation.
+     * This is the mechanism; typed callers go through translate(),
+     * the sanctioned DeviceAddr -> LeveledAddr boundary. The raw
+     * form stays public for the leveler property tests, which compose
+     * permutations (StartGap o SecurityRefresh) inside one space.
+     */
+    [[nodiscard]] virtual std::uint64_t
+    remap(std::uint64_t logicalBlock) const = 0;
+
+    /**
+     * The one sanctioned conversion from the device-line space into
+     * the wear-leveled physical-block space (see strong_types.hh).
+     */
+    [[nodiscard]] LeveledAddr
+    translate(DeviceAddr line) const
+    {
+        return LeveledAddr(remap(line.value()));
+    }
 
     /**
      * Account one demand write; the leveler may perform maintenance
@@ -56,7 +75,7 @@ class WearLeveler
     virtual unsigned noteWrite(std::uint64_t *extra = nullptr) = 0;
 
     /** Scheme name for reports. */
-    virtual const char *name() const = 0;
+    [[nodiscard]] virtual const char *name() const = 0;
 };
 
 /** Identity mapping: no leveling (the comparison baseline). */
@@ -67,18 +86,21 @@ class NoLeveling : public WearLeveler
     {
     }
 
-    std::uint64_t numBlocks() const override { return _numBlocks; }
-    std::uint64_t numPhysicalBlocks() const override
+    [[nodiscard]] std::uint64_t numBlocks() const override
     {
         return _numBlocks;
     }
-    std::uint64_t
+    [[nodiscard]] std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks;
+    }
+    [[nodiscard]] std::uint64_t
     remap(std::uint64_t logicalBlock) const override
     {
         return logicalBlock;
     }
     unsigned noteWrite(std::uint64_t *) override { return 0; }
-    const char *name() const override { return "none"; }
+    [[nodiscard]] const char *name() const override { return "none"; }
 
   private:
     std::uint64_t _numBlocks;

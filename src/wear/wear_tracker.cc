@@ -65,18 +65,19 @@ WearTracker::WearTracker(const WearTrackerConfig &config,
 }
 
 void
-WearTracker::addWear(unsigned bank, std::uint64_t logicalBlock,
-                     double units, bool countAsWrite)
+WearTracker::addWear(BankId bank, DeviceAddr line, double units,
+                     bool countAsWrite)
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    BankState &b = _banks[bank];
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    BankState &b = _banks[bank.value()];
     b.stats.wearUnits += units;
     if (!_config.detailedBlocks)
         return;
 
-    std::uint64_t block = logicalBlock % _config.blocksPerBank;
-    std::uint64_t phys = b.leveler->remap(block);
-    b.blockWear[phys] += units;
+    DeviceAddr block(line.value() % _config.blocksPerBank);
+    LeveledAddr phys = b.leveler->translate(block);
+    b.blockWear[phys.value()] += units;
 
     if (countAsWrite) {
         std::uint64_t extra[2] = {0, 0};
@@ -84,7 +85,7 @@ WearTracker::addWear(unsigned bank, std::uint64_t logicalBlock,
         for (unsigned i = 0; i < moves; ++i) {
             // Maintenance copies are normal-speed writes to their
             // destination blocks.
-            double copy_units = _model.wearPerWriteFactor(1.0);
+            double copy_units = _model.wearPerWriteFactor(PulseFactor(1.0));
             b.blockWear[extra[i]] += copy_units;
             b.stats.wearUnits += copy_units;
             ++b.stats.gapMoveWrites;
@@ -93,12 +94,12 @@ WearTracker::addWear(unsigned bank, std::uint64_t logicalBlock,
 }
 
 void
-WearTracker::recordWrite(unsigned bank, std::uint64_t logicalBlock,
+WearTracker::recordWrite(BankId bank, DeviceAddr line,
                          Tick writeLatency, bool slow)
 {
-    addWear(bank, logicalBlock, _model.wearPerWrite(writeLatency),
+    addWear(bank, line, _model.wearPerWrite(writeLatency),
             /*countAsWrite=*/true);
-    BankWearStats &s = _banks[bank].stats;
+    BankWearStats &s = _banks[bank.value()].stats;
     if (slow)
         ++s.slowWrites;
     else
@@ -106,8 +107,7 @@ WearTracker::recordWrite(unsigned bank, std::uint64_t logicalBlock,
 }
 
 void
-WearTracker::recordCancelledWrite(unsigned bank,
-                                  std::uint64_t logicalBlock,
+WearTracker::recordCancelledWrite(BankId bank, DeviceAddr line,
                                   Tick writeLatency, Tick elapsed,
                                   bool slow, double cancelWearFraction)
 {
@@ -120,16 +120,17 @@ WearTracker::recordCancelledWrite(unsigned bank,
     double units = _model.wearPerWrite(writeLatency) * progress *
                    cancelWearFraction;
     // A cancelled attempt does not advance Start-Gap (the retry will).
-    addWear(bank, logicalBlock, units, /*countAsWrite=*/false);
-    ++_banks[bank].stats.cancelledWrites;
+    addWear(bank, line, units, /*countAsWrite=*/false);
+    ++_banks[bank.value()].stats.cancelledWrites;
     (void)slow;
 }
 
 const BankWearStats &
-WearTracker::bankStats(unsigned bank) const
+WearTracker::bankStats(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    return _banks[bank].stats;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    return _banks[bank.value()].stats;
 }
 
 double
@@ -151,10 +152,11 @@ WearTracker::maxBankWearUnits() const
 }
 
 double
-WearTracker::bankLifetimeSeconds(unsigned bank, Tick simTime) const
+WearTracker::bankLifetimeSeconds(BankId bank, Tick simTime) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
-    double wear = _banks[bank].stats.wearUnits;
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
+    double wear = _banks[bank.value()].stats.wearUnits;
     // No wear, or no simulated time to extrapolate from: the bank
     // lives forever as far as this run can tell (never 0/0 = NaN).
     if (wear <= 0.0 || simTime == 0)
@@ -169,7 +171,8 @@ WearTracker::lifetimeSeconds(Tick simTime) const
 {
     double min_life = std::numeric_limits<double>::infinity();
     for (unsigned i = 0; i < _banks.size(); ++i)
-        min_life = std::min(min_life, bankLifetimeSeconds(i, simTime));
+        min_life =
+            std::min(min_life, bankLifetimeSeconds(BankId(i), simTime));
     return min_life;
 }
 
@@ -180,22 +183,24 @@ WearTracker::lifetimeYears(Tick simTime) const
 }
 
 double
-WearTracker::maxBlockWear(unsigned bank) const
+WearTracker::maxBlockWear(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
     panic_if(!_config.detailedBlocks,
              "maxBlockWear requires detailedBlocks mode");
-    const auto &wear = _banks[bank].blockWear;
+    const auto &wear = _banks[bank.value()].blockWear;
     return *std::max_element(wear.begin(), wear.end());
 }
 
 double
-WearTracker::meanBlockWear(unsigned bank) const
+WearTracker::meanBlockWear(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
     panic_if(!_config.detailedBlocks,
              "meanBlockWear requires detailedBlocks mode");
-    const auto &wear = _banks[bank].blockWear;
+    const auto &wear = _banks[bank.value()].blockWear;
     double sum = 0.0;
     for (double w : wear)
         sum += w;
@@ -203,12 +208,13 @@ WearTracker::meanBlockWear(unsigned bank) const
 }
 
 const WearLeveler &
-WearTracker::leveler(unsigned bank) const
+WearTracker::leveler(BankId bank) const
 {
-    panic_if(bank >= _banks.size(), "bank %u out of range", bank);
+    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
+             bank.value());
     panic_if(!_config.detailedBlocks,
              "leveler access requires detailedBlocks mode");
-    return *_banks[bank].leveler;
+    return *_banks[bank.value()].leveler;
 }
 
 } // namespace mellowsim

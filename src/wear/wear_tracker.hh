@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/stats.hh"
+#include "sim/strong_types.hh"
 #include "sim/types.hh"
 #include "wear/endurance_model.hh"
 #include "wear/wear_leveler.hh"
@@ -84,12 +85,12 @@ class WearTracker
      * Account a completed write.
      *
      * @param bank          Bank index.
-     * @param logicalBlock  Block index within the bank (pre-leveling).
+     * @param line          Device line written (post fault remap).
      * @param writeLatency  Device pulse time actually used.
      * @param slow          True if this was a slow write (for counts).
      */
-    void recordWrite(unsigned bank, std::uint64_t logicalBlock,
-                     Tick writeLatency, bool slow);
+    void recordWrite(BankId bank, DeviceAddr line, Tick writeLatency,
+                     bool slow);
 
     /**
      * Account a cancelled write attempt: the pulse ran for
@@ -97,46 +98,50 @@ class WearTracker
      * the cell by the completed fraction scaled by
      * @p cancelWearFraction (see DESIGN.md "Substitutions").
      */
-    void recordCancelledWrite(unsigned bank, std::uint64_t logicalBlock,
+    void recordCancelledWrite(BankId bank, DeviceAddr line,
                               Tick writeLatency, Tick elapsed,
                               bool slow, double cancelWearFraction);
 
     /** Aggregate stats of one bank. */
-    const BankWearStats &bankStats(unsigned bank) const;
+    [[nodiscard]] const BankWearStats &bankStats(BankId bank) const;
 
     /** Total wear units over all banks. */
-    double totalWearUnits() const;
+    [[nodiscard]] double totalWearUnits() const;
 
     /** Wear units of the most-worn bank. */
-    double maxBankWearUnits() const;
+    [[nodiscard]] double maxBankWearUnits() const;
 
     /**
      * Leveled lifetime extrapolation in seconds for the whole memory
      * (minimum over banks), given the simulated time @p simTime.
      * Returns +inf if nothing was written.
      */
-    double lifetimeSeconds(Tick simTime) const;
+    [[nodiscard]] double lifetimeSeconds(Tick simTime) const;
 
     /** Same, in years. */
-    double lifetimeYears(Tick simTime) const;
+    [[nodiscard]] double lifetimeYears(Tick simTime) const;
 
     /** Lifetime of a single bank, in seconds. */
-    double bankLifetimeSeconds(unsigned bank, Tick simTime) const;
+    [[nodiscard]] double bankLifetimeSeconds(BankId bank,
+                                             Tick simTime) const;
 
     /**
      * Detailed mode only: maximum per-physical-block wear units in a
      * bank, for verifying the leveling assumption.
      */
-    double maxBlockWear(unsigned bank) const;
+    [[nodiscard]] double maxBlockWear(BankId bank) const;
 
     /** Detailed mode only: mean per-physical-block wear units. */
-    double meanBlockWear(unsigned bank) const;
+    [[nodiscard]] double meanBlockWear(BankId bank) const;
 
-    const WearTrackerConfig &config() const { return _config; }
-    const EnduranceModel &model() const { return _model; }
+    [[nodiscard]] const WearTrackerConfig &config() const
+    {
+        return _config;
+    }
+    [[nodiscard]] const EnduranceModel &model() const { return _model; }
 
     /** Wear-leveler state for a bank (detailed mode only). */
-    const WearLeveler &leveler(unsigned bank) const;
+    [[nodiscard]] const WearLeveler &leveler(BankId bank) const;
 
   private:
     struct BankState
@@ -146,8 +151,8 @@ class WearTracker
         std::vector<double> blockWear;        // detailed mode, physical
     };
 
-    void addWear(unsigned bank, std::uint64_t logicalBlock,
-                 double units, bool countAsWrite);
+    void addWear(BankId bank, DeviceAddr line, double units,
+                 bool countAsWrite);
 
     WearTrackerConfig _config;
     const EnduranceModel &_model;

@@ -1,0 +1,5 @@
+// Adding two addresses is meaningless; only offsetting by a raw
+// delta (addr + 64) stays inside a space.
+#include "sim/strong_types.hh"
+
+auto sum = mellowsim::LogicalAddr(64) + mellowsim::LogicalAddr(64);

@@ -1,0 +1,4 @@
+// A bank id is not a channel id even though both are unsigned.
+#include "sim/strong_types.hh"
+
+mellowsim::ChannelId ch = mellowsim::BankId(0);

@@ -1,0 +1,5 @@
+// A device line is not a wear-leveled block; the only way across is
+// WearLeveler::translate().
+#include "sim/strong_types.hh"
+
+mellowsim::LeveledAddr block = mellowsim::DeviceAddr(7);

@@ -1,0 +1,5 @@
+// The slow-write multiplier is not a bare double: construction is the
+// clamp point (>= 1.0), so it must be spelled out.
+#include "sim/strong_types.hh"
+
+mellowsim::PulseFactor f = 3.0;

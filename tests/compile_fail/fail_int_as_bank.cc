@@ -1,0 +1,6 @@
+// Bank ids are not bare integers: a bank parameter cannot be fed a
+// literal (swapped bank/line arguments used to compile).
+#include "sim/strong_types.hh"
+
+void touchBank(mellowsim::BankId bank);
+void caller() { touchBank(3); }

@@ -1,0 +1,5 @@
+// A pre-remap line index is not a device line; the only way across is
+// FaultModel::remap() / deviceLineOf().
+#include "sim/strong_types.hh"
+
+mellowsim::DeviceAddr line = mellowsim::LineIndex(3);

@@ -1,0 +1,4 @@
+// A logical address must not implicitly decay to its representation.
+#include "sim/strong_types.hh"
+
+mellowsim::Addr raw = mellowsim::LogicalAddr(0x1000);

@@ -1,0 +1,5 @@
+// Logical and device lines are different spaces: comparing them is a
+// category error, not a question with a boolean answer.
+#include "sim/strong_types.hh"
+
+bool same = mellowsim::LogicalAddr(64) == mellowsim::DeviceAddr(64);

@@ -1,0 +1,4 @@
+// Energy plus a bare double has no unit; scaling (pj * 2.0) does.
+#include "sim/strong_types.hh"
+
+auto e = mellowsim::Picojoules(1.0) + 2.0;

@@ -1,0 +1,4 @@
+// Energy must not implicitly decay to a unitless double.
+#include "sim/strong_types.hh"
+
+double raw = mellowsim::Picojoules(197.6);

@@ -1,0 +1,5 @@
+// Timing::slowWritePulse takes a validated PulseFactor, never a raw
+// double (which used to allow sub-baseline pulses through).
+#include "nvm/timing.hh"
+
+mellowsim::Tick t = mellowsim::NvmTimingParams{}.slowWritePulse(3.0);

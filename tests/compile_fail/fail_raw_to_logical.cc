@@ -1,0 +1,4 @@
+// A raw integer must not implicitly become a logical address.
+#include "sim/strong_types.hh"
+
+mellowsim::LogicalAddr addr = 0x1000;

@@ -16,8 +16,8 @@ TEST(AddressMap, RowChunksInterleaveAcrossBanks)
     AddressMap map{g};
     for (unsigned i = 0; i < 64; ++i) {
         DecodedAddr d =
-            map.decode(static_cast<Addr>(i) * g.interleaveBytes);
-        EXPECT_EQ(d.bank, i % 16);
+            map.decode(LogicalAddr(static_cast<Addr>(i) * g.interleaveBytes));
+        EXPECT_EQ(d.bank.value(), i % 16);
     }
 }
 
@@ -26,20 +26,20 @@ TEST(AddressMap, BlocksWithinAChunkShareABank)
     MemGeometry g;
     g.pageScramble = false;
     AddressMap map{g};
-    DecodedAddr first = map.decode(0);
+    DecodedAddr first = map.decode(LogicalAddr(0));
     for (Addr a = 0; a < g.interleaveBytes; a += kBlockSize) {
-        DecodedAddr d = map.decode(a);
+        DecodedAddr d = map.decode(LogicalAddr(a));
         EXPECT_EQ(d.bank, first.bank);
         // Consecutive blocks are consecutive within the bank.
-        EXPECT_EQ(d.blockInBank, a >> kBlockShift);
+        EXPECT_EQ(d.blockInBank.value(), a >> kBlockShift);
     }
 }
 
 TEST(AddressMap, SubBlockOffsetsShareBlock)
 {
     AddressMap map{MemGeometry{}};
-    DecodedAddr a = map.decode(0x1000);
-    DecodedAddr b = map.decode(0x1000 + 63);
+    DecodedAddr a = map.decode(LogicalAddr(0x1000));
+    DecodedAddr b = map.decode(LogicalAddr(0x1000 + 63));
     EXPECT_EQ(a.bank, b.bank);
     EXPECT_EQ(a.blockInBank, b.blockInBank);
     EXPECT_EQ(a.rowTag, b.rowTag);
@@ -52,8 +52,9 @@ TEST(AddressMap, BlockInterleaveOptionRestoresFineGrain)
     g.pageScramble = false;
     AddressMap map{g};
     for (unsigned i = 0; i < 64; ++i) {
-        DecodedAddr d = map.decode(static_cast<Addr>(i) * kBlockSize);
-        EXPECT_EQ(d.bank, i % 16);
+        DecodedAddr d =
+            map.decode(LogicalAddr(static_cast<Addr>(i) * kBlockSize));
+        EXPECT_EQ(d.bank.value(), i % 16);
     }
 }
 
@@ -65,8 +66,8 @@ TEST(AddressMap, RankGroupsBanksEvenly)
     AddressMap map{g};
     for (unsigned i = 0; i < 16; ++i) {
         DecodedAddr d =
-            map.decode(static_cast<Addr>(i) * g.interleaveBytes);
-        EXPECT_EQ(d.rank, d.bank / 4);
+            map.decode(LogicalAddr(static_cast<Addr>(i) * g.interleaveBytes));
+        EXPECT_EQ(d.rank, d.bank.value() / 4);
     }
 }
 
@@ -78,8 +79,8 @@ TEST(AddressMap, RowTagChangesEveryRowBufferSegment)
     std::uint64_t blocks_per_buffer = g.rowBufferBytes / kBlockSize;
     // Walk one 16 KB chunk of bank 0: 256 blocks = 16 segments.
     for (std::uint64_t i = 0; i < 256; ++i) {
-        DecodedAddr d = map.decode(i * kBlockSize);
-        EXPECT_EQ(d.bank, 0u);
+        DecodedAddr d = map.decode(LogicalAddr(i * kBlockSize));
+        EXPECT_EQ(d.bank.value(), 0u);
         EXPECT_EQ(d.rowTag, i / blocks_per_buffer);
     }
 }
@@ -88,8 +89,8 @@ TEST(AddressMap, CapacityWrapsNotOverflows)
 {
     MemGeometry g;
     AddressMap map{g};
-    DecodedAddr d = map.decode(g.capacityBytes + 128);
-    DecodedAddr e = map.decode(128);
+    DecodedAddr d = map.decode(LogicalAddr(g.capacityBytes + 128));
+    DecodedAddr e = map.decode(LogicalAddr(128));
     EXPECT_EQ(d.bank, e.bank);
     EXPECT_EQ(d.blockInBank, e.blockInBank);
 }
@@ -110,9 +111,9 @@ TEST(AddressMap, BlockInBankStaysInRange)
     g.numRanks = 2;
     AddressMap map{g};
     for (Addr a = 0; a < g.capacityBytes; a += 4096 + kBlockSize) {
-        DecodedAddr d = map.decode(a);
-        EXPECT_LT(d.blockInBank, g.blocksPerBank());
-        EXPECT_LT(d.bank, g.numBanks);
+        DecodedAddr d = map.decode(LogicalAddr(a));
+        EXPECT_LT(d.blockInBank.value(), g.blocksPerBank());
+        EXPECT_LT(d.bank.value(), g.numBanks);
     }
 }
 
@@ -126,8 +127,9 @@ TEST(AddressMap, DistinctBlocksDecodeDistinctly)
     AddressMap map{g};
     std::set<std::pair<unsigned, std::uint64_t>> seen;
     for (Addr a = 0; a < g.capacityBytes; a += kBlockSize) {
-        DecodedAddr d = map.decode(a);
-        EXPECT_TRUE(seen.insert({d.bank, d.blockInBank}).second);
+        DecodedAddr d = map.decode(LogicalAddr(a));
+        EXPECT_TRUE(
+            seen.insert({d.bank.value(), d.blockInBank.value()}).second);
     }
     EXPECT_EQ(seen.size(), g.capacityBytes / kBlockSize);
 }
@@ -166,7 +168,8 @@ TEST_P(AddressMapBankSweep, InterleaveCoversAllBanks)
     std::set<unsigned> banks;
     for (unsigned i = 0; i < g.numBanks * 3; ++i) {
         banks.insert(
-            map.decode(static_cast<Addr>(i) * g.interleaveBytes).bank);
+            map.decode(LogicalAddr(static_cast<Addr>(i) * g.interleaveBytes))
+                .bank.value());
     }
     EXPECT_EQ(banks.size(), g.numBanks);
 }
@@ -185,10 +188,10 @@ TEST(AddressMap, TranslateIsABijectionOverPages)
     AddressMap map{g};
     std::set<Addr> seen;
     for (std::uint64_t p = 0; p < 1024; ++p) {
-        Addr t = map.translate(p * 4096);
-        EXPECT_EQ(t % 4096, 0u);
-        EXPECT_LT(t, g.capacityBytes);
-        EXPECT_TRUE(seen.insert(t).second) << "page " << p;
+        LogicalAddr t = map.translate(LogicalAddr(p * 4096));
+        EXPECT_EQ(t.value() % 4096, 0u);
+        EXPECT_LT(t.value(), g.capacityBytes);
+        EXPECT_TRUE(seen.insert(t.value()).second) << "page " << p;
     }
 }
 
@@ -201,16 +204,20 @@ TEST(AddressMap, TranslateIsABijectionOddBitCount)
     AddressMap map{g};
     std::set<Addr> seen;
     for (std::uint64_t p = 0; p < 512; ++p)
-        EXPECT_TRUE(seen.insert(map.translate(p * 4096)).second);
+        EXPECT_TRUE(
+            seen.insert(map.translate(LogicalAddr(p * 4096)).value())
+                .second);
     EXPECT_EQ(seen.size(), 512u);
 }
 
 TEST(AddressMap, TranslatePreservesPageOffsets)
 {
     AddressMap map{MemGeometry{}};
-    Addr base = map.translate(123 * 4096);
-    for (Addr off = 0; off < 4096; off += 64)
-        EXPECT_EQ(map.translate(123 * 4096 + off), base + off);
+    LogicalAddr base = map.translate(LogicalAddr(123 * 4096));
+    for (Addr off = 0; off < 4096; off += 64) {
+        EXPECT_EQ(map.translate(LogicalAddr(123 * 4096 + off)).value(),
+                  base.value() + off);
+    }
 }
 
 TEST(AddressMap, ScrambleActuallyPermutes)
@@ -220,7 +227,7 @@ TEST(AddressMap, ScrambleActuallyPermutes)
     AddressMap map{g};
     int moved = 0;
     for (std::uint64_t p = 0; p < 256; ++p)
-        moved += map.translate(p * 4096) != p * 4096;
+        moved += map.translate(LogicalAddr(p * 4096)).value() != p * 4096;
     EXPECT_GT(moved, 250);
 }
 
@@ -235,7 +242,8 @@ TEST(AddressMap, ScrambleBreaksConstantStrideBankAlignment)
     for (int i = 0; i < kPairs; ++i) {
         Addr a = static_cast<Addr>(i) * (1ull << 21);
         Addr b = a + (1ull << 21);
-        same_bank += map.decode(a).bank == map.decode(b).bank;
+        same_bank +=
+            map.decode(LogicalAddr(a)).bank == map.decode(LogicalAddr(b)).bank;
     }
     // Uniform expectation is 1/16; allow generous slack but exclude
     // the pathological 100% the identity mapping produces.
@@ -254,5 +262,6 @@ TEST(AddressMap, ScrambleDeterministicAcrossInstances)
     AddressMap a{MemGeometry{}};
     AddressMap b{MemGeometry{}};
     for (std::uint64_t p = 0; p < 64; ++p)
-        EXPECT_EQ(a.translate(p * 4096), b.translate(p * 4096));
+        EXPECT_EQ(a.translate(LogicalAddr(p * 4096)),
+                  b.translate(LogicalAddr(p * 4096)));
 }

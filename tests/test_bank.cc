@@ -14,8 +14,8 @@ MemRequest
 req(Addr addr)
 {
     MemRequest r;
-    r.addr = addr;
-    r.loc.bank = 0;
+    r.addr = LogicalAddr(addr);
+    r.loc.bank = BankId(0);
     r.loc.rowTag = addr >> 10;
     return r;
 }
@@ -57,7 +57,7 @@ TEST(Bank, WriteOccupiesThroughPulse)
     EXPECT_TRUE(b.idleAt(170));
     EXPECT_FALSE(b.cancellableWrite(100));
     MemRequest done = b.finishWrite();
-    EXPECT_EQ(done.addr, 0x40u);
+    EXPECT_EQ(done.addr.value(), 0x40u);
     EXPECT_FALSE(b.writing(100));
 }
 
@@ -86,7 +86,7 @@ TEST(Bank, CancellableWriteCanBeCancelled)
     EXPECT_TRUE(b.cancellableWrite(50));
     Tick elapsed = 0;
     MemRequest r = b.cancelWrite(100, &elapsed);
-    EXPECT_EQ(r.addr, 0x80u);
+    EXPECT_EQ(r.addr.value(), 0x80u);
     EXPECT_EQ(elapsed, 80u); // pulse started at 20
     EXPECT_TRUE(b.idleAt(100));
     EXPECT_FALSE(b.writing(100));
@@ -175,7 +175,7 @@ TEST(Bank, PauseAndResumePreservesPulse)
     EXPECT_FALSE(b.hasPausedWrite());
     EXPECT_TRUE(b.writing(400));
     MemRequest r = b.finishWrite();
-    EXPECT_EQ(r.addr, 0x40u);
+    EXPECT_EQ(r.addr.value(), 0x40u);
     // Busy time: 100 (before pause) + 370 (after resume).
     EXPECT_EQ(b.busyTracker().busyTicks(), 470u);
 }

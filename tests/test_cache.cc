@@ -22,10 +22,10 @@ tiny(unsigned assoc = 4, std::uint64_t sets = 2)
 }
 
 /** Address landing in set @p set with tag id @p tag (2-set cache). */
-Addr
+LogicalAddr
 addrFor(std::uint64_t set, std::uint64_t tag, std::uint64_t num_sets = 2)
 {
-    return (tag * num_sets + set) * kBlockSize;
+    return LogicalAddr((tag * num_sets + set) * kBlockSize);
 }
 
 } // namespace
@@ -33,16 +33,16 @@ addrFor(std::uint64_t set, std::uint64_t tag, std::uint64_t num_sets = 2)
 TEST(Cache, MissOnEmpty)
 {
     SetAssocCache c(tiny());
-    EXPECT_FALSE(c.access(0x40, false).hit);
-    EXPECT_FALSE(c.probe(0x40));
+    EXPECT_FALSE(c.access(LogicalAddr(0x40), false).hit);
+    EXPECT_FALSE(c.probe(LogicalAddr(0x40)));
 }
 
 TEST(Cache, InsertThenHit)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, false);
-    EXPECT_TRUE(c.probe(0x40));
-    CacheAccessResult r = c.access(0x40, false);
+    c.insert(LogicalAddr(0x40), false);
+    EXPECT_TRUE(c.probe(LogicalAddr(0x40)));
+    CacheAccessResult r = c.access(LogicalAddr(0x40), false);
     EXPECT_TRUE(r.hit);
     EXPECT_EQ(r.lruPos, 0u);
 }
@@ -50,9 +50,9 @@ TEST(Cache, InsertThenHit)
 TEST(Cache, SubBlockOffsetsHitSameLine)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, false);
-    EXPECT_TRUE(c.access(0x7F, false).hit);
-    EXPECT_TRUE(c.access(0x41, false).hit);
+    c.insert(LogicalAddr(0x40), false);
+    EXPECT_TRUE(c.access(LogicalAddr(0x7F), false).hit);
+    EXPECT_TRUE(c.access(LogicalAddr(0x41), false).hit);
 }
 
 TEST(Cache, LruStackPositionsReported)
@@ -95,23 +95,23 @@ TEST(Cache, VictimCarriesDirtyBit)
 TEST(Cache, InvalidVictimWhenSetNotFull)
 {
     SetAssocCache c(tiny());
-    CacheVictim v = c.insert(0x40, false);
+    CacheVictim v = c.insert(LogicalAddr(0x40), false);
     EXPECT_FALSE(v.valid);
 }
 
 TEST(Cache, DoubleInsertPanics)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, false);
-    EXPECT_THROW(c.insert(0x40, true), PanicError);
+    c.insert(LogicalAddr(0x40), false);
+    EXPECT_THROW(c.insert(LogicalAddr(0x40), true), PanicError);
 }
 
 TEST(Cache, WriteSetsDirty)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, false);
+    c.insert(LogicalAddr(0x40), false);
     EXPECT_EQ(c.countDirtyLines(), 0u);
-    c.access(0x40, true);
+    c.access(LogicalAddr(0x40), true);
     EXPECT_EQ(c.countDirtyLines(), 1u);
 }
 
@@ -130,27 +130,27 @@ TEST(Cache, NoLruUpdateOptionKeepsStack)
 TEST(Cache, CleanLineForEagerWrite)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, true);
-    EXPECT_TRUE(c.cleanLineForEagerWrite(0x40));
+    c.insert(LogicalAddr(0x40), true);
+    EXPECT_TRUE(c.cleanLineForEagerWrite(LogicalAddr(0x40)));
     EXPECT_EQ(c.countDirtyLines(), 0u);
-    EXPECT_TRUE(c.probe(0x40)); // NOT evicted
+    EXPECT_TRUE(c.probe(LogicalAddr(0x40))); // NOT evicted
     // Already clean: returns false.
-    EXPECT_FALSE(c.cleanLineForEagerWrite(0x40));
+    EXPECT_FALSE(c.cleanLineForEagerWrite(LogicalAddr(0x40)));
     // Absent line: returns false.
-    EXPECT_FALSE(c.cleanLineForEagerWrite(0x1000040));
+    EXPECT_FALSE(c.cleanLineForEagerWrite(LogicalAddr(0x1000040)));
 }
 
 TEST(Cache, RedirtyingEagerCleanedLineFlagsWaste)
 {
     SetAssocCache c(tiny());
-    c.insert(0x40, true);
-    c.cleanLineForEagerWrite(0x40);
-    c.access(0x40, false);
+    c.insert(LogicalAddr(0x40), true);
+    c.cleanLineForEagerWrite(LogicalAddr(0x40));
+    c.access(LogicalAddr(0x40), false);
     EXPECT_FALSE(c.lastWriteWastedEager()); // reads never waste
-    c.access(0x40, true);
+    c.access(LogicalAddr(0x40), true);
     EXPECT_TRUE(c.lastWriteWastedEager());
     // Only flagged once per eager clean.
-    c.access(0x40, true);
+    c.access(LogicalAddr(0x40), true);
     EXPECT_FALSE(c.lastWriteWastedEager());
 }
 
@@ -191,7 +191,7 @@ TEST(Cache, LruStackInclusionProperty)
     SetAssocCache large(tiny(4, 1));
     std::uint64_t tags[] = {1, 2, 3, 1, 4, 2, 5, 1, 3, 2, 6, 4, 1};
     for (std::uint64_t t : tags) {
-        Addr a = addrFor(0, t, 1);
+        LogicalAddr a = addrFor(0, t, 1);
         if (!small.access(a, false).hit)
             small.insert(a, false);
         if (!large.access(a, false).hit)
@@ -199,7 +199,7 @@ TEST(Cache, LruStackInclusionProperty)
     }
     // Every line in the small cache must be in the large cache.
     for (std::uint64_t t = 1; t <= 6; ++t) {
-        Addr a = addrFor(0, t, 1);
+        LogicalAddr a = addrFor(0, t, 1);
         if (small.probe(a)) {
             EXPECT_TRUE(large.probe(a)) << "tag " << t;
         }

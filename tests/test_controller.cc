@@ -33,10 +33,10 @@ smallConfig(const WritePolicyConfig &policy)
 }
 
 /** Address in a given bank/in-bank block (block interleave). */
-Addr
+LogicalAddr
 bankAddr(unsigned bank, std::uint64_t blockInBank, unsigned numBanks = 4)
 {
-    return (blockInBank * numBanks + bank) * kBlockSize;
+    return LogicalAddr((blockInBank * numBanks + bank) * kBlockSize);
 }
 
 constexpr Tick kReadMiss = Tick(142.5 * kNanosecond); // tRCD+tCAS+burst
@@ -115,7 +115,7 @@ TEST(Controller, WriteIssuesWhenNoReads)
     f.runFor(kMicrosecond);
     EXPECT_EQ(f.ctrl.stats().issuedNormalWrites.value(), 1u);
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 0u);
-    const BankWearStats &w = f.ctrl.wearTracker().bankStats(1);
+    const BankWearStats &w = f.ctrl.wearTracker().bankStats(BankId(1));
     EXPECT_EQ(w.normalWrites, 1u);
     EXPECT_EQ(w.slowWrites, 0u);
 }
@@ -126,7 +126,7 @@ TEST(Controller, SlowPolicyIssuesSlowWrites)
     f.ctrl.writeback(bankAddr(1, 5));
     f.runFor(kMicrosecond);
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 1u);
-    EXPECT_EQ(f.ctrl.wearTracker().bankStats(1).slowWrites, 1u);
+    EXPECT_EQ(f.ctrl.wearTracker().bankStats(BankId(1)).slowWrites, 1u);
 }
 
 TEST(Controller, BankAwareSingleWriteGoesSlow)
@@ -166,7 +166,7 @@ TEST(Controller, ReadsBlockWritesToSameBank)
     f.runFor(2 * kReadMiss);
     EXPECT_EQ(f.ctrl.stats().issuedNormalWrites.value(), 1u);
     f.runFor(2 * kReadMiss);
-    const BankWearStats &b1 = f.ctrl.wearTracker().bankStats(1);
+    const BankWearStats &b1 = f.ctrl.wearTracker().bankStats(BankId(1));
     EXPECT_EQ(b1.normalWrites, 1u);
     // Eventually the bank-0 write drains too.
     f.runFor(2 * kMicrosecond);
@@ -244,7 +244,7 @@ TEST(Controller, CancellationAbortsSlowWriteForRead)
     // The write retried: two slow issues for one writeback.
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 2u);
     // Cancelled attempt wears partially.
-    const BankWearStats &w = f.ctrl.wearTracker().bankStats(0);
+    const BankWearStats &w = f.ctrl.wearTracker().bankStats(BankId(0));
     EXPECT_EQ(w.cancelledWrites, 1u);
     EXPECT_EQ(w.slowWrites, 1u);
 }
@@ -288,7 +288,7 @@ TEST(Controller, EagerWritesIssueSlowOnIdleBanks)
     ASSERT_TRUE(f.ctrl.eagerWrite(bankAddr(3, 9)));
     f.runFor(kMicrosecond);
     EXPECT_EQ(f.ctrl.stats().issuedEagerSlow.value(), 1u);
-    EXPECT_EQ(f.ctrl.wearTracker().bankStats(3).slowWrites, 1u);
+    EXPECT_EQ(f.ctrl.wearTracker().bankStats(BankId(3)).slowWrites, 1u);
 }
 
 TEST(Controller, ENormIssuesEagerWritesAtNormalSpeed)
@@ -329,7 +329,7 @@ TEST(Controller, WearQuotaForcesSlowWritesUnderLoad)
     eq.run(eq.curTick() + 4 * kMillisecond);
     ASSERT_NE(ctrl.wearQuota(), nullptr);
     EXPECT_GT(ctrl.stats().issuedSlowWrites.value(), 0u);
-    EXPECT_GT(ctrl.wearQuota()->slowOnlyPeriods(0), 0u);
+    EXPECT_GT(ctrl.wearQuota()->slowOnlyPeriods(BankId(0)), 0u);
 }
 
 TEST(Controller, NoQuotaObjectWithoutWQ)
@@ -345,7 +345,7 @@ TEST(Controller, BankUtilizationTracksBusyTime)
     f.runFor(kMicrosecond);
     f.ctrl.finalize();
     // Bank 0 busy for burst+pulse = 170 ns out of 1000 ns.
-    EXPECT_NEAR(f.ctrl.bankUtilization(0), 0.17, 0.01);
+    EXPECT_NEAR(f.ctrl.bankUtilization(BankId(0)), 0.17, 0.01);
     EXPECT_NEAR(f.ctrl.avgBankUtilization(), 0.17 / 4, 0.005);
 }
 
@@ -389,8 +389,8 @@ TEST(Controller, AdaptiveLatencyPicksFactorByQuietTime)
     // Bank 3 never read: the full 3x factor applies.
     f.ctrl.writeback(bankAddr(3, 7));
     f.runFor(kMicrosecond);
-    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(3).wearUnits,
-                model.wearPerWriteFactor(3.0), 1e-12);
+    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(BankId(3)).wearUnits,
+                model.wearPerWriteFactor(PulseFactor(3.0)), 1e-12);
 
     // Bank 2 read 350 ns before the write: 3x (450 ns) does not fit
     // the quiet time, 2x (300 ns) does.
@@ -398,8 +398,8 @@ TEST(Controller, AdaptiveLatencyPicksFactorByQuietTime)
     f.runFor(Tick(350 * kNanosecond));
     f.ctrl.writeback(bankAddr(2, 9));
     f.runFor(2 * kMicrosecond);
-    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(2).wearUnits,
-                model.wearPerWriteFactor(2.0), 1e-12);
+    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(BankId(2)).wearUnits,
+                model.wearPerWriteFactor(PulseFactor(2.0)), 1e-12);
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 2u);
 }
 
@@ -413,10 +413,10 @@ TEST(Controller, AdaptiveLatencyKeepsQuotaWritesAtFullSlow)
     EventQueue eq;
     MemoryController ctrl(eq, cfg);
     // Cold-start slow-only is active before the first boundary.
-    ctrl.writeback((5 * 4 + 1) * kBlockSize); // bank 1
+    ctrl.writeback(LogicalAddr((5 * 4 + 1) * kBlockSize)); // bank 1
     eq.run(eq.curTick() + 2 * kMicrosecond);
-    EXPECT_NEAR(ctrl.wearTracker().bankStats(1).wearUnits,
-                model.wearPerWriteFactor(3.0), 1e-12);
+    EXPECT_NEAR(ctrl.wearTracker().bankStats(BankId(1)).wearUnits,
+                model.wearPerWriteFactor(PulseFactor(3.0)), 1e-12);
 }
 
 TEST(Controller, WritePausingServicesReadThenResumes)
@@ -435,8 +435,8 @@ TEST(Controller, WritePausingServicesReadThenResumes)
     // One slow attempt only, one completed slow write's wear.
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 1u);
     EnduranceModel model;
-    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(0).wearUnits,
-                model.wearPerWriteFactor(3.0), 1e-12);
+    EXPECT_NEAR(f.ctrl.wearTracker().bankStats(BankId(0)).wearUnits,
+                model.wearPerWriteFactor(PulseFactor(3.0)), 1e-12);
 }
 
 TEST(Controller, PausingBeatsCancellationOnWear)
@@ -450,8 +450,8 @@ TEST(Controller, PausingBeatsCancellationOnWear)
         f->ctrl.read(bankAddr(0, 500), [] {});
         f->runFor(10 * kMicrosecond);
     }
-    EXPECT_LT(fp.ctrl.wearTracker().bankStats(0).wearUnits,
-              fc.ctrl.wearTracker().bankStats(0).wearUnits);
+    EXPECT_LT(fp.ctrl.wearTracker().bankStats(BankId(0)).wearUnits,
+              fc.ctrl.wearTracker().bankStats(BankId(0)).wearUnits);
 }
 
 TEST(Controller, PausedWriteBlocksNewWritesUntilResumed)
@@ -464,6 +464,6 @@ TEST(Controller, PausedWriteBlocksNewWritesUntilResumed)
     f.runFor(10 * kMicrosecond);
     // Both writes completed, in order, with two slow issues total.
     EXPECT_EQ(f.ctrl.stats().issuedSlowWrites.value(), 2u);
-    EXPECT_EQ(f.ctrl.wearTracker().bankStats(0).slowWrites, 2u);
+    EXPECT_EQ(f.ctrl.wearTracker().bankStats(BankId(0)).slowWrites, 2u);
     EXPECT_EQ(f.ctrl.stats().resumedWrites.value(), 1u);
 }

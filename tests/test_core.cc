@@ -100,7 +100,7 @@ TEST(Core, PureComputeRunsAtIssueWidth)
     for (int i = 0; i < 100; ++i)
         ops.push_back(op(799, false, 0x40)); // L1-resident block
     Fixture f(std::move(ops));
-    f.hier.prime(0x40, false); // avoid the single cold miss
+    f.hier.prime(LogicalAddr(0x40), false); // avoid the single cold miss
     f.runToDone(80'000);
     EXPECT_NEAR(f.core.ipc(), 8.0, 0.1);
 }

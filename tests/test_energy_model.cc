@@ -9,11 +9,11 @@ using namespace mellowsim;
 
 TEST(EnergyModel, TableVCellEnergies)
 {
-    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellA), 0.1);
-    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellB), 0.2);
-    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellC), 0.4);
-    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellD), 0.8);
-    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellE), 1.6);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellA).value(), 0.1);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellB).value(), 0.2);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellC).value(), 0.4);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellD).value(), 0.8);
+    EXPECT_DOUBLE_EQ(cellEnergyPj(CellType::CellE).value(), 1.6);
 }
 
 TEST(EnergyModel, CellNames)
@@ -30,7 +30,7 @@ TEST(EnergyModel, TableVINormalWriteEnergies)
         EnergyParams p;
         p.cell = kAllCellTypes[i];
         EnergyModel m(p);
-        EXPECT_NEAR(m.writeEnergyPj(false), expect[i], 0.05)
+        EXPECT_NEAR(m.writeEnergyPj(false).value(), expect[i], 0.05)
             << cellTypeName(kAllCellTypes[i]);
     }
 }
@@ -43,7 +43,7 @@ TEST(EnergyModel, TableVISlowWriteEnergies)
         EnergyParams p;
         p.cell = kAllCellTypes[i];
         EnergyModel m(p);
-        EXPECT_NEAR(m.writeEnergyPj(true), expect[i], 0.35)
+        EXPECT_NEAR(m.writeEnergyPj(true).value(), expect[i], 0.35)
             << cellTypeName(kAllCellTypes[i]);
     }
 }
@@ -64,8 +64,8 @@ TEST(EnergyModel, TableVISlowNormalRatios)
 TEST(EnergyModel, ReadEnergies)
 {
     EnergyModel m;
-    EXPECT_DOUBLE_EQ(m.readEnergyPj(false), 1503.0); // buffer read
-    EXPECT_DOUBLE_EQ(m.readEnergyPj(true), 100.0);   // row-buffer hit
+    EXPECT_DOUBLE_EQ(m.readEnergyPj(false).value(), 1503.0); // buffer read
+    EXPECT_DOUBLE_EQ(m.readEnergyPj(true).value(), 100.0);   // row-buffer hit
 }
 
 TEST(EnergyModel, AccumulatesReads)
@@ -74,7 +74,7 @@ TEST(EnergyModel, AccumulatesReads)
     m.recordRead(true);
     m.recordRead(false);
     m.recordRead(false);
-    EXPECT_DOUBLE_EQ(m.stats().readPj, 100.0 + 2 * 1503.0);
+    EXPECT_DOUBLE_EQ(m.stats().readPj.value(), 100.0 + 2 * 1503.0);
     EXPECT_EQ(m.stats().rowHitReads, 1u);
     EXPECT_EQ(m.stats().bufferReads, 2u);
 }
@@ -84,17 +84,18 @@ TEST(EnergyModel, AccumulatesWrites)
     EnergyModel m; // CellC
     m.recordWrite(false);
     m.recordWrite(true);
-    EXPECT_NEAR(m.stats().writePj, 402.4 + 667.8, 0.5);
+    EXPECT_NEAR(m.stats().writePj.value(), 402.4 + 667.8, 0.5);
     EXPECT_EQ(m.stats().normalWrites, 1u);
     EXPECT_EQ(m.stats().slowWrites, 1u);
-    EXPECT_NEAR(m.stats().totalPj(), m.stats().writePj, 1e-9);
+    EXPECT_NEAR(m.stats().totalPj().value(), m.stats().writePj.value(),
+                1e-9);
 }
 
 TEST(EnergyModel, CancelledWriteChargesProgress)
 {
     EnergyModel m;
     m.recordCancelledWrite(false, 0.5);
-    EXPECT_NEAR(m.stats().writePj, 402.4 * 0.5, 0.3);
+    EXPECT_NEAR(m.stats().writePj.value(), 402.4 * 0.5, 0.3);
     EXPECT_EQ(m.stats().cancelledWrites, 1u);
     EXPECT_THROW(m.recordCancelledWrite(false, 1.5), PanicError);
     EXPECT_THROW(m.recordCancelledWrite(false, -0.1), PanicError);
@@ -115,7 +116,7 @@ TEST(EnergyModel, SlowEnergyScalesWithCellShareOnly)
 TEST(EnergyModel, RejectsBadParameters)
 {
     EnergyParams p;
-    p.peripheralWritePj = -1.0;
+    p.peripheralWritePj = Picojoules(-1.0);
     EXPECT_THROW(EnergyModel{p}, FatalError);
     p = EnergyParams{};
     p.bitsPerWrite = 0;

@@ -56,7 +56,7 @@ TEST(FaultModel, SigmaZeroGivesExactScale)
     f.enduranceScale = 0.125;
     FaultModel fm(f);
     for (std::uint64_t line = 0; line < f.blocksPerBank; ++line)
-        EXPECT_DOUBLE_EQ(fm.lineEndurance(0, line), 0.125);
+        EXPECT_DOUBLE_EQ(fm.lineEndurance(BankId(0), DeviceAddr(line)), 0.125);
 }
 
 TEST(FaultModel, EnduranceDrawsAreDeterministic)
@@ -65,17 +65,17 @@ TEST(FaultModel, EnduranceDrawsAreDeterministic)
     f.enduranceSigma = 0.5;
     FaultModel a(f), b(f);
     for (std::uint64_t line = 0; line < f.blocksPerBank; ++line) {
-        EXPECT_DOUBLE_EQ(a.lineEndurance(0, line),
-                         b.lineEndurance(0, line));
-        EXPECT_DOUBLE_EQ(a.lineEndurance(1, line),
-                         b.lineEndurance(1, line));
+        EXPECT_DOUBLE_EQ(a.lineEndurance(BankId(0), DeviceAddr(line)),
+                         b.lineEndurance(BankId(0), DeviceAddr(line)));
+        EXPECT_DOUBLE_EQ(a.lineEndurance(BankId(1), DeviceAddr(line)),
+                         b.lineEndurance(BankId(1), DeviceAddr(line)));
     }
 
     f.seed ^= 0x1234;
     FaultModel c(f);
     bool any_different = false;
     for (std::uint64_t line = 0; line < f.blocksPerBank; ++line) {
-        if (a.lineEndurance(0, line) != c.lineEndurance(0, line))
+        if (a.lineEndurance(BankId(0), DeviceAddr(line)) != c.lineEndurance(BankId(0), DeviceAddr(line)))
             any_different = true;
     }
     EXPECT_TRUE(any_different);
@@ -92,7 +92,7 @@ TEST(FaultModel, LognormalMedianMatchesScale)
 
     std::vector<double> draws;
     for (std::uint64_t line = 0; line < 4001; ++line) {
-        double e = fm.lineEndurance(0, line);
+        double e = fm.lineEndurance(BankId(0), DeviceAddr(line));
         EXPECT_GT(e, 0.0);
         draws.push_back(e);
     }
@@ -110,8 +110,8 @@ TEST(FaultModel, RemapIsIdentityForHealthyLines)
 {
     FaultModel fm(smallConfig());
     for (std::uint64_t line = 0; line < 16; ++line) {
-        EXPECT_EQ(fm.remap(0, line), line);
-        EXPECT_FALSE(fm.lineRetired(0, line));
+        EXPECT_EQ(fm.remap(BankId(0), LineIndex(line)).value(), line);
+        EXPECT_FALSE(fm.lineRetired(BankId(0), DeviceAddr(line)));
     }
     EXPECT_EQ(fm.remapEntries(), 0u);
     EXPECT_TRUE(fm.remapTableValid());
@@ -121,10 +121,10 @@ TEST(FaultModel, RepairThenRetireOnWearExhaustion)
 {
     FaultModel fm(smallConfig());
     // Endurance 1.0, +1.0 per ECP repair, 0.6 wear per write.
-    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000),
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 1000),
               WriteVerdict::Ok);
     // Second write crosses 1.0: consumes the single repair entry.
-    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 2000),
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 2000),
               WriteVerdict::Ok);
     EXPECT_EQ(fm.stats().permanentFaults, 1u);
     EXPECT_EQ(fm.stats().repairsUsed, 1u);
@@ -133,14 +133,14 @@ TEST(FaultModel, RepairThenRetireOnWearExhaustion)
 
     // Third write is fine (budget now 2.0), fourth exceeds it and the
     // repair budget is gone: the line retires onto spare 16.
-    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 3000),
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 3000),
               WriteVerdict::Ok);
-    EXPECT_EQ(fm.verifyWrite(0, 3, 0.6, 1.0, 0, 4000),
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 4000),
               WriteVerdict::Retired);
-    EXPECT_TRUE(fm.lineRetired(0, 3));
-    EXPECT_EQ(fm.remap(0, 3), 16u);
-    EXPECT_EQ(fm.sparesUsed(0), 1u);
-    EXPECT_EQ(fm.sparesUsed(1), 0u);
+    EXPECT_TRUE(fm.lineRetired(BankId(0), DeviceAddr(3)));
+    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 16u);
+    EXPECT_EQ(fm.sparesUsed(BankId(0)), 1u);
+    EXPECT_EQ(fm.sparesUsed(BankId(1)), 0u);
     EXPECT_EQ(fm.stats().retiredLines, 1u);
     EXPECT_EQ(fm.remapEntries(), 1u);
     EXPECT_TRUE(fm.remapTableValid());
@@ -150,7 +150,7 @@ TEST(FaultModel, RepairThenRetireOnWearExhaustion)
 
     // A write issued to the retired line is a controller bug.
     EXPECT_EQ(fm.writesToRetiredLines(), 0u);
-    fm.noteWriteIssued(0, 3);
+    fm.noteWriteIssued(BankId(0), DeviceAddr(3));
     EXPECT_EQ(fm.writesToRetiredLines(), 1u);
 }
 
@@ -160,12 +160,12 @@ TEST(FaultModel, RetirementChainsFollowToFreshSpare)
     // Wear out line 3 (4 writes: Ok, repair, Ok, retire -> spare 16),
     // then wear out the spare the same way (-> spare 17).
     for (int i = 0; i < 4; ++i)
-        fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000 + i);
-    EXPECT_EQ(fm.remap(0, 3), 16u);
+        fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 1000 + i);
+    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 16u);
     for (int i = 0; i < 4; ++i)
-        fm.verifyWrite(0, 16, 0.6, 1.0, 0, 2000 + i);
-    EXPECT_EQ(fm.remap(0, 3), 17u);
-    EXPECT_EQ(fm.remap(0, 16), 17u);
+        fm.verifyWrite(BankId(0), DeviceAddr(16), 0.6, PulseFactor(1.0), 0, 2000 + i);
+    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 17u);
+    EXPECT_EQ(fm.remap(BankId(0), LineIndex(16)).value(), 17u);
     EXPECT_EQ(fm.stats().retiredLines, 2u);
     EXPECT_EQ(fm.remapEntries(), 2u);
     EXPECT_TRUE(fm.remapTableValid());
@@ -176,14 +176,14 @@ TEST(FaultModel, SpareExhaustionGoesUncorrectable)
 {
     FaultModel fm(smallConfig());
     for (int i = 0; i < 4; ++i)
-        fm.verifyWrite(0, 3, 0.6, 1.0, 0, 1000 + i);
+        fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 1000 + i);
     for (int i = 0; i < 4; ++i)
-        fm.verifyWrite(0, 16, 0.6, 1.0, 0, 2000 + i);
+        fm.verifyWrite(BankId(0), DeviceAddr(16), 0.6, PulseFactor(1.0), 0, 2000 + i);
     // Both spares of bank 0 are consumed; line 17's second fault has
     // nowhere to go.
     for (int i = 0; i < 3; ++i)
-        fm.verifyWrite(0, 17, 0.6, 1.0, 0, 3000 + i);
-    EXPECT_EQ(fm.verifyWrite(0, 17, 0.6, 1.0, 0, 4000),
+        fm.verifyWrite(BankId(0), DeviceAddr(17), 0.6, PulseFactor(1.0), 0, 3000 + i);
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(17), 0.6, PulseFactor(1.0), 0, 4000),
               WriteVerdict::Uncorrectable);
     EXPECT_EQ(fm.stats().deadLines, 1u);
     EXPECT_EQ(fm.stats().firstUncorrectableTick, 4000u);
@@ -193,7 +193,7 @@ TEST(FaultModel, SpareExhaustionGoesUncorrectable)
 
     // The dead line soldiers on in degraded mode, never escalating
     // again; the data loss was recorded once.
-    EXPECT_EQ(fm.verifyWrite(0, 17, 0.6, 1.0, 0, 5000),
+    EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(17), 0.6, PulseFactor(1.0), 0, 5000),
               WriteVerdict::Ok);
     EXPECT_EQ(fm.stats().writesToDeadLines, 1u);
     EXPECT_EQ(fm.stats().deadLines, 1u);
@@ -203,7 +203,7 @@ TEST(FaultModel, SpareExhaustionGoesUncorrectable)
     ASSERT_EQ(fm.capacityTrace().size(), 3u);
     EXPECT_EQ(fm.capacityTrace().back().deadLines, 1u);
     // Bank 1 is untouched.
-    EXPECT_EQ(fm.sparesUsed(1), 0u);
+    EXPECT_EQ(fm.sparesUsed(BankId(1)), 0u);
 }
 
 TEST(FaultModel, TransientFailuresRequestBoundedRetries)
@@ -221,9 +221,9 @@ TEST(FaultModel, TransientFailuresRequestBoundedRetries)
     for (int w = 0; w < 50; ++w) {
         unsigned retries = 0;
         for (;;) {
-            std::uint64_t line = fm.remap(0, 5);
+            DeviceAddr line = fm.remap(BankId(0), LineIndex(5));
             WriteVerdict v =
-                fm.verifyWrite(0, line, 1e-12, 1.0, retries, 100 + w);
+                fm.verifyWrite(BankId(0), DeviceAddr(line), 1e-12, PulseFactor(1.0), retries, 100 + w);
             if (v != WriteVerdict::Retry)
                 break;
             ++retries_seen;
@@ -235,8 +235,8 @@ TEST(FaultModel, TransientFailuresRequestBoundedRetries)
     EXPECT_GT(fm.stats().transientFailures, 0u);
     EXPECT_GT(retries_seen, 0u);
     EXPECT_EQ(fm.stats().retriesRequested, retries_seen);
-    EXPECT_EQ(fm.retriesForBank(0), retries_seen);
-    EXPECT_EQ(fm.retriesForBank(1), 0u);
+    EXPECT_EQ(fm.retriesForBank(BankId(0)), retries_seen);
+    EXPECT_EQ(fm.retriesForBank(BankId(1)), 0u);
     // With p=0.9 and only 2 retries, some requests must have failed
     // all attempts and escalated to the permanent-fault path.
     EXPECT_GT(fm.stats().permanentFaults, 0u);
@@ -257,11 +257,11 @@ TEST(FaultModel, SlowerPulsesFailVerificationLess)
     std::uint64_t fast_fails = 0, slow_fails = 0;
     for (std::uint64_t line = 0; line < 1000; ++line) {
         std::uint64_t before = fm.stats().transientFailures;
-        fm.verifyWrite(0, line, 1e-12, 1.0, 0, 1);
+        fm.verifyWrite(BankId(0), DeviceAddr(line), 1e-12, PulseFactor(1.0), 0, 1);
         fast_fails += fm.stats().transientFailures - before;
 
         before = fm.stats().transientFailures;
-        fm.verifyWrite(1, line, 1e-12, 10.0, 0, 1);
+        fm.verifyWrite(BankId(1), DeviceAddr(line), 1e-12, PulseFactor(10.0), 0, 1);
         slow_fails += fm.stats().transientFailures - before;
     }
     // Effective probability divides by the pulse factor: ~500 vs ~50.

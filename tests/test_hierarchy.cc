@@ -53,13 +53,13 @@ TEST(Hierarchy, ColdLoadMissesToMemoryThenHitsInL1)
 {
     Fixture f;
     bool filled = false;
-    AccessTicket t = f.hier.access(0x40, false, [&] { filled = true; });
+    AccessTicket t = f.hier.access(LogicalAddr(0x40), false, [&] { filled = true; });
     EXPECT_EQ(t.outcome, AccessOutcome::Miss);
     EXPECT_EQ(f.hier.stats().llcMisses.value(), 1u);
     f.run();
     EXPECT_TRUE(filled);
 
-    AccessTicket t2 = f.hier.access(0x40, false, nullptr);
+    AccessTicket t2 = f.hier.access(LogicalAddr(0x40), false, nullptr);
     EXPECT_EQ(t2.outcome, AccessOutcome::Hit);
     EXPECT_EQ(t2.latency, 1 * kNanosecond);
     EXPECT_EQ(f.hier.stats().l1Hits.value(), 1u);
@@ -68,15 +68,15 @@ TEST(Hierarchy, ColdLoadMissesToMemoryThenHitsInL1)
 TEST(Hierarchy, L2HitLatencyIsCumulative)
 {
     Fixture f;
-    f.hier.access(0x40, false, nullptr);
+    f.hier.access(LogicalAddr(0x40), false, nullptr);
     f.run();
     // Evict 0x40 from the tiny L1 (16 sets): two more lines in the
     // same L1 set (stride = 16 blocks).
-    f.hier.access(0x40 + 16 * kBlockSize, false, nullptr);
+    f.hier.access(LogicalAddr(0x40 + 16 * kBlockSize), false, nullptr);
     f.run();
-    f.hier.access(0x40 + 32 * kBlockSize, false, nullptr);
+    f.hier.access(LogicalAddr(0x40 + 32 * kBlockSize), false, nullptr);
     f.run();
-    AccessTicket t = f.hier.access(0x40, false, nullptr);
+    AccessTicket t = f.hier.access(LogicalAddr(0x40), false, nullptr);
     EXPECT_EQ(t.outcome, AccessOutcome::Hit);
     EXPECT_EQ(t.latency, 7 * kNanosecond); // L1 + L2
     EXPECT_EQ(f.hier.stats().l2Hits.value(), 1u);
@@ -86,7 +86,7 @@ TEST(Hierarchy, StoreMissFetchesLineThenDirtiesL1)
 {
     Fixture f;
     bool done = false;
-    AccessTicket t = f.hier.access(0x80, true, [&] { done = true; });
+    AccessTicket t = f.hier.access(LogicalAddr(0x80), true, [&] { done = true; });
     EXPECT_EQ(t.outcome, AccessOutcome::Miss);
     f.run();
     EXPECT_TRUE(done);
@@ -100,11 +100,12 @@ TEST(Hierarchy, DirtyLineWritesBackOnLlcEviction)
     Fixture f;
     // Dirty one line, then stream enough lines through the same LLC
     // set to evict it everywhere.
-    f.hier.access(0x40, true, nullptr);
+    f.hier.access(LogicalAddr(0x40), true, nullptr);
     f.run();
     // LLC: 64 sets x 8 ways; same-set stride is 64 blocks.
     for (int i = 1; i <= 12; ++i) {
-        f.hier.access(0x40 + static_cast<Addr>(i) * 64 * kBlockSize,
+        f.hier.access(LogicalAddr(0x40 +
+                                  static_cast<Addr>(i) * 64 * kBlockSize),
                       false, nullptr);
         f.run();
     }
@@ -116,9 +117,9 @@ TEST(Hierarchy, MshrMergesSameBlockMisses)
     Fixture f;
     int completions = 0;
     auto cb = [&] { ++completions; };
-    f.hier.access(0x100, false, cb);
-    f.hier.access(0x100, true, cb);
-    f.hier.access(0x11F, false, cb); // same block, odd offset
+    f.hier.access(LogicalAddr(0x100), false, cb);
+    f.hier.access(LogicalAddr(0x100), true, cb);
+    f.hier.access(LogicalAddr(0x11F), false, cb); // same block, odd offset
     EXPECT_EQ(f.hier.stats().llcMisses.value(), 1u);
     EXPECT_EQ(f.hier.stats().mshrMerges.value(), 2u);
     EXPECT_EQ(f.hier.outstandingMisses(), 1u);
@@ -135,11 +136,11 @@ TEST(Hierarchy, MshrLimitBlocksAndRetries)
     auto cb = [&] { ++completions; };
     for (int i = 0; i < 4; ++i) {
         AccessTicket t = f.hier.access(
-            static_cast<Addr>(i) * 4096 + 0x40, false, cb);
+            LogicalAddr(static_cast<Addr>(i) * 4096 + 0x40), false, cb);
         EXPECT_EQ(t.outcome, AccessOutcome::Miss);
     }
     AccessTicket blocked =
-        f.hier.access(5 * 4096 + 0x40, false, cb);
+        f.hier.access(LogicalAddr(5 * 4096 + 0x40), false, cb);
     EXPECT_EQ(blocked.outcome, AccessOutcome::Blocked);
     EXPECT_EQ(f.hier.stats().blocked.value(), 1u);
 
@@ -153,14 +154,14 @@ TEST(Hierarchy, MshrLimitBlocksAndRetries)
 TEST(Hierarchy, MergedStoreDirtiesTheFill)
 {
     Fixture f;
-    f.hier.access(0x200, false, nullptr);
-    f.hier.access(0x200, true, nullptr); // merged store
+    f.hier.access(LogicalAddr(0x200), false, nullptr);
+    f.hier.access(LogicalAddr(0x200), true, nullptr); // merged store
     f.run();
     // The L1 line must be dirty: evicting it must produce an L2 write.
     // Touch two more same-L1-set lines to evict 0x200 from L1.
-    f.hier.access(0x200 + 16 * kBlockSize, false, nullptr);
+    f.hier.access(LogicalAddr(0x200 + 16 * kBlockSize), false, nullptr);
     f.run();
-    f.hier.access(0x200 + 32 * kBlockSize, false, nullptr);
+    f.hier.access(LogicalAddr(0x200 + 32 * kBlockSize), false, nullptr);
     f.run();
     // ...then push it out of L2 (32 sets x 4 ways; stride 32 blocks)
     // and out of the LLC. Simplest check: the dirty bit still lives
@@ -173,8 +174,8 @@ TEST(Hierarchy, MergedStoreDirtiesTheFill)
 TEST(Hierarchy, PrimeInstallsInAllLevels)
 {
     Fixture f;
-    f.hier.prime(0x40, false);
-    AccessTicket t = f.hier.access(0x40, false, nullptr);
+    f.hier.prime(LogicalAddr(0x40), false);
+    AccessTicket t = f.hier.access(LogicalAddr(0x40), false, nullptr);
     EXPECT_EQ(t.outcome, AccessOutcome::Hit);
     EXPECT_EQ(t.latency, 1 * kNanosecond);
     // Prime produced no stats and no memory traffic.
@@ -187,7 +188,7 @@ TEST(Hierarchy, ReadLatencyIncludesLookupPath)
     Fixture f;
     Tick start = f.eq.curTick();
     Tick done_at = 0;
-    f.hier.access(0x40, false, [&] { done_at = f.eq.curTick(); });
+    f.hier.access(LogicalAddr(0x40), false, [&] { done_at = f.eq.curTick(); });
     f.run();
     // Lookup path 1+6+17.5 = 24.5 ns, memory read 142.5 ns.
     EXPECT_EQ(done_at - start, Tick(24.5 * kNanosecond) +
@@ -199,7 +200,8 @@ TEST(Hierarchy, LlcMissRateMatchesStreamingPattern)
     Fixture f;
     // Stream 1000 distinct blocks: every access must miss the LLC.
     for (int i = 0; i < 1000; ++i) {
-        f.hier.access(static_cast<Addr>(i + 100) * kBlockSize, false,
+        f.hier.access(LogicalAddr(static_cast<Addr>(i + 100) * kBlockSize),
+                      false,
                       nullptr);
         f.run(kMicrosecond);
     }

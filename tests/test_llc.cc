@@ -53,9 +53,9 @@ struct Fixture
 TEST(Llc, DemandAccessCountsHitsAndMisses)
 {
     Fixture f(norm(), false);
-    EXPECT_FALSE(f.llc.access(0x40, false).hit);
-    f.llc.fillFromMemory(0x40);
-    EXPECT_TRUE(f.llc.access(0x40, false).hit);
+    EXPECT_FALSE(f.llc.access(LogicalAddr(0x40), false).hit);
+    f.llc.fillFromMemory(LogicalAddr(0x40));
+    EXPECT_TRUE(f.llc.access(LogicalAddr(0x40), false).hit);
     EXPECT_EQ(f.llc.stats().demandReads.value(), 2u);
     EXPECT_EQ(f.llc.stats().hits.value(), 1u);
     EXPECT_EQ(f.llc.stats().misses.value(), 1u);
@@ -64,9 +64,9 @@ TEST(Llc, DemandAccessCountsHitsAndMisses)
 TEST(Llc, ProfilerSeesDemandTraffic)
 {
     Fixture f(norm(), false);
-    f.llc.access(0x40, false); // miss
-    f.llc.fillFromMemory(0x40);
-    f.llc.access(0x40, false); // hit at MRU
+    f.llc.access(LogicalAddr(0x40), false); // miss
+    f.llc.fillFromMemory(LogicalAddr(0x40));
+    f.llc.access(LogicalAddr(0x40), false); // hit at MRU
     EXPECT_EQ(f.llc.profiler().missCounter(), 1u);
     EXPECT_EQ(f.llc.profiler().hitCounters()[0], 1u);
 }
@@ -78,9 +78,9 @@ TEST(Llc, DirtyEvictionWritesBackToMemory)
     // Set index = (addr>>6) & 15; use set 0: block addr multiples of
     // 16 blocks.
     for (std::uint64_t i = 0; i < 4; ++i)
-        f.llc.writebackFromUpper(i * 16 * kBlockSize);
+        f.llc.writebackFromUpper(LogicalAddr(i * 16 * kBlockSize));
     EXPECT_EQ(f.llc.stats().writebacksToMem.value(), 0u);
-    f.llc.writebackFromUpper(4 * 16 * kBlockSize);
+    f.llc.writebackFromUpper(LogicalAddr(4 * 16 * kBlockSize));
     EXPECT_EQ(f.llc.stats().writebacksToMem.value(), 1u);
     EXPECT_EQ(f.ctrl.stats().acceptedWritebacks.value(), 1u);
 }
@@ -89,7 +89,7 @@ TEST(Llc, CleanEvictionIsSilent)
 {
     Fixture f(norm(), false);
     for (std::uint64_t i = 0; i < 5; ++i)
-        f.llc.fillFromMemory(i * 16 * kBlockSize);
+        f.llc.fillFromMemory(LogicalAddr(i * 16 * kBlockSize));
     EXPECT_EQ(f.llc.stats().cleanEvictions.value(), 1u);
     EXPECT_EQ(f.ctrl.stats().acceptedWritebacks.value(), 0u);
 }
@@ -97,11 +97,11 @@ TEST(Llc, CleanEvictionIsSilent)
 TEST(Llc, WritebackFromUpperAllocatesOnMiss)
 {
     Fixture f(norm(), false);
-    f.llc.writebackFromUpper(0x40);
-    EXPECT_TRUE(f.llc.array().probe(0x40));
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
+    EXPECT_TRUE(f.llc.array().probe(LogicalAddr(0x40)));
     EXPECT_EQ(f.llc.array().countDirtyLines(), 1u);
     // A second write back to the same line hits.
-    f.llc.writebackFromUpper(0x40);
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
     EXPECT_EQ(f.llc.stats().hits.value(), 1u);
 }
 
@@ -110,18 +110,19 @@ TEST(Llc, EagerScanSendsUselessDirtyLine)
     Fixture f(beMellow().withSC(), true);
     // Make every position useless: one period of pure misses.
     for (int i = 0; i < 100; ++i)
-        f.llc.access(static_cast<Addr>(i + 1000) * kBlockSize, false);
+        f.llc.access(LogicalAddr(static_cast<Addr>(i + 1000) * kBlockSize),
+                     false);
     f.eq.run(f.eq.curTick() + 510 * kMicrosecond);
     EXPECT_EQ(f.llc.profiler().uselessFrom(), 0u);
 
     // Install a dirty line and let the scanner find it.
-    f.llc.writebackFromUpper(0x40);
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
     f.eq.run(f.eq.curTick() + 200 * kMicrosecond);
     EXPECT_GE(f.llc.stats().eagerSent.value(), 1u);
     EXPECT_EQ(f.ctrl.stats().acceptedEager.value(),
               f.llc.stats().eagerSent.value());
     // The line stays resident but is now clean.
-    EXPECT_TRUE(f.llc.array().probe(0x40));
+    EXPECT_TRUE(f.llc.array().probe(LogicalAddr(0x40)));
     EXPECT_EQ(f.llc.array().countDirtyLines(), 0u);
 }
 
@@ -129,9 +130,9 @@ TEST(Llc, EagerScanRespectsUselessBoundary)
 {
     Fixture f(beMellow().withSC(), true);
     // Build a period where MRU position is useful: hits at pos 0.
-    f.llc.writebackFromUpper(0x40); // dirty line, MRU of its set
+    f.llc.writebackFromUpper(LogicalAddr(0x40)); // dirty line, MRU of its set
     for (int i = 0; i < 1000; ++i)
-        f.llc.access(0x40, false); // keeps hitting at position 0
+        f.llc.access(LogicalAddr(0x40), false); // keeps hitting at position 0
     f.eq.run(f.eq.curTick() + 510 * kMicrosecond);
     ASSERT_GE(f.llc.profiler().uselessFrom(), 1u);
     // The dirty line sits at MRU (position 0) of its set: not useless,
@@ -143,9 +144,10 @@ TEST(Llc, EagerScanRespectsUselessBoundary)
 TEST(Llc, NoEagerMachineryWhenDisabled)
 {
     Fixture f(norm(), false);
-    f.llc.writebackFromUpper(0x40);
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
     for (int i = 0; i < 100; ++i)
-        f.llc.access(static_cast<Addr>(i + 1000) * kBlockSize, false);
+        f.llc.access(LogicalAddr(static_cast<Addr>(i + 1000) * kBlockSize),
+                     false);
     f.eq.run(f.eq.curTick() + kMillisecond);
     EXPECT_EQ(f.llc.stats().eagerSent.value(), 0u);
     EXPECT_EQ(f.llc.stats().eagerScans.value(), 0u);
@@ -155,23 +157,24 @@ TEST(Llc, WastedEagerWriteDetected)
 {
     Fixture f(beMellow().withSC(), true);
     for (int i = 0; i < 100; ++i)
-        f.llc.access(static_cast<Addr>(i + 1000) * kBlockSize, false);
+        f.llc.access(LogicalAddr(static_cast<Addr>(i + 1000) * kBlockSize),
+                     false);
     f.eq.run(f.eq.curTick() + 510 * kMicrosecond);
-    f.llc.writebackFromUpper(0x40);
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
     f.eq.run(f.eq.curTick() + 100 * kMicrosecond);
     ASSERT_GE(f.llc.stats().eagerSent.value(), 1u);
     // Re-dirty the eagerly cleaned line: the eager write was wasted.
-    f.llc.writebackFromUpper(0x40);
+    f.llc.writebackFromUpper(LogicalAddr(0x40));
     EXPECT_EQ(f.llc.stats().eagerWasted.value(), 1u);
 }
 
 TEST(Llc, PrimeWarmsWithoutStatsOrTraffic)
 {
     Fixture f(norm(), false);
-    f.llc.prime(0x40, true);
-    f.llc.prime(0x80, false);
-    EXPECT_TRUE(f.llc.array().probe(0x40));
-    EXPECT_TRUE(f.llc.array().probe(0x80));
+    f.llc.prime(LogicalAddr(0x40), true);
+    f.llc.prime(LogicalAddr(0x80), false);
+    EXPECT_TRUE(f.llc.array().probe(LogicalAddr(0x40)));
+    EXPECT_TRUE(f.llc.array().probe(LogicalAddr(0x80)));
     EXPECT_EQ(f.llc.array().countDirtyLines(), 1u);
     EXPECT_EQ(f.llc.stats().demandReads.value(), 0u);
     EXPECT_EQ(f.llc.stats().demandWrites.value(), 0u);
@@ -196,7 +199,7 @@ TEST(LlcDbp, RecentlyTouchedDirtyLineIsNotSent)
     cfg.deadAfterPeriods = 2;
     Llc llc(eq, cfg, ctrl, 7);
 
-    llc.writebackFromUpper(0x40); // dirty, stamped period 0
+    llc.writebackFromUpper(LogicalAddr(0x40)); // dirty, stamped period 0
     // Within the same period the line is never a candidate.
     eq.run(eq.curTick() + 400 * kMicrosecond);
     EXPECT_EQ(llc.stats().eagerSent.value(), 0u);
@@ -211,11 +214,11 @@ TEST(LlcDbp, UntouchedDirtyLineIsSentAfterDecay)
     cfg.deadAfterPeriods = 2;
     Llc llc(eq, cfg, ctrl, 7);
 
-    llc.writebackFromUpper(0x40);
+    llc.writebackFromUpper(LogicalAddr(0x40));
     // After two full periods of silence the line is predicted dead.
     eq.run(eq.curTick() + Tick(2.5 * kMillisecond));
     EXPECT_GE(llc.stats().eagerSent.value(), 1u);
-    EXPECT_TRUE(llc.array().probe(0x40));
+    EXPECT_TRUE(llc.array().probe(LogicalAddr(0x40)));
     EXPECT_EQ(llc.array().countDirtyLines(), 0u);
 }
 
@@ -228,11 +231,11 @@ TEST(LlcDbp, TouchingResetsTheDecayClock)
     cfg.deadAfterPeriods = 2;
     Llc llc(eq, cfg, ctrl, 7);
 
-    llc.writebackFromUpper(0x40);
+    llc.writebackFromUpper(LogicalAddr(0x40));
     // Keep touching the line each period: never predicted dead.
     for (int period = 0; period < 6; ++period) {
         eq.run(eq.curTick() + 450 * kMicrosecond);
-        llc.access(0x40, /*isWrite=*/true);
+        llc.access(LogicalAddr(0x40), /*isWrite=*/true);
     }
     EXPECT_EQ(llc.stats().eagerSent.value(), 0u);
 }
@@ -248,11 +251,11 @@ TEST(LlcDbp, IgnoresTheUselessPositionVerdict)
     cfg.deadAfterPeriods = 1;
     Llc llc(eq, cfg, ctrl, 7);
 
-    llc.writebackFromUpper(0x40);
+    llc.writebackFromUpper(LogicalAddr(0x40));
     // Uniform hits keep every stack position useful.
     for (unsigned pos = 0; pos < 4; ++pos) {
         for (int i = 0; i < 100; ++i)
-            llc.access(0x1000 + pos * 16 * kBlockSize, false);
+            llc.access(LogicalAddr(0x1000 + pos * 16 * kBlockSize), false);
     }
     eq.run(eq.curTick() + Tick(1.6 * kMillisecond));
     EXPECT_GE(llc.stats().eagerSent.value(), 1u);

@@ -37,10 +37,10 @@ TEST(MemorySystem, SingleChannelPassesThrough)
     MemorySystem mem(eq, config(1));
     EXPECT_EQ(mem.numChannels(), 1u);
     Tick done = 0;
-    mem.read(0x0, [&] { done = eq.curTick(); });
+    mem.read(LogicalAddr(0x0), [&] { done = eq.curTick(); });
     eq.run(eq.curTick() + kMicrosecond);
     EXPECT_EQ(done, Tick(142.5 * kNanosecond));
-    EXPECT_EQ(mem.channel(0).stats().issuedReads.value(), 1u);
+    EXPECT_EQ(mem.channel(ChannelId(0)).stats().issuedReads.value(), 1u);
 }
 
 TEST(MemorySystem, ChunksInterleaveAcrossChannels)
@@ -49,9 +49,11 @@ TEST(MemorySystem, ChunksInterleaveAcrossChannels)
     MemorySystem mem(eq, config(2));
     const std::uint64_t chunk = 16 * 1024; // interleave granularity
     for (unsigned i = 0; i < 8; ++i)
-        EXPECT_EQ(mem.channelOf(static_cast<Addr>(i) * chunk), i % 2);
+        EXPECT_EQ(mem.channelOf(LogicalAddr(static_cast<Addr>(i) * chunk))
+                      .value(),
+                  i % 2);
     // Blocks within a chunk stay on one channel.
-    EXPECT_EQ(mem.channelOf(64), mem.channelOf(0));
+    EXPECT_EQ(mem.channelOf(LogicalAddr(64)), mem.channelOf(LogicalAddr(0)));
 }
 
 TEST(MemorySystem, LocalAddressesAreDense)
@@ -60,12 +62,12 @@ TEST(MemorySystem, LocalAddressesAreDense)
     MemorySystem mem(eq, config(2));
     const std::uint64_t chunk = 16 * 1024;
     // Channel 0 sees chunks 0, 2, 4... at local chunks 0, 1, 2...
-    EXPECT_EQ(mem.localAddr(0 * chunk), 0u * chunk);
-    EXPECT_EQ(mem.localAddr(2 * chunk), 1u * chunk);
-    EXPECT_EQ(mem.localAddr(4 * chunk + 128), 2u * chunk + 128);
+    EXPECT_EQ(mem.localAddr(LogicalAddr(0 * chunk)).value(), 0u * chunk);
+    EXPECT_EQ(mem.localAddr(LogicalAddr(2 * chunk)).value(), 1u * chunk);
+    EXPECT_EQ(mem.localAddr(LogicalAddr(4 * chunk + 128)).value(), 2u * chunk + 128);
     // Channel 1 likewise.
-    EXPECT_EQ(mem.localAddr(1 * chunk), 0u * chunk);
-    EXPECT_EQ(mem.localAddr(3 * chunk + 64), 1u * chunk + 64);
+    EXPECT_EQ(mem.localAddr(LogicalAddr(1 * chunk)).value(), 0u * chunk);
+    EXPECT_EQ(mem.localAddr(LogicalAddr(3 * chunk + 64)).value(), 1u * chunk + 64);
 }
 
 TEST(MemorySystem, RoutesRequestsToTheRightChannel)
@@ -73,12 +75,12 @@ TEST(MemorySystem, RoutesRequestsToTheRightChannel)
     EventQueue eq;
     MemorySystem mem(eq, config(2));
     const std::uint64_t chunk = 16 * 1024;
-    mem.writeback(0 * chunk);
-    mem.writeback(1 * chunk);
-    mem.writeback(2 * chunk);
+    mem.writeback(LogicalAddr(0 * chunk));
+    mem.writeback(LogicalAddr(1 * chunk));
+    mem.writeback(LogicalAddr(2 * chunk));
     eq.run(eq.curTick() + 10 * kMicrosecond);
-    EXPECT_EQ(mem.channel(0).stats().issuedNormalWrites.value(), 2u);
-    EXPECT_EQ(mem.channel(1).stats().issuedNormalWrites.value(), 1u);
+    EXPECT_EQ(mem.channel(ChannelId(0)).stats().issuedNormalWrites.value(), 2u);
+    EXPECT_EQ(mem.channel(ChannelId(1)).stats().issuedNormalWrites.value(), 1u);
 }
 
 TEST(MemorySystem, EagerQueuesArePerChannel)
@@ -91,11 +93,11 @@ TEST(MemorySystem, EagerQueuesArePerChannel)
     // Fill channel 0's eager queue (16 entries); channel 1 stays open.
     unsigned accepted0 = 0;
     for (std::uint64_t i = 0; i < 20; ++i) {
-        accepted0 += mem.eagerWrite(2 * i * chunk); // even chunks: ch 0
+        accepted0 += mem.eagerWrite(LogicalAddr(2 * i * chunk)); // even chunks: ch 0
     }
     EXPECT_EQ(accepted0, 16u);
     EXPECT_TRUE(mem.eagerQueueHasSpace()); // channel 1 has room
-    EXPECT_TRUE(mem.eagerWrite(1 * chunk));
+    EXPECT_TRUE(mem.eagerWrite(LogicalAddr(1 * chunk)));
     (void)eq;
 }
 
@@ -104,12 +106,12 @@ TEST(MemorySystem, AggregatesLifetimeAsMinimumOverChannels)
     EventQueue eq;
     MemorySystem mem(eq, config(2));
     // Wear only channel 0: its (finite) lifetime is the system's.
-    mem.writeback(0);
+    mem.writeback(LogicalAddr(0));
     eq.run(eq.curTick() + 10 * kMicrosecond);
     mem.finalize();
     double sys_years = mem.lifetimeYears(10 * kMicrosecond);
     double ch0_years =
-        mem.channel(0).wearTracker().lifetimeYears(10 * kMicrosecond);
+        mem.channel(ChannelId(0)).wearTracker().lifetimeYears(10 * kMicrosecond);
     EXPECT_DOUBLE_EQ(sys_years, ch0_years);
 }
 
@@ -120,7 +122,8 @@ TEST(MemorySystem, RejectsBadConfig)
     EXPECT_THROW(MemorySystem(eq, c), FatalError);
     c = config(3); // 4 MB does not divide by 3
     EXPECT_THROW(MemorySystem(eq, c), FatalError);
-    EXPECT_THROW(MemorySystem(eq, config(2)).channel(2), PanicError);
+    EXPECT_THROW(MemorySystem(eq, config(2)).channel(ChannelId(2)),
+                 PanicError);
 }
 
 TEST(MemorySystem, FullSystemRunsWithMultipleChannels)

@@ -16,8 +16,8 @@ makeReq(unsigned bank, Addr addr, ReqType type = ReqType::Write,
 {
     MemRequest r;
     r.type = type;
-    r.addr = addr;
-    r.loc.bank = bank;
+    r.addr = LogicalAddr(addr);
+    r.loc.bank = BankId(bank);
     r.arrival = arrival;
     return r;
 }
@@ -31,7 +31,7 @@ TEST(RequestQueue, StartsEmpty)
     EXPECT_FALSE(q.full());
     EXPECT_EQ(q.size(), 0u);
     EXPECT_EQ(q.capacity(), 8u);
-    EXPECT_EQ(q.countForBank(0), 0u);
+    EXPECT_EQ(q.countForBank(BankId(0)), 0u);
 }
 
 TEST(RequestQueue, PushPopFifoPerBank)
@@ -41,13 +41,13 @@ TEST(RequestQueue, PushPopFifoPerBank)
     q.push(makeReq(1, 0x80, ReqType::Write, 20));
     q.push(makeReq(2, 0xC0, ReqType::Write, 30));
     EXPECT_EQ(q.size(), 3u);
-    EXPECT_EQ(q.countForBank(1), 2u);
-    EXPECT_EQ(q.countForBank(2), 1u);
+    EXPECT_EQ(q.countForBank(BankId(1)), 2u);
+    EXPECT_EQ(q.countForBank(BankId(2)), 1u);
 
-    EXPECT_EQ(q.front(1).addr, 0x40u);
-    MemRequest r = q.pop(1);
-    EXPECT_EQ(r.addr, 0x40u);
-    EXPECT_EQ(q.front(1).addr, 0x80u);
+    EXPECT_EQ(q.front(BankId(1)).addr.value(), 0x40u);
+    MemRequest r = q.pop(BankId(1));
+    EXPECT_EQ(r.addr.value(), 0x40u);
+    EXPECT_EQ(q.front(BankId(1)).addr.value(), 0x80u);
     EXPECT_EQ(q.size(), 2u);
 }
 
@@ -56,7 +56,7 @@ TEST(RequestQueue, PushFrontJumpsTheLine)
     RequestQueue q(2, 8);
     q.push(makeReq(0, 0x40));
     q.pushFront(makeReq(0, 0x999C0));
-    EXPECT_EQ(q.front(0).addr, 0x999C0u);
+    EXPECT_EQ(q.front(BankId(0)).addr.value(), 0x999C0u);
 }
 
 TEST(RequestQueue, FullIsAdvisory)
@@ -75,14 +75,14 @@ TEST(RequestQueue, FullIsAdvisory)
 TEST(RequestQueue, BlockIndexCountsPendingWritesPerBlock)
 {
     RequestQueue q(2, 8);
-    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 0u);
+    EXPECT_EQ(q.countForBlock(LogicalAddr(0x40)), 0u);
     q.push(makeReq(0, 0x40));
     q.push(makeReq(1, 0x40 + 16)); // same block, different offset
-    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 2u);
-    q.pop(0);
-    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 1u);
-    q.pop(1);
-    EXPECT_EQ(q.countForBlock(0x40 >> kBlockShift), 0u);
+    EXPECT_EQ(q.countForBlock(LogicalAddr(0x40)), 2u);
+    q.pop(BankId(0));
+    EXPECT_EQ(q.countForBlock(LogicalAddr(0x40)), 1u);
+    q.pop(BankId(1));
+    EXPECT_EQ(q.countForBlock(LogicalAddr(0x40)), 0u);
 }
 
 TEST(RequestQueue, OldestArrivalAcrossBanks)
@@ -98,15 +98,15 @@ TEST(RequestQueue, OldestArrivalAcrossBanks)
 TEST(RequestQueue, PopEmptyBankPanics)
 {
     RequestQueue q(2, 4);
-    EXPECT_THROW(q.pop(0), PanicError);
-    EXPECT_THROW(q.front(1), PanicError);
+    EXPECT_THROW(q.pop(BankId(0)), PanicError);
+    EXPECT_THROW(q.front(BankId(1)), PanicError);
 }
 
 TEST(RequestQueue, BankRangeChecked)
 {
     RequestQueue q(2, 4);
     EXPECT_THROW(q.push(makeReq(2, 0x0)), PanicError);
-    EXPECT_THROW(q.countForBank(5), PanicError);
+    EXPECT_THROW(q.countForBank(BankId(5)), PanicError);
 }
 
 TEST(RequestQueue, RejectsDegenerateConstruction)
@@ -127,12 +127,12 @@ TEST(RequestQueue, StressManyPushPops)
     for (unsigned b = 0; b < 8; ++b) {
         Addr prev = 0;
         bool first = true;
-        while (q.countForBank(b) > 0) {
-            MemRequest r = q.pop(b);
+        while (q.countForBank(BankId(b)) > 0) {
+            MemRequest r = q.pop(BankId(b));
             if (!first) {
-                EXPECT_GT(r.addr, prev);
+                EXPECT_GT(r.addr.value(), prev);
             }
-            prev = r.addr;
+            prev = r.addr.value();
             first = false;
         }
     }

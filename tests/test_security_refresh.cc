@@ -176,8 +176,8 @@ TEST(WearLeveler, TrackerLevelsHotBlockUnderBothSchemes)
         c.detailedBlocks = true;
         WearTracker t(c, model);
         for (int i = 0; i < 64 * 65 * 4; ++i)
-            t.recordWrite(0, 7, 150 * kNanosecond, false);
-        EXPECT_LT(t.maxBlockWear(0) / t.meanBlockWear(0), 12.0)
+            t.recordWrite(BankId(0), DeviceAddr(7), 150 * kNanosecond, false);
+        EXPECT_LT(t.maxBlockWear(BankId(0)) / t.meanBlockWear(BankId(0)), 12.0)
             << wearLevelerKindName(kind);
     }
 
@@ -189,6 +189,6 @@ TEST(WearLeveler, TrackerLevelsHotBlockUnderBothSchemes)
     c.detailedBlocks = true;
     WearTracker t(c, model);
     for (int i = 0; i < 64 * 65 * 4; ++i)
-        t.recordWrite(0, 7, 150 * kNanosecond, false);
-    EXPECT_GT(t.maxBlockWear(0) / t.meanBlockWear(0), 50.0);
+        t.recordWrite(BankId(0), DeviceAddr(7), 150 * kNanosecond, false);
+    EXPECT_GT(t.maxBlockWear(BankId(0)) / t.meanBlockWear(BankId(0)), 50.0);
 }

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the strong address-space / unit types and the typed
+ * timing boundary (slowWritePulse with a validated PulseFactor).
+ *
+ * The negative half of the type contract — what must NOT compile —
+ * lives in tests/compile_fail/; this file pins the positive runtime
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "nvm/timing.hh"
+#include "sim/strong_types.hh"
+
+using namespace mellowsim;
+
+TEST(StrongTypes, OrdinalValueRoundTrip)
+{
+    EXPECT_EQ(LogicalAddr(0x1234).value(), 0x1234u);
+    EXPECT_EQ(BankId(7).value(), 7u);
+    EXPECT_EQ(LineIndex(42).value(), 42u);
+    EXPECT_EQ(DeviceAddr(42).value(), 42u);
+    EXPECT_EQ(LeveledAddr(42).value(), 42u);
+    EXPECT_EQ(ChannelId(1).value(), 1u);
+}
+
+TEST(StrongTypes, OrdinalDefaultsToZero)
+{
+    EXPECT_EQ(LogicalAddr{}.value(), 0u);
+    EXPECT_EQ(BankId{}.value(), 0u);
+}
+
+TEST(StrongTypes, OrdinalComparesWithinItsSpace)
+{
+    EXPECT_EQ(LogicalAddr(64), LogicalAddr(64));
+    EXPECT_NE(LogicalAddr(64), LogicalAddr(65));
+    EXPECT_LT(LogicalAddr(64), LogicalAddr(128));
+    EXPECT_GE(BankId(3), BankId(3));
+}
+
+TEST(StrongTypes, OrdinalOffsetAndDistanceStayInSpace)
+{
+    LogicalAddr a(0x100);
+    EXPECT_EQ(a + 64, LogicalAddr(0x140));
+    EXPECT_EQ(a - 64, LogicalAddr(0xC0));
+    EXPECT_EQ(LogicalAddr(0x140) - a, 64u);
+    LineIndex line(10);
+    ++line;
+    EXPECT_EQ(line, LineIndex(11));
+}
+
+TEST(StrongTypes, OrdinalsWorkAsUnorderedKeys)
+{
+    std::unordered_set<LogicalAddr> blocks;
+    blocks.insert(LogicalAddr(0x40));
+    blocks.insert(LogicalAddr(0x40)); // duplicate
+    blocks.insert(LogicalAddr(0x80));
+    EXPECT_EQ(blocks.size(), 2u);
+
+    std::unordered_map<DeviceAddr, int> table;
+    table[DeviceAddr(5)] = 1;
+    table[DeviceAddr(5)] += 1;
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_EQ(table[DeviceAddr(5)], 2);
+}
+
+TEST(StrongTypes, BlockHelpersStayLogical)
+{
+    EXPECT_EQ(blockAlign(LogicalAddr(0x1234)),
+              LogicalAddr(0x1234 & ~Addr(kBlockSize - 1)));
+    EXPECT_EQ(blockAlign(LogicalAddr(0x40)), LogicalAddr(0x40));
+    EXPECT_EQ(blockNumber(LogicalAddr(0x1234)), 0x1234u >> kBlockShift);
+    EXPECT_EQ(blockNumber(LogicalAddr(63)), 0u);
+    EXPECT_EQ(blockNumber(LogicalAddr(64)), 1u);
+}
+
+TEST(StrongTypes, QuantityArithmetic)
+{
+    Picojoules a(1.5), b(0.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+    EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).value(), 3.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).value(), 3.0);
+    EXPECT_DOUBLE_EQ((a / 3.0).value(), 0.5);
+    // Ratio of like quantities is dimensionless.
+    EXPECT_DOUBLE_EQ(a / b, 3.0);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.value(), 2.0);
+    a -= Picojoules(1.0);
+    EXPECT_DOUBLE_EQ(a.value(), 1.0);
+    EXPECT_LT(b, Picojoules(1.0));
+}
+
+TEST(StrongTypes, PulseFactorClampsToBaseline)
+{
+    EXPECT_DOUBLE_EQ(PulseFactor(3.0).value(), 3.0);
+    EXPECT_DOUBLE_EQ(PulseFactor(1.0).value(), 1.0);
+    // Sub-baseline factors are unrepresentable: clamped on entry.
+    EXPECT_DOUBLE_EQ(PulseFactor(0.5).value(), 1.0);
+    EXPECT_DOUBLE_EQ(PulseFactor(0.0).value(), 1.0);
+    EXPECT_DOUBLE_EQ(PulseFactor(-2.0).value(), 1.0);
+    EXPECT_DOUBLE_EQ(PulseFactor{}.value(), 1.0);
+    EXPECT_EQ(PulseFactor(0.25), PulseFactor(1.0));
+}
+
+// --- slowWritePulse boundary behaviour ------------------------------
+
+TEST(Timing, SlowWritePulseScalesExactFactors)
+{
+    NvmTimingParams t;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.0)), t.tWP);
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(2.0)), 2 * t.tWP);
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(3.0)), 3 * t.tWP);
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.5)),
+              t.tWP + t.tWP / 2);
+}
+
+TEST(Timing, SlowWritePulseRoundsToNearestTick)
+{
+    // A tiny tWP makes the rounding boundary explicit: 3 * 1.5 = 4.5
+    // rounds to 5 (nearest, half away from zero); truncation would
+    // have said 4 and systematically under-charged slow pulses.
+    NvmTimingParams t;
+    t.tWP = 3;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.5)), 5u);
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.1)), 3u);  // 3.3 -> 3
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.34)), 4u); // 4.02 -> 4
+    t.tWP = 7;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.5)), 11u); // 10.5 -> 11
+}
+
+TEST(Timing, SlowWritePulseNeverShorterThanBaseline)
+{
+    // PulseFactor's clamp guarantees the device never sees a pulse
+    // shorter than tWP, even from a nonsense sub-baseline request.
+    NvmTimingParams t;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(0.5)), t.tWP);
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(0.999999)), t.tWP);
+    for (double f : {1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0}) {
+        EXPECT_GE(t.slowWritePulse(PulseFactor(f)), t.tWP) << f;
+    }
+}

@@ -45,7 +45,7 @@ TEST(System, ReportIsSane)
     EXPECT_LE(r.drainTimeFraction, 1.0);
     EXPECT_GT(r.memReads, 0u);
     EXPECT_GT(r.issuedNormalWrites, 0u);
-    EXPECT_GT(r.totalEnergyPj, 0.0);
+    EXPECT_GT(r.totalEnergyPj.value(), 0.0);
 }
 
 TEST(System, DeterministicAcrossRuns)
@@ -161,9 +161,9 @@ TEST(System, EnergyScalesWithSlowWriteShare)
     ASSERT_GT(s.totalBankWrites(), 0u);
     // Same work, pricier writes: more write energy per write.
     double n_per_write =
-        n.writeEnergyPj / static_cast<double>(n.totalBankWrites());
+        n.writeEnergyPj.value() / static_cast<double>(n.totalBankWrites());
     double s_per_write =
-        s.writeEnergyPj / static_cast<double>(s.totalBankWrites());
+        s.writeEnergyPj.value() / static_cast<double>(s.totalBankWrites());
     EXPECT_NEAR(s_per_write / n_per_write, 1.66, 0.05); // CellC ratio
 }
 

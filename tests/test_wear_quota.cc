@@ -38,9 +38,9 @@ TEST(WearQuota, NoWearNeverExceeds)
     WearQuota q(config(), 2);
     for (int i = 0; i < 10; ++i) {
         q.onPeriodBoundary();
-        EXPECT_FALSE(q.slowOnly(0));
-        EXPECT_FALSE(q.slowOnly(1));
-        EXPECT_LE(q.exceedQuota(0), 0.0);
+        EXPECT_FALSE(q.slowOnly(BankId(0)));
+        EXPECT_FALSE(q.slowOnly(BankId(1)));
+        EXPECT_LE(q.exceedQuota(BankId(0)), 0.0);
     }
     EXPECT_EQ(q.numPeriods(), 10u);
 }
@@ -48,55 +48,55 @@ TEST(WearQuota, NoWearNeverExceeds)
 TEST(WearQuota, HeavyWearTripsSlowOnly)
 {
     WearQuota q(config(), 2);
-    q.recordWear(0, q.wearBoundBank() * 5.0);
+    q.recordWear(BankId(0), q.wearBoundBank() * 5.0);
     q.onPeriodBoundary();
-    EXPECT_TRUE(q.slowOnly(0));
-    EXPECT_FALSE(q.slowOnly(1)); // quota is per-bank
-    EXPECT_GT(q.exceedQuota(0), 0.0);
+    EXPECT_TRUE(q.slowOnly(BankId(0)));
+    EXPECT_FALSE(q.slowOnly(BankId(1))); // quota is per-bank
+    EXPECT_GT(q.exceedQuota(BankId(0)), 0.0);
 }
 
 TEST(WearQuota, DebtAmortizesOverQuietPeriods)
 {
     WearQuota q(config(), 1);
     // Overshoot by 3 periods' worth of budget in period 1...
-    q.recordWear(0, q.wearBoundBank() * 4.0);
+    q.recordWear(BankId(0), q.wearBoundBank() * 4.0);
     q.onPeriodBoundary();
-    EXPECT_TRUE(q.slowOnly(0));
+    EXPECT_TRUE(q.slowOnly(BankId(0)));
     // ...then stay quiet: after 3 more boundaries the debt clears.
     q.onPeriodBoundary();
-    EXPECT_TRUE(q.slowOnly(0));
+    EXPECT_TRUE(q.slowOnly(BankId(0)));
     q.onPeriodBoundary();
-    EXPECT_TRUE(q.slowOnly(0));
+    EXPECT_TRUE(q.slowOnly(BankId(0)));
     q.onPeriodBoundary();
-    EXPECT_FALSE(q.slowOnly(0));
+    EXPECT_FALSE(q.slowOnly(BankId(0)));
 }
 
 TEST(WearQuota, ExactBudgetDoesNotTrip)
 {
     WearQuota q(config(), 1);
-    q.recordWear(0, q.wearBoundBank());
+    q.recordWear(BankId(0), q.wearBoundBank());
     q.onPeriodBoundary();
     // ExceedQuota must be strictly positive to force slow writes.
-    EXPECT_FALSE(q.slowOnly(0));
+    EXPECT_FALSE(q.slowOnly(BankId(0)));
 }
 
 TEST(WearQuota, SlowOnlyPeriodCounting)
 {
     WearQuota q(config(), 1);
-    q.recordWear(0, q.wearBoundBank() * 2.5);
+    q.recordWear(BankId(0), q.wearBoundBank() * 2.5);
     q.onPeriodBoundary(); // slow
     q.onPeriodBoundary(); // still slow (debt 0.5 budget)
     q.onPeriodBoundary(); // clear
-    EXPECT_EQ(q.slowOnlyPeriods(0), 2u);
+    EXPECT_EQ(q.slowOnlyPeriods(BankId(0)), 2u);
 }
 
 TEST(WearQuota, SteadyOverloadStaysSlowForever)
 {
     WearQuota q(config(), 1);
     for (int i = 0; i < 20; ++i) {
-        q.recordWear(0, q.wearBoundBank() * 2.0);
+        q.recordWear(BankId(0), q.wearBoundBank() * 2.0);
         q.onPeriodBoundary();
-        EXPECT_TRUE(q.slowOnly(0)) << "period " << i;
+        EXPECT_TRUE(q.slowOnly(BankId(0))) << "period " << i;
     }
 }
 
@@ -110,11 +110,11 @@ TEST(WearQuota, LongerTargetLifetimeMeansSmallerBudget)
 TEST(WearQuota, BankIndexValidation)
 {
     WearQuota q(config(), 2);
-    EXPECT_THROW(q.recordWear(2, 1.0), PanicError);
-    EXPECT_THROW(q.slowOnly(5), PanicError);
-    EXPECT_THROW(q.exceedQuota(5), PanicError);
-    EXPECT_THROW(q.bankWear(5), PanicError);
-    EXPECT_THROW(q.slowOnlyPeriods(5), PanicError);
+    EXPECT_THROW(q.recordWear(BankId(2), 1.0), PanicError);
+    EXPECT_THROW(q.slowOnly(BankId(5)), PanicError);
+    EXPECT_THROW(q.exceedQuota(BankId(5)), PanicError);
+    EXPECT_THROW(q.bankWear(BankId(5)), PanicError);
+    EXPECT_THROW(q.slowOnlyPeriods(BankId(5)), PanicError);
 }
 
 TEST(WearQuota, RejectsBadConfig)
@@ -142,8 +142,8 @@ TEST(WearQuota, LongRunRateBoundedByBudget)
     WearQuota q(config(), 1);
     double total = 0.0;
     for (int i = 0; i < 1000; ++i) {
-        double wear = q.slowOnly(0) ? 0.0 : q.wearBoundBank() * 1.7;
-        q.recordWear(0, wear);
+        double wear = q.slowOnly(BankId(0)) ? 0.0 : q.wearBoundBank() * 1.7;
+        q.recordWear(BankId(0), wear);
         total += wear;
         q.onPeriodBoundary();
     }
@@ -156,10 +156,10 @@ TEST(WearQuota, LongRunRateBoundedByBudget)
 TEST(WearQuota, ColdStartIsSlowOnlyUntilFirstBoundary)
 {
     WearQuota q(config(), 2);
-    EXPECT_TRUE(q.slowOnly(0));
-    EXPECT_TRUE(q.slowOnly(1));
+    EXPECT_TRUE(q.slowOnly(BankId(0)));
+    EXPECT_TRUE(q.slowOnly(BankId(1)));
     q.onPeriodBoundary(); // no wear recorded: headroom proven
-    EXPECT_FALSE(q.slowOnly(0));
+    EXPECT_FALSE(q.slowOnly(BankId(0)));
 }
 
 TEST(WearQuota, ColdStartCanBeDisabled)
@@ -167,5 +167,5 @@ TEST(WearQuota, ColdStartCanBeDisabled)
     WearQuotaConfig c = config();
     c.coldStartSlow = false;
     WearQuota q(c, 1);
-    EXPECT_FALSE(q.slowOnly(0));
+    EXPECT_FALSE(q.slowOnly(BankId(0)));
 }

@@ -91,9 +91,9 @@ fingerprint(System &sys, const SimReport &r)
     line(out, "pausedWrites", r.pausedWrites);
     line(out, "drainEntries", r.drainEntries);
     line(out, "avgReadLatencyNs", r.avgReadLatencyNs);
-    line(out, "readEnergyPj", r.readEnergyPj);
-    line(out, "writeEnergyPj", r.writeEnergyPj);
-    line(out, "totalEnergyPj", r.totalEnergyPj);
+    line(out, "readEnergyPj", r.readEnergyPj.value());
+    line(out, "writeEnergyPj", r.writeEnergyPj.value());
+    line(out, "totalEnergyPj", r.totalEnergyPj.value());
     line(out, "quotaPeriods", r.quotaPeriods);
     line(out, "quotaSlowOnlyPeriods", r.quotaSlowOnlyPeriods);
     line(out, "writeRetries", r.writeRetries);
@@ -110,30 +110,31 @@ fingerprint(System &sys, const SimReport &r)
 
     MemorySystem &mem = sys.memory();
     for (unsigned c = 0; c < mem.numChannels(); ++c) {
-        const MemoryController &ctrl = mem.channel(c);
+        const MemoryController &ctrl = mem.channel(ChannelId(c));
         const WearTracker &wear = ctrl.wearTracker();
         for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
-            const BankWearStats &w = wear.bankStats(b);
+            const BankWearStats &w = wear.bankStats(BankId(b));
             out << "ch" << c << ".bank" << b << ' ';
             char buf[64];
             std::snprintf(buf, sizeof(buf), "%.17g", w.wearUnits);
             out << buf << ' ' << w.normalWrites << ' ' << w.slowWrites
                 << ' ' << w.cancelledWrites << ' '
-                << ctrl.bank(b).busyTracker().busyTicks() << '\n';
+                << ctrl.bank(BankId(b)).busyTracker().busyTicks() << '\n';
         }
         if (const WearQuota *q = ctrl.wearQuota()) {
             for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
                 out << "ch" << c << ".quota" << b << ' ';
                 char buf[64];
                 std::snprintf(buf, sizeof(buf), "%.17g",
-                              q->bankWear(b));
-                out << buf << ' ' << q->slowOnlyPeriods(b) << '\n';
+                              q->bankWear(BankId(b)));
+                out << buf << ' ' << q->slowOnlyPeriods(BankId(b)) << '\n';
             }
         }
         if (const FaultModel *fm = ctrl.faultModel()) {
             for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
                 out << "ch" << c << ".fault" << b << ' '
-                    << fm->sparesUsed(b) << ' ' << fm->retriesForBank(b)
+                    << fm->sparesUsed(BankId(b)) << ' '
+                    << fm->retriesForBank(BankId(b))
                     << '\n';
             }
             // The capacity trace is appended in event order, so its

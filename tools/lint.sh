@@ -32,8 +32,18 @@ while [[ $# -gt 0 ]]; do
     esac
 done
 
+# The project-specific lint needs nothing but python3, so it runs
+# first and unconditionally: clang-tidy being absent must not hide
+# strong-type / determinism regressions.
+if command -v python3 >/dev/null 2>&1; then
+    echo "lint.sh: running tools/mellow_lint.py"
+    python3 tools/mellow_lint.py
+else
+    echo "lint.sh: python3 not found on PATH; skipping mellow_lint."
+fi
+
 if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "lint.sh: clang-tidy not found on PATH; skipping lint" \
+    echo "lint.sh: clang-tidy not found on PATH; skipping clang-tidy" \
          "(install clang-tidy to enable)."
     exit 0
 fi
