@@ -190,6 +190,7 @@ RequestConservationChecker::evaluate(const Snapshot &s,
 std::string
 RequestConservationChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("request-conservation/ch%u", _channel.value());
 }
 
@@ -270,6 +271,7 @@ BankStateChecker::evaluate(const Snapshot &s, Tick now,
 std::string
 BankStateChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("bank-state/ch%u", _channel.value());
 }
 
@@ -366,6 +368,7 @@ WearConservationChecker::evaluate(const Snapshot &s,
 std::string
 WearConservationChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("wear-conservation/ch%u", _channel.value());
 }
 
@@ -388,7 +391,10 @@ EnergyCrossChecker::capture(const MemoryController &ctrl)
     s.energyCancelledWrites = e.cancelledWrites;
     s.energyBufferReads = e.bufferReads;
     s.energyRowHitReads = e.rowHitReads;
+    // mlint: allow(value-escape): snapshot magnitudes feed the
+    // relative-tolerance comparison below, which is unit-free.
     s.readPj = e.readPj.value();
+    // mlint: allow(value-escape): see above.
     s.writePj = e.writePj.value();
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
@@ -453,6 +459,7 @@ EnergyCrossChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 EnergyCrossChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("energy-cross-check/ch%u", _channel.value());
 }
 
@@ -523,6 +530,7 @@ WearQuotaChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 WearQuotaChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("wear-quota/ch%u", _channel.value());
 }
 
@@ -641,6 +649,7 @@ FaultChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 std::string
 FaultChecker::name() const
 {
+    // mlint: allow(value-escape): checker-name formatting.
     return logFormat("fault/ch%u", _channel.value());
 }
 

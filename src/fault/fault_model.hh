@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/indexed.hh"
 #include "sim/strong_types.hh"
 #include "sim/types.hh"
 
@@ -274,8 +275,8 @@ class FaultModel
     std::unordered_map<std::uint64_t, LineState> _lines;
     /** Retirement indirection: line key -> replacement line index. */
     std::unordered_map<std::uint64_t, std::uint64_t> _remap;
-    std::vector<std::uint64_t> _sparesUsed;   ///< per bank
-    std::vector<std::uint64_t> _bankRetries;  ///< per bank
+    IndexedVector<BankId, std::uint64_t> _sparesUsed;
+    IndexedVector<BankId, std::uint64_t> _bankRetries;
     std::vector<CapacitySample> _capacityTrace;
     std::uint64_t _maxRepairsOnLine = 0;
     std::uint64_t _writesToRetiredLines = 0;

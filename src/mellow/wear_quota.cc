@@ -34,9 +34,7 @@ WearQuota::WearQuota(const WearQuotaConfig &config, unsigned numBanks)
 void
 WearQuota::recordWear(BankId bank, double wearUnits)
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    _banks[bank.value()].wear += wearUnits;
+    _banks[bank].wear += wearUnits;
 }
 
 void
@@ -55,33 +53,25 @@ WearQuota::onPeriodBoundary()
 bool
 WearQuota::slowOnly(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].slowOnly;
+    return _banks[bank].slowOnly;
 }
 
 double
 WearQuota::exceedQuota(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].exceed;
+    return _banks[bank].exceed;
 }
 
 double
 WearQuota::bankWear(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].wear;
+    return _banks[bank].wear;
 }
 
 std::uint64_t
 WearQuota::slowOnlyPeriods(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].slowOnlyPeriods;
+    return _banks[bank].slowOnlyPeriods;
 }
 
 } // namespace mellowsim

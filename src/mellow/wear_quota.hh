@@ -25,8 +25,8 @@
 #define MELLOWSIM_MELLOW_WEAR_QUOTA_HH
 
 #include <cstdint>
-#include <vector>
 
+#include "sim/indexed.hh"
 #include "sim/strong_types.hh"
 #include "sim/types.hh"
 
@@ -105,7 +105,7 @@ class WearQuota
     WearQuotaConfig _config;
     double _wearBoundBank;
     std::uint64_t _numPeriods = 0;
-    std::vector<BankState> _banks;
+    IndexedVector<BankId, BankState> _banks;
 };
 
 } // namespace mellowsim

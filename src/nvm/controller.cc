@@ -110,7 +110,7 @@ MemoryController::read(LogicalAddr addr, ReadCallback onComplete)
     req.loc = _map.decode(addr);
     req.arrival = now;
     req.onComplete = std::move(onComplete);
-    _lastReadArrival[req.loc.bank.value()] = now;
+    _lastReadArrival[req.loc.bank] = now;
     _readQ.push(std::move(req));
     requestSchedule(now);
 }
@@ -211,7 +211,7 @@ MemoryController::reserveBus(Tick earliest)
 void
 MemoryController::cancelBankWrite(BankId bank, Tick now)
 {
-    Bank &b = _banks[bank.value()];
+    Bank &b = _banks[bank];
     bool slow = b.writeSlow();
     Tick pulse = b.writePulse();
 
@@ -233,9 +233,9 @@ MemoryController::cancelBankWrite(BankId bank, Tick now)
     _energy.recordCancelledWrite(slow, progress);
     ++_stats.cancelledWrites;
 
-    if (_writeCompletion[bank.value()] != InvalidEventId) {
-        _eventq.deschedule(_writeCompletion[bank.value()]);
-        _writeCompletion[bank.value()] = InvalidEventId;
+    if (_writeCompletion[bank] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank]);
+        _writeCompletion[bank] = InvalidEventId;
     }
 
     // The aborted write retries from the front of its queue.
@@ -256,7 +256,7 @@ MemoryController::tryIssueRead(BankId bank, Tick now, Tick *nextWake)
     if (_draining && _writeQ.countForBank(bank) > 0)
         return false;
 
-    Bank &b = _banks[bank.value()];
+    Bank &b = _banks[bank];
     if (!_draining) {
         if (b.pausableWrite(now))
             pauseBankWrite(bank, now);
@@ -313,7 +313,7 @@ MemoryController::tryIssueRead(BankId bank, Tick now, Tick *nextWake)
 bool
 MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
 {
-    Bank &bank_state = _banks[bank.value()];
+    Bank &bank_state = _banks[bank];
 
     // A paused write owns the bank's write machinery: it resumes as
     // soon as the bank is clear of reads, before anything new issues.
@@ -326,7 +326,7 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
         }
         Tick done = bank_state.resumeWrite(now);
         ++_stats.resumedWrites;
-        _writeCompletion[bank.value()] =
+        _writeCompletion[bank] =
             _eventq.schedule(done, [this, bank] {
                 onWriteComplete(bank);
             });
@@ -340,7 +340,7 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
     // Recent-read guard: keep slow/eager writes off banks a read
     // stream is actively visiting (see MemControllerConfig).
     Tick window = _config.recentReadWindow;
-    Tick last_read = _lastReadArrival[bank.value()];
+    Tick last_read = _lastReadArrival[bank];
     if (window != 0 && last_read != 0 && now < last_read + window) {
         bool eager_dec = dec == WriteDecision::EagerSlow ||
                          dec == WriteDecision::EagerNormal;
@@ -354,7 +354,7 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
         }
     }
 
-    Bank &b = _banks[bank.value()];
+    Bank &b = _banks[bank];
     if (!b.idleAt(now)) {
         *nextWake = std::min(*nextWake, b.busyUntil());
         return false;
@@ -417,7 +417,7 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
     b.startWrite(now, pulse_start, pulse, std::move(req), slow,
                  may_cancel, may_pause);
 
-    _writeCompletion[bank.value()] = _eventq.schedule(
+    _writeCompletion[bank] = _eventq.schedule(
         pulse_start + pulse, [this, bank] { onWriteComplete(bank); });
 
     if (!eager)
@@ -428,12 +428,12 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
 void
 MemoryController::pauseBankWrite(BankId bank, Tick now)
 {
-    Bank &b = _banks[bank.value()];
+    Bank &b = _banks[bank];
     b.pauseWrite(now);
     ++_stats.pausedWrites;
-    if (_writeCompletion[bank.value()] != InvalidEventId) {
-        _eventq.deschedule(_writeCompletion[bank.value()]);
-        _writeCompletion[bank.value()] = InvalidEventId;
+    if (_writeCompletion[bank] != InvalidEventId) {
+        _eventq.deschedule(_writeCompletion[bank]);
+        _writeCompletion[bank] = InvalidEventId;
     }
 }
 
@@ -443,7 +443,7 @@ MemoryController::chooseAdaptiveFactor(BankId bank, Tick now) const
     const auto &ladder = _config.policy.adaptiveSlowFactors;
     // Quiet time since the last read arrival predicts how long the
     // bank will stay undisturbed; a never-read bank is wide open.
-    Tick last_read = _lastReadArrival[bank.value()];
+    Tick last_read = _lastReadArrival[bank];
     Tick quiet = last_read == 0 ? MaxTick : now - last_read;
     for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) {
         if (_timing.slowWritePulse(PulseFactor(*it)) <= quiet)
@@ -463,11 +463,11 @@ MemoryController::deviceLineFor(const MemRequest &req) const
 void
 MemoryController::onWriteComplete(BankId bank)
 {
-    Bank &b = _banks[bank.value()];
+    Bank &b = _banks[bank];
     bool slow = b.writeSlow();
     Tick pulse = b.writePulse();
     MemRequest req = b.finishWrite();
-    _writeCompletion[bank.value()] = InvalidEventId;
+    _writeCompletion[bank] = InvalidEventId;
     Tick now = _eventq.curTick();
 
     // Device-level accounting is per attempt: a pulse that later
@@ -559,18 +559,13 @@ MemoryController::drainTimeFraction() const
 const Bank &
 MemoryController::bank(BankId idx) const
 {
-    panic_if(idx.value() >= _banks.size(), "bank %u out of range",
-             idx.value());
-    return _banks[idx.value()];
+    return _banks[idx];
 }
 
 double
 MemoryController::bankUtilization(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].busyTracker().utilization(
-        _eventq.curTick());
+    return _banks[bank].busyTracker().utilization(_eventq.curTick());
 }
 
 double

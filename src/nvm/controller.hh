@@ -31,6 +31,7 @@
 #include "nvm/request.hh"
 #include "nvm/timing.hh"
 #include "sim/event_queue.hh"
+#include "sim/indexed.hh"
 #include "sim/stats.hh"
 #include "wear/endurance_model.hh"
 #include "wear/wear_tracker.hh"
@@ -288,11 +289,11 @@ class MemoryController : public MemoryPort
     RequestQueue _writeQ;
     RequestQueue _eagerQ;
 
-    std::vector<Bank> _banks;
-    std::vector<Rank> _ranks;
-    std::vector<EventId> _writeCompletion;
+    IndexedVector<BankId, Bank> _banks;
+    std::vector<Rank> _ranks; ///< indexed by the raw rank number
+    IndexedVector<BankId, EventId> _writeCompletion;
     /** Arrival tick of the last demand read per bank (0 = never). */
-    std::vector<Tick> _lastReadArrival;
+    IndexedVector<BankId, Tick> _lastReadArrival;
 
     Tick _busNextFree = 0;
 

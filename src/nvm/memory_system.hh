@@ -22,6 +22,7 @@
 #include "nvm/controller.hh"
 #include "nvm/memory_port.hh"
 #include "sim/event_queue.hh"
+#include "sim/indexed.hh"
 
 namespace mellowsim
 {
@@ -87,7 +88,7 @@ class MemorySystem : public MemoryPort
     MemorySystemConfig _config;
     std::uint64_t _blocksPerChunk;
     std::uint64_t _totalCapacity;
-    std::vector<std::unique_ptr<MemoryController>> _channels;
+    IndexedVector<ChannelId, std::unique_ptr<MemoryController>> _channels;
 };
 
 } // namespace mellowsim

@@ -13,9 +13,7 @@ RequestQueue::RequestQueue(unsigned numBanks, unsigned capacity)
 unsigned
 RequestQueue::countForBank(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return static_cast<unsigned>(_banks[bank.value()].size());
+    return static_cast<unsigned>(_banks[bank].size());
 }
 
 void
@@ -36,41 +34,32 @@ RequestQueue::indexRemove(const MemRequest &req)
 void
 RequestQueue::push(MemRequest req)
 {
-    panic_if(req.loc.bank.value() >= _banks.size(),
-             "bank %u out of range", req.loc.bank.value());
     indexAdd(req);
-    _banks[req.loc.bank.value()].push_back(std::move(req));
+    _banks[req.loc.bank].push_back(std::move(req));
     ++_size;
 }
 
 void
 RequestQueue::pushFront(MemRequest req)
 {
-    panic_if(req.loc.bank.value() >= _banks.size(),
-             "bank %u out of range", req.loc.bank.value());
     indexAdd(req);
-    _banks[req.loc.bank.value()].push_front(std::move(req));
+    _banks[req.loc.bank].push_front(std::move(req));
     ++_size;
 }
 
 const MemRequest &
 RequestQueue::front(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    panic_if(_banks[bank.value()].empty(),
-             "front() on empty bank FIFO");
-    return _banks[bank.value()].front();
+    panic_if(_banks[bank].empty(), "front() on empty bank FIFO");
+    return _banks[bank].front();
 }
 
 MemRequest
 RequestQueue::pop(BankId bank)
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    panic_if(_banks[bank.value()].empty(), "pop() on empty bank FIFO");
-    MemRequest req = std::move(_banks[bank.value()].front());
-    _banks[bank.value()].pop_front();
+    panic_if(_banks[bank].empty(), "pop() on empty bank FIFO");
+    MemRequest req = std::move(_banks[bank].front());
+    _banks[bank].pop_front();
     indexRemove(req);
     --_size;
     return req;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "nvm/request.hh"
+#include "sim/indexed.hh"
 #include "sim/logging.hh"
 
 namespace mellowsim
@@ -64,7 +65,7 @@ class RequestQueue
     [[nodiscard]] Tick oldestArrival() const;
 
   private:
-    std::vector<std::deque<MemRequest>> _banks;
+    IndexedVector<BankId, std::deque<MemRequest>> _banks;
     std::unordered_map<std::uint64_t, unsigned> _blockIndex;
     std::size_t _size = 0;
     unsigned _capacity;

@@ -44,7 +44,7 @@ struct NvmTimingParams
     slowWritePulse(PulseFactor factor) const
     {
         return Tick(
-            std::llround(static_cast<double>(tWP) * factor.value()));
+            std::llround(static_cast<double>(tWP) * factor));
     }
 
     /** Total bank occupancy of a read (array access only). */

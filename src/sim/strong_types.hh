@@ -221,6 +221,24 @@ class PulseFactor
     /** The multiplier; always >= 1.0. */
     [[nodiscard]] constexpr double value() const { return _factor; }
 
+    /**
+     * Scaling a dimensionless magnitude by the factor (pulse-time
+     * ratios, probabilities) stays in the typed domain; the result is
+     * the scaled magnitude, never a new PulseFactor.
+     */
+    [[nodiscard]] friend constexpr double
+    operator*(double magnitude, PulseFactor f)
+    {
+        return magnitude * f._factor;
+    }
+
+    /** Dividing by the factor (>= 1) only ever shrinks a magnitude. */
+    [[nodiscard]] friend constexpr double
+    operator/(double magnitude, PulseFactor f)
+    {
+        return magnitude / f._factor;
+    }
+
     friend constexpr bool operator==(PulseFactor,
                                      PulseFactor) = default;
     friend constexpr auto operator<=>(PulseFactor,

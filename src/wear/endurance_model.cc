@@ -29,6 +29,9 @@ EnduranceModel::enduranceAtRatio(double n) const
 double
 EnduranceModel::enduranceAtFactor(PulseFactor n) const
 {
+    // mlint: allow(value-escape): sanctioned hand-off of the (>= 1 by
+    // construction) factor to the unclamped ratio path shared with
+    // cancelled/test pulses.
     return enduranceAtRatio(n.value());
 }
 

@@ -56,10 +56,11 @@ WearTracker::WearTracker(const WearTrackerConfig &config,
              "leveling efficiency must be in (0, 1] (got %f)",
              config.levelingEfficiency);
     if (config.detailedBlocks) {
-        for (unsigned i = 0; i < _banks.size(); ++i) {
-            _banks[i].leveler = makeLeveler(config, i);
-            _banks[i].blockWear.assign(
-                _banks[i].leveler->numPhysicalBlocks(), 0.0);
+        // The raw loop index doubles as the per-bank leveler key seed.
+        for (unsigned i = 0; i < config.numBanks; ++i) {
+            BankState &b = _banks[BankId(i)];
+            b.leveler = makeLeveler(config, i);
+            b.blockWear.assign(b.leveler->numPhysicalBlocks(), 0.0);
         }
     }
 }
@@ -68,25 +69,25 @@ void
 WearTracker::addWear(BankId bank, DeviceAddr line, double units,
                      bool countAsWrite)
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    BankState &b = _banks[bank.value()];
+    BankState &b = _banks[bank];
     b.stats.wearUnits += units;
     if (!_config.detailedBlocks)
         return;
 
+    // mlint: allow(value-escape): folding a device line onto its bank
+    // is modular arithmetic the device-address space cannot express.
     DeviceAddr block(line.value() % _config.blocksPerBank);
     LeveledAddr phys = b.leveler->translate(block);
-    b.blockWear[phys.value()] += units;
+    b.blockWear[phys] += units;
 
     if (countAsWrite) {
         std::uint64_t extra[2] = {0, 0};
         unsigned moves = b.leveler->noteWrite(extra);
         for (unsigned i = 0; i < moves; ++i) {
             // Maintenance copies are normal-speed writes to their
-            // destination blocks.
+            // destination blocks (noteWrite reports physical blocks).
             double copy_units = _model.wearPerWriteFactor(PulseFactor(1.0));
-            b.blockWear[extra[i]] += copy_units;
+            b.blockWear[LeveledAddr(extra[i])] += copy_units;
             b.stats.wearUnits += copy_units;
             ++b.stats.gapMoveWrites;
         }
@@ -99,7 +100,7 @@ WearTracker::recordWrite(BankId bank, DeviceAddr line,
 {
     addWear(bank, line, _model.wearPerWrite(writeLatency),
             /*countAsWrite=*/true);
-    BankWearStats &s = _banks[bank.value()].stats;
+    BankWearStats &s = _banks[bank].stats;
     if (slow)
         ++s.slowWrites;
     else
@@ -121,16 +122,14 @@ WearTracker::recordCancelledWrite(BankId bank, DeviceAddr line,
                    cancelWearFraction;
     // A cancelled attempt does not advance Start-Gap (the retry will).
     addWear(bank, line, units, /*countAsWrite=*/false);
-    ++_banks[bank.value()].stats.cancelledWrites;
+    ++_banks[bank].stats.cancelledWrites;
     (void)slow;
 }
 
 const BankWearStats &
 WearTracker::bankStats(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    return _banks[bank.value()].stats;
+    return _banks[bank].stats;
 }
 
 double
@@ -154,9 +153,7 @@ WearTracker::maxBankWearUnits() const
 double
 WearTracker::bankLifetimeSeconds(BankId bank, Tick simTime) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
-    double wear = _banks[bank.value()].stats.wearUnits;
+    double wear = _banks[bank].stats.wearUnits;
     // No wear, or no simulated time to extrapolate from: the bank
     // lives forever as far as this run can tell (never 0/0 = NaN).
     if (wear <= 0.0 || simTime == 0)
@@ -185,22 +182,18 @@ WearTracker::lifetimeYears(Tick simTime) const
 double
 WearTracker::maxBlockWear(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
     panic_if(!_config.detailedBlocks,
              "maxBlockWear requires detailedBlocks mode");
-    const auto &wear = _banks[bank.value()].blockWear;
+    const auto &wear = _banks[bank].blockWear;
     return *std::max_element(wear.begin(), wear.end());
 }
 
 double
 WearTracker::meanBlockWear(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
     panic_if(!_config.detailedBlocks,
              "meanBlockWear requires detailedBlocks mode");
-    const auto &wear = _banks[bank.value()].blockWear;
+    const auto &wear = _banks[bank].blockWear;
     double sum = 0.0;
     for (double w : wear)
         sum += w;
@@ -210,11 +203,9 @@ WearTracker::meanBlockWear(BankId bank) const
 const WearLeveler &
 WearTracker::leveler(BankId bank) const
 {
-    panic_if(bank.value() >= _banks.size(), "bank %u out of range",
-             bank.value());
     panic_if(!_config.detailedBlocks,
              "leveler access requires detailedBlocks mode");
-    return *_banks[bank.value()].leveler;
+    return *_banks[bank].leveler;
 }
 
 } // namespace mellowsim

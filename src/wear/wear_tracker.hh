@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/indexed.hh"
 #include "sim/stats.hh"
 #include "sim/strong_types.hh"
 #include "sim/types.hh"
@@ -148,7 +149,8 @@ class WearTracker
     {
         BankWearStats stats;
         std::unique_ptr<WearLeveler> leveler; // detailed mode
-        std::vector<double> blockWear;        // detailed mode, physical
+        /** Detailed mode: wear per physical (leveled) block. */
+        IndexedVector<LeveledAddr, double> blockWear;
     };
 
     void addWear(BankId bank, DeviceAddr line, double units,
@@ -156,7 +158,7 @@ class WearTracker
 
     WearTrackerConfig _config;
     const EnduranceModel &_model;
-    std::vector<BankState> _banks;
+    IndexedVector<BankId, BankState> _banks;
 };
 
 } // namespace mellowsim

@@ -1,0 +1,11 @@
+// analyze-expect: layering
+// The cache layer reaches into the memory system's queue internals;
+// the manifest only blesses cache -> nvm/memory_port.hh.
+#include "nvm/queues.hh"
+
+unsigned
+peekQueueDepth(const RequestQueue &queue)
+{
+    (void)queue;
+    return 0;
+}

@@ -1,0 +1,11 @@
+// analyze-expect: value-escape
+// A strong bank index leaks its raw representation outside every
+// whitelisted conversion site and without an mlint annotation.
+#include "sim/strong_types.hh"
+
+unsigned long
+leakBankIndex()
+{
+    BankId bank(7);
+    return bank.value();
+}

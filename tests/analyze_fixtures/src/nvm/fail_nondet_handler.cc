@@ -1,0 +1,23 @@
+// analyze-expect: nondet-handler
+// A helper reachable from a scheduled callback draws entropy from
+// std::random_device, which diverges between replays.
+#include "sim/event_queue.hh"
+
+#include <random>
+
+namespace {
+
+unsigned
+sampleEntropy()
+{
+    std::random_device rd;
+    return rd();
+}
+
+} // namespace
+
+void
+schedulePoll(EventQueue &eventq)
+{
+    eventq.scheduleIn(100, [] { (void)sampleEntropy(); });
+}

@@ -1,0 +1,12 @@
+// analyze-expect: request-lifetime
+// The request is read after ownership moved into the queue.
+#include "nvm/queues.hh"
+
+void recordStashedLine(LineIndex line);
+
+void
+stashWrite(RequestQueue &queue, MemRequest req)
+{
+    queue.push(std::move(req));
+    recordStashedLine(req.line);
+}

@@ -1,0 +1,19 @@
+// analyze-expect: none
+// Positive control: the typed index stays inside the typed domain,
+// the handed-off request is never touched again, and the module only
+// speaks to its manifested dependencies.
+#include "nvm/queues.hh"
+
+#include "sim/event_queue.hh"
+
+void
+forwardWrite(RequestQueue &queue, MemRequest req)
+{
+    queue.push(std::move(req));
+}
+
+void
+scheduleRetry(EventQueue &eventq, RequestQueue &queue, MemRequest req)
+{
+    queue.pushFront(std::move(req));
+}

@@ -1,0 +1,13 @@
+// analyze-expect: none
+// The escape below carries the shared mlint annotation (standalone
+// form: it covers the whole next statement), so the analyzer must
+// stay silent.
+#include "nvm/queues.hh"
+
+unsigned long
+debugLineOf(const MemRequest &req)
+{
+    // mlint: allow(value-escape): fixture exercising the shared
+    // suppression parser.
+    return req.line.value();
+}

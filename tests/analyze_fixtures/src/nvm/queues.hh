@@ -1,0 +1,19 @@
+// Minimal request/queue shapes for the mellow-analyze fixtures
+// (analyzed textually, never compiled).
+#pragma once
+
+#include "sim/strong_types.hh"
+
+struct MemRequest
+{
+    LogicalAddr addr;
+    LineIndex line;
+    BankId bank;
+};
+
+class RequestQueue
+{
+  public:
+    void push(MemRequest req);
+    void pushFront(MemRequest req);
+};

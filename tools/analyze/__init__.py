@@ -1,0 +1,6 @@
+"""mellow-analyze: semantic static analysis for mellowsim.
+
+See mellow_analyze.py for the command-line entry point and DESIGN.md
+("Static analysis architecture") for how this layer relates to the
+compiler / clang-tidy layer and the regex lint (tools/mellow_lint.py).
+"""

@@ -1,0 +1,343 @@
+"""Pure-Python textual frontend for mellow-analyze.
+
+This backend extracts the Project IR (model.py) with lexical analysis
+only, so the analyzer runs — and the ctest fixtures gate — on machines
+without libclang. It leans on the repository's enforced code style
+(gem5-style definitions: return type on its own line, the qualified
+name at column 0, braces at column 0) and resolves ``.value()``
+receivers through a project-wide declaration map: a receiver is only
+treated as a strong type when every declaration of that name found in
+the tree agrees. Receivers it cannot resolve are skipped; the clang
+backend (CI) resolves those semantically.
+"""
+
+from __future__ import annotations
+
+import re
+
+from model import (
+    STRONG_TYPES,
+    FunctionDef,
+    Project,
+    ValueCall,
+)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+_STRONG_ALT = "|".join(STRONG_TYPES)
+
+#: `Type name` declarations (parameters, locals, members) of a strong
+#: type. Accepts an optional const and reference.
+DECL_RE = re.compile(
+    r"\b(?:const\s+)?(" + _STRONG_ALT + r")\s*&?\s+([A-Za-z_]\w*)\s*[;,)=({]"
+)
+
+#: Functions returning a strong type, declared either on one line
+#: (`[[nodiscard]] ChannelId channelOf(...)`) or gem5-style with the
+#: return type alone on the previous line.
+RET_ONE_LINE_RE = re.compile(
+    r"\b(" + _STRONG_ALT + r")\s+(?:[A-Za-z_]\w*::)?([A-Za-z_]\w*)\s*\("
+)
+RET_TYPE_LINE_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:friend\s+)?(?:constexpr\s+)?"
+    r"(?:static\s+)?(" + _STRONG_ALT + r")\s*$"
+)
+DEF_NAME_RE = re.compile(r"^\s*(?:[A-Za-z_]\w*::)?([A-Za-z_]\w*)\s*\(")
+
+#: `<var>.value()` and `<call>(...)..value()` receivers.
+VALUE_ON_CALL_RE = re.compile(r"([A-Za-z_]\w*)\s*\([^()]*\)\s*\.\s*value\s*\(\s*\)")
+VALUE_ON_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*\.\s*value\s*\(\s*\)")
+
+CLASS_RE = re.compile(r"^\s*(?:class|struct)\s+([A-Za-z_]\w*)")
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+CALL_KEYWORDS = frozenset(
+    """if for while switch return sizeof alignof decltype noexcept
+    static_cast dynamic_cast reinterpret_cast const_cast static_assert
+    catch new delete defined assert""".split()
+)
+
+#: Banned-API patterns for the determinism rule: (regex, label).
+BANNED_PATTERNS = [
+    (re.compile(r"\bstd::chrono::(?:system_clock|steady_clock|"
+                r"high_resolution_clock)\b"), "wall clock"),
+    (re.compile(r"\b(?:gettimeofday|clock_gettime)\s*\("), "wall clock"),
+    (re.compile(r"(?<![\w:.>])time\s*\(\s*(?:NULL|nullptr|0|&)"), "wall clock"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("), "raw RNG"),
+    (re.compile(r"\bstd::random_device\b"), "raw RNG"),
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "raw RNG"),
+    (re.compile(r"\bstd::(?:cout|cerr|clog)\b"), "console I/O"),
+    (re.compile(r"(?<![\w:.>])(?:printf|fprintf|puts|fputs)\s*\("), "console I/O"),
+    (re.compile(r"(?<![\w:.>])(?:fopen|fwrite|fread)\s*\("), "file I/O"),
+    (re.compile(r"\bstd::[io]f?stream\b"), "file I/O"),
+    (re.compile(r"\bstd::fstream\b"), "file I/O"),
+    (re.compile(r"\bgetenv\s*\("), "environment read"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+([A-Za-z_]\w*)"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([A-Za-z_][\w.\->]*)\s*\)")
+
+SCHEDULE_RE = re.compile(r"\b(?:schedule|scheduleIn)\s*\(")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blank out comments, string and char literals, preserving line
+    structure and column positions (replaced with spaces)."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i, n = 0, len(line)
+        while i < n:
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if ch == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                else:
+                    buf.append(" ")
+                    i += 1
+            elif ch == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif ch == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                buf.append(quote)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        buf.append("  ")
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        buf.append(quote)
+                        i += 1
+                        break
+                    buf.append(" ")
+                    i += 1
+            else:
+                buf.append(ch)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def _matching_brace(clean: list[str], line_idx: int, col: int) -> int:
+    """0-based line index of the '}' matching the '{' at (line_idx, col)."""
+    depth = 0
+    for i in range(line_idx, len(clean)):
+        start = col if i == line_idx else 0
+        for ch in clean[i][start:]:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        col = 0
+    return len(clean) - 1
+
+
+def _find_body_open(clean: list[str], start: int, limit: int = 20):
+    """First '{' from line @p start that is not preceded by a ';' ending
+    the statement. Returns (line_idx, col) or None."""
+    for i in range(start, min(len(clean), start + limit)):
+        line = clean[i]
+        brace = line.find("{")
+        semi = line.find(";")
+        if brace >= 0 and (semi < 0 or brace < semi):
+            return i, brace
+        if semi >= 0:
+            return None
+    return None
+
+
+def extract_functions(path: str, clean: list[str]) -> list[FunctionDef]:
+    """Function definitions with body line ranges.
+
+    Handles the repository style: out-of-line definitions with the
+    (possibly qualified) name at column 0, and in-class inline
+    definitions tracked through a class-name stack.
+    """
+    funcs: list[FunctionDef] = []
+    # (class_name, close_line) for in-class method qualification.
+    class_stack: list[tuple[str, int]] = []
+    consumed_until = -1  # skip lines inside an already-extracted body
+
+    i = 0
+    n = len(clean)
+    while i < n:
+        while class_stack and i > class_stack[-1][1]:
+            class_stack.pop()
+
+        line = clean[i]
+
+        cls = CLASS_RE.match(line)
+        if cls and ";" not in line:
+            open_pos = _find_body_open(clean, i)
+            if open_pos is not None:
+                close = _matching_brace(clean, open_pos[0], open_pos[1])
+                class_stack.append((cls.group(1), close))
+                i = open_pos[0] + 1
+                continue
+
+        if i <= consumed_until:
+            i += 1
+            continue
+
+        m = DEF_NAME_RE.match(line)
+        is_col0 = bool(m) and not line[:1].isspace()
+        in_class = bool(class_stack)
+        if m and (is_col0 or in_class):
+            name = m.group(1)
+            if name in CALL_KEYWORDS or re.match(
+                    r"^\s*(?:if|for|while|switch|return)\b", line):
+                i += 1
+                continue
+            open_pos = _find_body_open(clean, i)
+            if open_pos is None:
+                i += 1
+                continue
+            close = _matching_brace(clean, open_pos[0], open_pos[1])
+            qual = re.match(r"^\s*([A-Za-z_]\w*)::", line)
+            if qual:
+                qname = f"{qual.group(1)}::{name}"
+            elif in_class:
+                qname = f"{class_stack[-1][0]}::{name}"
+            else:
+                qname = name
+            funcs.append(FunctionDef(
+                name=qname, file=path,
+                start=open_pos[0] + 1, end=close + 1))
+            consumed_until = close
+            i += 1
+            continue
+
+        i += 1
+
+    return funcs
+
+
+def _populate_function_facts(func: FunctionDef, clean: list[str],
+                             unordered_names: set[str]) -> None:
+    for li in range(func.start - 1, func.end):
+        text = clean[li]
+        for call in CALL_RE.finditer(text):
+            callee = call.group(1)
+            if callee not in CALL_KEYWORDS:
+                func.calls.append((callee, li + 1))
+        for pattern, label in BANNED_PATTERNS:
+            for hit in pattern.finditer(text):
+                func.banned.append((hit.group(0).strip(), li + 1, label))
+        for rf in RANGE_FOR_RE.finditer(text):
+            container = rf.group(1).split(".")[-1].split(">")[-1]
+            if container in unordered_names:
+                func.unordered_iters.append((li + 1, container))
+
+
+def _extract_schedule_lambdas(path: str, clean: list[str],
+                              unordered_names: set[str]
+                              ) -> list[FunctionDef]:
+    """Synthetic root functions for lambdas passed to
+    EventQueue::schedule / scheduleIn."""
+    roots: list[FunctionDef] = []
+    for i, line in enumerate(clean):
+        if not SCHEDULE_RE.search(line):
+            continue
+        # Find the lambda's '[' then its body '{' within a few lines.
+        for j in range(i, min(len(clean), i + 4)):
+            col = clean[j].find("[", clean[j].find("(") + 1 if j == i else 0)
+            if col < 0:
+                continue
+            open_pos = _find_body_open(clean, j)
+            if open_pos is None:
+                break
+            close = _matching_brace(clean, open_pos[0], open_pos[1])
+            root = FunctionDef(
+                name=f"<lambda@{path}:{i + 1}>", file=path,
+                start=open_pos[0] + 1, end=close + 1,
+                is_schedule_root=True)
+            _populate_function_facts(root, clean, unordered_names)
+            roots.append(root)
+            break
+    return roots
+
+
+def build_project(files: dict[str, list[str]]) -> Project:
+    """Lower the given {path: lines} tree into the Project IR."""
+    project = Project(files=files)
+    cleaned = {p: strip_comments_and_strings(ls) for p, ls in files.items()}
+
+    # --- Project-wide maps -------------------------------------------
+    decl_types: dict[str, set[str]] = {}
+    ret_types: dict[str, set[str]] = {}
+    unordered_names: set[str] = set()
+    for path, clean in cleaned.items():
+        for li, line in enumerate(clean):
+            for m in DECL_RE.finditer(line):
+                decl_types.setdefault(m.group(2), set()).add(m.group(1))
+            for m in RET_ONE_LINE_RE.finditer(line):
+                ret_types.setdefault(m.group(2), set()).add(m.group(1))
+            if RET_TYPE_LINE_RE.match(line) and li + 1 < len(clean):
+                nm = DEF_NAME_RE.match(clean[li + 1])
+                if nm:
+                    ty = RET_TYPE_LINE_RE.match(line).group(1)
+                    ret_types.setdefault(nm.group(1), set()).add(ty)
+            for m in UNORDERED_DECL_RE.finditer(line):
+                unordered_names.add(m.group(1))
+
+    # --- Per-file facts ----------------------------------------------
+    for path, lines in files.items():
+        clean = cleaned[path]
+
+        project.includes[path] = [
+            (li + 1, m.group(1))
+            for li, line in enumerate(lines)
+            if (m := INCLUDE_RE.match(line))
+        ]
+
+        funcs = extract_functions(path, clean)
+        for func in funcs:
+            _populate_function_facts(func, clean, unordered_names)
+        funcs.extend(_extract_schedule_lambdas(path, clean, unordered_names))
+        project.functions.extend(funcs)
+
+        def enclosing(line_no: int) -> str:
+            best = ""
+            best_span = None
+            for f in funcs:
+                if f.start <= line_no <= f.end and not f.is_schedule_root:
+                    span = f.end - f.start
+                    if best_span is None or span < best_span:
+                        best, best_span = f.name, span
+            return best
+
+        for li, line in enumerate(clean):
+            spans = []
+            for m in VALUE_ON_CALL_RE.finditer(line):
+                spans.append(m.span())
+                types = ret_types.get(m.group(1), set())
+                if len(types) == 1:
+                    project.value_calls.append(ValueCall(
+                        file=path, line=li + 1,
+                        recv_type=next(iter(types)),
+                        enclosing=enclosing(li + 1)))
+            for m in VALUE_ON_NAME_RE.finditer(line):
+                if any(s <= m.start() < e for s, e in spans):
+                    continue  # already handled as a call receiver
+                types = decl_types.get(m.group(1), set())
+                if len(types) == 1:
+                    project.value_calls.append(ValueCall(
+                        file=path, line=li + 1,
+                        recv_type=next(iter(types)),
+                        enclosing=enclosing(li + 1)))
+
+    return project

@@ -38,8 +38,16 @@ done
 if command -v python3 >/dev/null 2>&1; then
     echo "lint.sh: running tools/mellow_lint.py"
     python3 tools/mellow_lint.py
+
+    # Semantic analyzer. --backend auto prefers libclang when the pip
+    # package is installed (CI) and warns + falls back to the textual
+    # backend otherwise, so the four semantic rules still gate locally.
+    echo "lint.sh: running tools/analyze/mellow_analyze.py"
+    python3 tools/analyze/mellow_analyze.py --backend auto \
+        -p "${build_dir}" src
 else
-    echo "lint.sh: python3 not found on PATH; skipping mellow_lint."
+    echo "lint.sh: python3 not found on PATH; skipping mellow_lint" \
+         "and mellow-analyze."
 fi
 
 if ! command -v clang-tidy >/dev/null 2>&1; then

@@ -32,8 +32,11 @@ Checks project conventions that clang-tidy cannot express:
                       be [[nodiscard]]: silently dropping a queried
                       stat or address is always a bug.
 
-Suppress a finding by annotating the offending line (or the line
-above) with:
+Suppress a finding with the shared annotation syntax (parsed by
+tools/analyze/suppress.py, the same module mellow-analyze uses): a
+trailing annotation suppresses its own line, a standalone annotation
+comment suppresses the whole next statement, and allow-file() the
+whole file:
 
     // mlint: allow(<rule-id>): <reason>
 
@@ -53,6 +56,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+sys.path.insert(0, str(REPO_ROOT / "tools" / "analyze"))
+from suppress import parse_suppressions  # noqa: E402
+
 # Modules fully converted to the strong address-space / unit types.
 # Headers here are held to the strict parameter and [[nodiscard]]
 # rules; new modules join the list as they are converted.
@@ -66,8 +72,6 @@ CONVERTED_MODULES = (
     "src/sim/",
     "src/energy/",
 )
-
-ALLOW_RE = re.compile(r"//\s*mlint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
 # --- raw-addr-param --------------------------------------------------
 
@@ -121,17 +125,6 @@ def relative_path(path: Path) -> str:
         return str(path)
 
 
-def allowed_rules(lines: list[str], idx: int) -> set[str]:
-    """Rules suppressed for line `idx` (same line or the line above)."""
-    rules: set[str] = set()
-    for probe in (idx, idx - 1):
-        if 0 <= probe < len(lines):
-            m = ALLOW_RE.search(lines[probe])
-            if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
-
-
 class Linter:
     def __init__(self) -> None:
         self.findings: list[str] = []
@@ -157,6 +150,8 @@ class Linter:
             m.group(1) for m in UNORDERED_DECL_RE.finditer(text)
         }
 
+        suppressions = parse_suppressions(lines)
+
         in_block_comment = False
         for idx, line in enumerate(lines):
             lineno = idx + 1
@@ -177,9 +172,11 @@ class Linter:
             code = code.split("//", 1)[0]
             if not code.strip():
                 continue
-            allowed = allowed_rules(lines, idx)
 
-            if in_converted_header and "raw-addr-param" not in allowed:
+            def allowed(rule: str) -> bool:
+                return suppressions.allows(rule, lineno)
+
+            if in_converted_header and not allowed("raw-addr-param"):
                 if RAW_ADDR_PARAM_RE.search(code):
                     self.report(
                         path, lineno, "raw-addr-param",
@@ -194,7 +191,7 @@ class Linter:
                         "use the Tick alias",
                     )
 
-            if "banned-nondeterminism" not in allowed:
+            if not allowed("banned-nondeterminism"):
                 for pattern, what in NONDET_PATTERNS:
                     if pattern.search(code):
                         self.report(
@@ -203,7 +200,7 @@ class Linter:
                             "sim/rng.hh / the event queue clock",
                         )
 
-            if unordered_names and "unordered-iteration" not in allowed:
+            if unordered_names and not allowed("unordered-iteration"):
                 m = RANGE_FOR_RE.search(code)
                 if m and m.group(1) in unordered_names:
                     self.report(
@@ -214,7 +211,7 @@ class Linter:
                         "why order cannot leak",
                     )
 
-            if "schedule-literal" not in allowed:
+            if not allowed("schedule-literal"):
                 if SCHEDULE_LITERAL_RE.search(code):
                     self.report(
                         path, lineno, "schedule-literal",
@@ -222,7 +219,7 @@ class Linter:
                         "schedule relative to the current time",
                     )
 
-            if in_converted_header and "missing-nodiscard" not in allowed:
+            if in_converted_header and not allowed("missing-nodiscard"):
                 if (
                     CONST_ACCESSOR_RE.search(code)
                     and "[[nodiscard]]" not in code
