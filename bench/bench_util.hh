@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mellow/policy.hh"
+#include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
@@ -47,13 +48,17 @@ inline void
 series(const std::string &name, const std::vector<std::string> &workloads,
        const std::vector<double> &values, const char *fmt = "%8.3f")
 {
+    // A length mismatch would print columns that silently misalign
+    // with the seriesHeader() workload row.
+    fatal_if(values.size() != workloads.size(),
+             "series '%s': %zu values for %zu workloads", name.c_str(),
+             values.size(), workloads.size());
     std::printf("%-18s", name.c_str());
     for (double v : values) {
         std::printf(" ");
         std::printf(fmt, v);
     }
     std::printf("\n");
-    (void)workloads;
 }
 
 /** Print the workload header row aligned with series(). */

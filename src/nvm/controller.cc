@@ -18,8 +18,9 @@ MemoryController::MemoryController(EventQueue &eventq,
       _writeQ(config.geometry.numBanks, config.writeQueueSize),
       _eagerQ(config.geometry.numBanks, config.eagerQueueSize),
       _banks(config.geometry.numBanks), _ranks(config.geometry.numRanks),
-      _writeCompletion(config.geometry.numBanks, InvalidEventId),
+      _writeCompletion(config.geometry.numBanks, InvalidEventHandle),
       _lastReadArrival(config.geometry.numBanks, 0),
+      _pausedBanks(config.geometry.numBanks),
       _endurance(config.endurance),
       _wear(
           [&config] {
@@ -99,8 +100,11 @@ MemoryController::read(LogicalAddr addr, ReadCallback onComplete)
         ++_stats.forwardedReads;
         _stats.readLatency.sample(
             static_cast<double>(_config.forwardLatency));
-        _eventq.scheduleIn(_config.forwardLatency,
-                           [cb = std::move(onComplete)] { cb(); });
+        auto deliver = [cb = std::move(onComplete)] { cb(); };
+        static_assert(EventQueue::fitsInline<decltype(deliver)>(),
+                      "forwarded-read callback must use the inline "
+                      "slot, not the out-of-line pool");
+        _eventq.scheduleIn(_config.forwardLatency, std::move(deliver));
         return;
     }
 
@@ -167,13 +171,16 @@ MemoryController::requestSchedule(Tick when)
     Tick now = _eventq.curTick();
     if (when < now)
         when = now;
-    if (_scheduleEvent != InvalidEventId) {
+    if (_scheduleEvent != InvalidEventHandle) {
         if (_scheduleAt <= when)
             return;
         _eventq.deschedule(_scheduleEvent);
     }
     _scheduleAt = when;
-    _scheduleEvent = _eventq.schedule(when, [this] { trySchedule(); });
+    auto pass = [this] { trySchedule(); };
+    static_assert(EventQueue::fitsInline<decltype(pass)>(),
+                  "scheduler-pass callback must use the inline slot");
+    _scheduleEvent = _eventq.schedule(when, std::move(pass));
 }
 
 void
@@ -233,9 +240,9 @@ MemoryController::cancelBankWrite(BankId bank, Tick now)
     _energy.recordCancelledWrite(slow, progress);
     ++_stats.cancelledWrites;
 
-    if (_writeCompletion[bank] != InvalidEventId) {
+    if (_writeCompletion[bank] != InvalidEventHandle) {
         _eventq.deschedule(_writeCompletion[bank]);
-        _writeCompletion[bank] = InvalidEventId;
+        _writeCompletion[bank] = InvalidEventHandle;
     }
 
     // The aborted write retries from the front of its queue.
@@ -300,11 +307,14 @@ MemoryController::tryIssueRead(BankId bank, Tick now, Tick *nextWake)
     _energy.recordRead(row_hit);
     _stats.readLatency.sample(static_cast<double>(done - req.arrival));
 
-    _eventq.schedule(done, [this, cb = std::move(req.onComplete)] {
+    auto deliver = [this, cb = std::move(req.onComplete)] {
         if (cb)
             cb();
         requestSchedule(_eventq.curTick());
-    });
+    };
+    static_assert(EventQueue::fitsInline<decltype(deliver)>(),
+                  "read-completion callback must use the inline slot");
+    _eventq.schedule(done, std::move(deliver));
     // The bank frees before the data burst completes; wake then.
     requestSchedule(access_done);
     return true;
@@ -325,11 +335,13 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
             return false;
         }
         Tick done = bank_state.resumeWrite(now);
+        _pausedBanks.clear(bank);
         ++_stats.resumedWrites;
-        _writeCompletion[bank] =
-            _eventq.schedule(done, [this, bank] {
-                onWriteComplete(bank);
-            });
+        auto fire = [this, bank] { onWriteComplete(bank); };
+        static_assert(EventQueue::fitsInline<decltype(fire)>(),
+                      "write-completion callback must use the inline "
+                      "slot");
+        _writeCompletion[bank] = _eventq.schedule(done, std::move(fire));
         return true;
     }
 
@@ -417,8 +429,11 @@ MemoryController::tryIssueWrite(BankId bank, Tick now, Tick *nextWake)
     b.startWrite(now, pulse_start, pulse, std::move(req), slow,
                  may_cancel, may_pause);
 
-    _writeCompletion[bank] = _eventq.schedule(
-        pulse_start + pulse, [this, bank] { onWriteComplete(bank); });
+    auto fire = [this, bank] { onWriteComplete(bank); };
+    static_assert(EventQueue::fitsInline<decltype(fire)>(),
+                  "write-completion callback must use the inline slot");
+    _writeCompletion[bank] =
+        _eventq.schedule(pulse_start + pulse, std::move(fire));
 
     if (!eager)
         updateDrainState(now);
@@ -430,10 +445,11 @@ MemoryController::pauseBankWrite(BankId bank, Tick now)
 {
     Bank &b = _banks[bank];
     b.pauseWrite(now);
+    _pausedBanks.set(bank);
     ++_stats.pausedWrites;
-    if (_writeCompletion[bank] != InvalidEventId) {
+    if (_writeCompletion[bank] != InvalidEventHandle) {
         _eventq.deschedule(_writeCompletion[bank]);
-        _writeCompletion[bank] = InvalidEventId;
+        _writeCompletion[bank] = InvalidEventHandle;
     }
 }
 
@@ -467,7 +483,7 @@ MemoryController::onWriteComplete(BankId bank)
     bool slow = b.writeSlow();
     Tick pulse = b.writePulse();
     MemRequest req = b.finishWrite();
-    _writeCompletion[bank] = InvalidEventId;
+    _writeCompletion[bank] = InvalidEventHandle;
     Tick now = _eventq.curTick();
 
     // Device-level accounting is per attempt: a pulse that later
@@ -515,18 +531,30 @@ MemoryController::onWriteComplete(BankId bank)
 void
 MemoryController::trySchedule()
 {
-    _scheduleEvent = InvalidEventId;
+    _scheduleEvent = InvalidEventHandle;
     _scheduleAt = MaxTick;
 
     Tick now = _eventq.curTick();
     updateDrainState(now);
 
+    // Both passes used to probe every bank; they now walk the
+    // incrementally maintained non-empty masks in the same ascending
+    // bank order. This cannot change any decision: a bank outside a
+    // mask makes tryIssueRead/tryIssueWrite return false immediately
+    // with no side effects and no *nextWake update. The masks are
+    // copied because issuing mutates them (pops empty banks out), and
+    // the write mask is built only after the read pass, which can
+    // requeue cancelled writes.
     Tick next_wake = MaxTick;
-    unsigned n = _config.geometry.numBanks;
-    for (unsigned bank = 0; bank < n; ++bank)
-        tryIssueRead(BankId(bank), now, &next_wake);
-    for (unsigned bank = 0; bank < n; ++bank)
-        tryIssueWrite(BankId(bank), now, &next_wake);
+    IndexMask<BankId> readable = _readQ.nonEmptyBanks();
+    readable.forEach(
+        [&](BankId bank) { tryIssueRead(bank, now, &next_wake); });
+
+    IndexMask<BankId> writable = _writeQ.nonEmptyBanks();
+    writable |= _eagerQ.nonEmptyBanks();
+    writable |= _pausedBanks; // a parked resume needs no queue entry
+    writable.forEach(
+        [&](BankId bank) { tryIssueWrite(bank, now, &next_wake); });
 
     if (next_wake != MaxTick)
         requestSchedule(next_wake);

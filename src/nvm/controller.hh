@@ -291,9 +291,15 @@ class MemoryController : public MemoryPort
 
     IndexedVector<BankId, Bank> _banks;
     std::vector<Rank> _ranks; ///< indexed by the raw rank number
-    IndexedVector<BankId, EventId> _writeCompletion;
+    IndexedVector<BankId, EventHandle> _writeCompletion;
     /** Arrival tick of the last demand read per bank (0 = never). */
     IndexedVector<BankId, Tick> _lastReadArrival;
+    /**
+     * Banks holding a paused (+WP) write. Unioned with the queues'
+     * non-empty masks so the scheduling pass still visits a bank
+     * whose only pending work is a parked resume.
+     */
+    IndexMask<BankId> _pausedBanks;
 
     Tick _busNextFree = 0;
 
@@ -310,7 +316,7 @@ class MemoryController : public MemoryPort
     MemControllerStats _stats;
 
     /** Dedup state for the scheduler event. */
-    EventId _scheduleEvent = InvalidEventId;
+    EventHandle _scheduleEvent = InvalidEventHandle;
     Tick _scheduleAt = MaxTick;
     bool _inSchedulePass = false;
 };

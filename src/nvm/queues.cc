@@ -1,13 +1,19 @@
 #include "nvm/queues.hh"
 
+#include <algorithm>
+
 namespace mellowsim
 {
 
 RequestQueue::RequestQueue(unsigned numBanks, unsigned capacity)
-    : _banks(numBanks), _capacity(capacity)
+    : _banks(numBanks), _blockIndex(64), _nonEmpty(numBanks),
+      _frontArrival(numBanks, MaxTick), _capacity(capacity)
 {
     fatal_if(numBanks == 0, "request queue needs >= 1 bank");
     fatal_if(capacity == 0, "request queue needs capacity >= 1");
+    // One live entry per bank plus the full stale backlog the rebuild
+    // threshold in noteFrontArrival() permits.
+    _arrivalHeap.reserve(numBanks * 5 + 65);
 }
 
 unsigned
@@ -16,71 +22,129 @@ RequestQueue::countForBank(BankId bank) const
     return static_cast<unsigned>(_banks[bank].size());
 }
 
-void
-RequestQueue::indexAdd(const MemRequest &req)
+ReqSlot
+RequestQueue::allocSlot(MemRequest req)
 {
-    ++_blockIndex[blockNumber(req.addr)];
+    if (!_freeSlots.empty()) {
+        ReqSlot slot = _freeSlots.back();
+        _freeSlots.pop_back();
+        _arena[slot] = std::move(req);
+        return slot;
+    }
+    ReqSlot slot(static_cast<std::uint32_t>(_arena.size()));
+    _arena.push_back(std::move(req));
+    return slot;
 }
 
 void
-RequestQueue::indexRemove(const MemRequest &req)
+RequestQueue::noteFrontArrival(BankId bank, Tick arrival)
 {
-    auto it = _blockIndex.find(blockNumber(req.addr));
-    panic_if(it == _blockIndex.end(), "request missing from block index");
-    if (--it->second == 0)
-        _blockIndex.erase(it);
+    _frontArrival[bank] = arrival;
+    if (arrival == MaxTick)
+        return;
+    _arrivalHeap.push_back(ArrivalEntry{arrival, bank});
+    std::push_heap(_arrivalHeap.begin(), _arrivalHeap.end(),
+                   ArrivalAfter{});
+    // Bound the stale backlog; the rebuild restores one live entry
+    // per non-empty bank.
+    if (_arrivalHeap.size() > _banks.size() * 4 + 64)
+        rebuildArrivalHeap();
+}
+
+void
+RequestQueue::rebuildArrivalHeap() const
+{
+    _arrivalHeap.clear();
+    for (std::uint32_t b = 0;
+         b < static_cast<std::uint32_t>(_banks.size()); ++b) {
+        BankId bank(b);
+        if (_frontArrival[bank] != MaxTick)
+            _arrivalHeap.push_back(
+                ArrivalEntry{_frontArrival[bank], bank});
+    }
+    std::make_heap(_arrivalHeap.begin(), _arrivalHeap.end(),
+                   ArrivalAfter{});
 }
 
 void
 RequestQueue::push(MemRequest req)
 {
-    indexAdd(req);
-    _banks[req.loc.bank].push_back(std::move(req));
+    RingDeque<ReqSlot> &fifo = _banks[req.loc.bank];
+    BankId bank = req.loc.bank;
+    std::uint64_t block = blockNumber(req.addr);
+    Tick arrival = req.arrival;
+    fifo.push_back(allocSlot(std::move(req)));
+    _blockIndex.increment(block);
     ++_size;
+    if (fifo.size() == 1) {
+        _nonEmpty.set(bank);
+        noteFrontArrival(bank, arrival);
+    }
 }
 
 void
 RequestQueue::pushFront(MemRequest req)
 {
-    indexAdd(req);
-    _banks[req.loc.bank].push_front(std::move(req));
+    RingDeque<ReqSlot> &fifo = _banks[req.loc.bank];
+    BankId bank = req.loc.bank;
+    std::uint64_t block = blockNumber(req.addr);
+    Tick arrival = req.arrival;
+    fifo.push_front(allocSlot(std::move(req)));
+    _blockIndex.increment(block);
     ++_size;
+    _nonEmpty.set(bank);
+    noteFrontArrival(bank, arrival);
 }
 
 const MemRequest &
 RequestQueue::front(BankId bank) const
 {
     panic_if(_banks[bank].empty(), "front() on empty bank FIFO");
-    return _banks[bank].front();
+    return _arena[_banks[bank].front()];
 }
 
 MemRequest
 RequestQueue::pop(BankId bank)
 {
-    panic_if(_banks[bank].empty(), "pop() on empty bank FIFO");
-    MemRequest req = std::move(_banks[bank].front());
-    _banks[bank].pop_front();
-    indexRemove(req);
+    RingDeque<ReqSlot> &fifo = _banks[bank];
+    panic_if(fifo.empty(), "pop() on empty bank FIFO");
+    ReqSlot slot = fifo.pop_front();
+    MemRequest req = std::move(_arena[slot]);
+    // The moved-from slot holds only trivially-copyable residue plus
+    // the callback; clear the callback so no captured state outlives
+    // the request (a full MemRequest reset would cost a construct +
+    // destroy per pop for nothing).
+    _arena[slot].onComplete = nullptr;
+    _freeSlots.push_back(slot);
+    _blockIndex.decrement(blockNumber(req.addr));
     --_size;
+    if (fifo.empty()) {
+        _nonEmpty.clear(bank);
+        _frontArrival[bank] = MaxTick;
+    } else {
+        noteFrontArrival(bank, _arena[fifo.front()].arrival);
+    }
     return req;
 }
 
 unsigned
 RequestQueue::countForBlock(LogicalAddr addr) const
 {
-    auto it = _blockIndex.find(blockNumber(addr));
-    return it == _blockIndex.end() ? 0 : it->second;
+    return _blockIndex.count(blockNumber(addr));
 }
 
 Tick
 RequestQueue::oldestArrival() const
 {
-    Tick oldest = MaxTick;
-    for (const auto &fifo : _banks) {
-        if (!fifo.empty() && fifo.front().arrival < oldest)
-            oldest = fifo.front().arrival;
+    while (!_arrivalHeap.empty()) {
+        const ArrivalEntry &top = _arrivalHeap.front();
+        if (_frontArrival[top.bank] == top.arrival)
+            return top.arrival;
+        std::pop_heap(_arrivalHeap.begin(), _arrivalHeap.end(),
+                      ArrivalAfter{});
+        _arrivalHeap.pop_back();
     }
-    return oldest;
+    return MaxTick;
 }
 
 } // namespace mellowsim

@@ -6,22 +6,44 @@
  * with a shared size. Per-bank counts are what the Figure 9 decision
  * logic consumes; a block-address index supports read forwarding from
  * pending writes.
+ *
+ * Data layout (see DESIGN.md "Performance architecture"): requests
+ * are pooled in an IndexedVector arena behind typed ReqSlot indices
+ * and recycled through a free list, so steady-state traffic allocates
+ * nothing. The per-bank FIFOs are ring buffers of slot indices
+ * (RingDeque), the block index is an open-addressing FlatCounter
+ * keyed by block number, the non-empty-bank set is an incrementally
+ * maintained IndexMask the controller's scheduling pass walks instead
+ * of probing every bank, and oldestArrival() resolves from a lazily
+ * repaired min-heap of per-bank front arrivals instead of scanning
+ * all banks.
  */
 
 #ifndef MELLOWSIM_NVM_QUEUES_HH
 #define MELLOWSIM_NVM_QUEUES_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "nvm/request.hh"
+#include "sim/flat_counter.hh"
+#include "sim/index_mask.hh"
+#include "sim/index_ring.hh"
 #include "sim/indexed.hh"
 #include "sim/logging.hh"
 
 namespace mellowsim
 {
+
+namespace detail
+{
+struct ReqSlotTag
+{
+};
+} // namespace detail
+
+/** Typed index of a pooled request in a RequestQueue's arena. */
+using ReqSlot = StrongOrdinal<detail::ReqSlotTag, std::uint32_t>;
 
 /**
  * A bank-partitioned FIFO request queue.
@@ -61,17 +83,62 @@ class RequestQueue
     /** Number of queued requests in @p addr's 64-byte block. */
     [[nodiscard]] unsigned countForBlock(LogicalAddr addr) const;
 
-    /** Oldest arrival tick across all banks (MaxTick if empty). */
+    /** Oldest front-of-FIFO arrival across banks (MaxTick if empty). */
     [[nodiscard]] Tick oldestArrival() const;
 
+    /**
+     * Banks with at least one queued request, maintained
+     * incrementally. The controller unions these masks to visit only
+     * banks that can have issueable work.
+     */
+    [[nodiscard]] const IndexMask<BankId> &
+    nonEmptyBanks() const
+    {
+        return _nonEmpty;
+    }
+
   private:
-    IndexedVector<BankId, std::deque<MemRequest>> _banks;
-    std::unordered_map<std::uint64_t, unsigned> _blockIndex;
+    /** Lazily validated entry of the front-arrival min-heap. */
+    struct ArrivalEntry
+    {
+        Tick arrival;
+        BankId bank;
+    };
+
+    struct ArrivalAfter
+    {
+        [[nodiscard]] bool
+        operator()(const ArrivalEntry &a, const ArrivalEntry &b) const
+        {
+            return a.arrival > b.arrival;
+        }
+    };
+
+    /** Move @p req into a pooled slot (free list first). */
+    ReqSlot allocSlot(MemRequest req);
+
+    /** Record that @p bank's front arrival is now @p arrival. */
+    void noteFrontArrival(BankId bank, Tick arrival);
+
+    /** Rebuild the arrival heap from the per-bank front arrivals. */
+    void rebuildArrivalHeap() const;
+
+    IndexedVector<ReqSlot, MemRequest> _arena;
+    std::vector<ReqSlot> _freeSlots;
+    IndexedVector<BankId, RingDeque<ReqSlot>> _banks;
+    FlatCounter<std::uint64_t> _blockIndex;
+    IndexMask<BankId> _nonEmpty;
+    /** Arrival of each bank's front request (MaxTick when empty). */
+    IndexedVector<BankId, Tick> _frontArrival;
+    /**
+     * Min-heap over (arrival, bank); entries go stale when a bank's
+     * front changes and are discarded lazily on query. mutable: the
+     * lazy repair in oldestArrival() is a cache cleanup, not a
+     * semantic mutation.
+     */
+    mutable std::vector<ArrivalEntry> _arrivalHeap;
     std::size_t _size = 0;
     unsigned _capacity;
-
-    void indexAdd(const MemRequest &req);
-    void indexRemove(const MemRequest &req);
 };
 
 } // namespace mellowsim

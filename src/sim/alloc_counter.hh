@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Global heap-allocation counter.
+ *
+ * When compiled in (MELLOWSIM_ALLOC_COUNTER_ENABLED, implied by
+ * MELLOWSIM_CHECKS and on in the release-lto perf preset), the global
+ * operator new/delete family is replaced with counting wrappers over
+ * malloc/free. The counters let the perf harness (bench/micro_kernel)
+ * prove the zero-steady-state-allocation property of the event kernel
+ * and request path: sample the counter around a steady-state loop and
+ * assert the delta is zero.
+ *
+ * The wrappers route through malloc, so AddressSanitizer's malloc
+ * interception (and leak checking) keeps working in checks builds.
+ */
+
+#ifndef MELLOWSIM_SIM_ALLOC_COUNTER_HH
+#define MELLOWSIM_SIM_ALLOC_COUNTER_HH
+
+#include <cstdint>
+
+namespace mellowsim::alloccounter
+{
+
+/** True when the counting operator new/delete are compiled in. */
+[[nodiscard]] bool enabled();
+
+/** Global operator-new calls since process start (0 when disabled). */
+[[nodiscard]] std::uint64_t allocations();
+
+/** Global operator-delete calls on non-null pointers since start. */
+[[nodiscard]] std::uint64_t deallocations();
+
+} // namespace mellowsim::alloccounter
+
+#endif // MELLOWSIM_SIM_ALLOC_COUNTER_HH

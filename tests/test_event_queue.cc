@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -171,4 +174,158 @@ TEST(EventQueue, ScheduleInUsesCurrentTick)
     });
     eq.run();
     EXPECT_EQ(observed, 45u);
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsInert)
+{
+    EventQueue eq;
+    // Cancel an event, then schedule another: the pool hands the
+    // freed slot back, but the stale handle must neither report
+    // scheduled nor cancel the new occupant.
+    bool ranNew = false;
+    EventHandle stale = eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.deschedule(stale));
+    EventHandle fresh = eq.schedule(20, [&] { ranNew = true; });
+    EXPECT_FALSE(eq.scheduled(stale));
+    EXPECT_TRUE(eq.scheduled(fresh));
+    EXPECT_FALSE(eq.deschedule(stale));
+    EXPECT_TRUE(eq.scheduled(fresh));
+    eq.run();
+    EXPECT_TRUE(ranNew);
+}
+
+TEST(EventQueue, HandleFromFiredSlotIsInert)
+{
+    EventQueue eq;
+    EventHandle fired = eq.schedule(10, [] {});
+    eq.run();
+    bool ranNew = false;
+    EventHandle fresh = eq.schedule(20, [&] { ranNew = true; });
+    EXPECT_FALSE(eq.scheduled(fired));
+    EXPECT_FALSE(eq.deschedule(fired));
+    EXPECT_TRUE(eq.scheduled(fresh));
+    eq.run();
+    EXPECT_TRUE(ranNew);
+}
+
+TEST(EventQueue, DefaultHandleIsInvalid)
+{
+    EventQueue eq;
+    EventHandle h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_EQ(h, InvalidEventHandle);
+    EXPECT_FALSE(eq.scheduled(h));
+    EXPECT_FALSE(eq.deschedule(h));
+    EventHandle bound = eq.schedule(1, [] {});
+    EXPECT_TRUE(bound.valid());
+    EXPECT_NE(bound, InvalidEventHandle);
+}
+
+TEST(EventQueue, SlotReuseUnderChurnKeepsHandlesDistinct)
+{
+    EventQueue eq;
+    // Burn through the same few slots thousands of times; every old
+    // handle must stay dead and every live one must fire exactly
+    // once.
+    int fired = 0;
+    std::vector<EventHandle> dead;
+    for (int round = 0; round < 2000; ++round) {
+        EventHandle cancelled = eq.schedule(10 + round, [] {});
+        EventHandle kept = eq.schedule(10 + round, [&] { ++fired; });
+        EXPECT_TRUE(eq.deschedule(cancelled));
+        dead.push_back(cancelled);
+    }
+    for (const EventHandle &h : dead)
+        EXPECT_FALSE(eq.scheduled(h));
+    eq.run();
+    EXPECT_EQ(fired, 2000);
+    for (const EventHandle &h : dead)
+        EXPECT_FALSE(eq.deschedule(h));
+}
+
+TEST(EventQueue, CompactionPreservesSurvivorOrder)
+{
+    EventQueue eq;
+    // Cancel far more than half the backlog to force heap
+    // compaction, then check the survivors still fire in (when,
+    // schedule-order) sequence.
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 4096; ++i) {
+        Tick when = static_cast<Tick>(1 + (i * 2654435761u) % 977);
+        handles.push_back(eq.schedule(when, [&order, i] {
+            order.push_back(i);
+        }));
+    }
+    std::vector<std::pair<Tick, int>> expect;
+    for (int i = 0; i < 4096; ++i) {
+        if (i % 8 != 0) {
+            EXPECT_TRUE(eq.deschedule(handles[i]));
+        } else {
+            expect.emplace_back(
+                static_cast<Tick>(1 + (i * 2654435761u) % 977), i);
+        }
+    }
+    std::stable_sort(expect.begin(), expect.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    eq.run();
+    ASSERT_EQ(order.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(order[i], expect[i].second);
+}
+
+TEST(EventQueue, StressAgainstMultimapReference)
+{
+    // Randomized schedule/cancel rounds checked against a
+    // std::multimap reference model: multimap keeps equal keys in
+    // insertion order, exactly the kernel's same-tick FIFO contract.
+    EventQueue eq;
+    std::multimap<Tick, int> ref;
+    std::vector<int> firedOrder;
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    int token = 0;
+    for (int round = 0; round < 40; ++round) {
+        std::vector<std::pair<EventHandle, std::multimap<Tick, int>::iterator>>
+            live;
+        unsigned batch = 50 + next() % 200;
+        for (unsigned i = 0; i < batch; ++i) {
+            Tick when = eq.curTick() + 1 + next() % 50;
+            int id = token++;
+            EventHandle h = eq.schedule(when, [&firedOrder, id] {
+                firedOrder.push_back(id);
+            });
+            live.emplace_back(h, ref.emplace(when, id));
+        }
+        // Cancel a random ~third of this round's batch.
+        for (auto &[handle, it] : live) {
+            if (next() % 3 == 0) {
+                EXPECT_TRUE(eq.deschedule(handle));
+                ref.erase(it);
+            }
+        }
+        // Drain up to (not including) a random stop tick.
+        Tick stop = eq.curTick() + 1 + next() % 40;
+        eq.run(stop);
+        std::vector<int> expect;
+        while (!ref.empty() && ref.begin()->first < stop) {
+            expect.push_back(ref.begin()->second);
+            ref.erase(ref.begin());
+        }
+        ASSERT_EQ(firedOrder, expect) << "round " << round;
+        firedOrder.clear();
+    }
+    eq.run();
+    std::vector<int> expect;
+    for (const auto &[when, id] : ref)
+        expect.push_back(id);
+    EXPECT_EQ(firedOrder, expect);
+    EXPECT_EQ(eq.numPending(), 0u);
 }

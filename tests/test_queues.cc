@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
 #include "nvm/queues.hh"
 #include "sim/logging.hh"
 
@@ -113,6 +119,98 @@ TEST(RequestQueue, RejectsDegenerateConstruction)
 {
     EXPECT_THROW(RequestQueue(0, 4), FatalError);
     EXPECT_THROW(RequestQueue(4, 0), FatalError);
+}
+
+TEST(RequestQueue, RandomizedAgainstNaiveReference)
+{
+    // Drive the queue with random push/pushFront/pop traffic and
+    // check every aggregate view (size, per-bank counts, per-block
+    // counts, oldestArrival) against a deque-of-deques reference
+    // after every single operation.
+    constexpr unsigned kBanks = 6;
+    RequestQueue q(kBanks, 16);
+    std::vector<std::deque<MemRequest>> ref(kBanks);
+    std::uint64_t rng = 0x853c49e6748fea9bull;
+    auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    auto check = [&] {
+        std::size_t total = 0;
+        Tick oldest = MaxTick;
+        std::map<std::uint64_t, unsigned> blocks;
+        for (unsigned b = 0; b < kBanks; ++b) {
+            total += ref[b].size();
+            ASSERT_EQ(q.countForBank(BankId(b)), ref[b].size());
+            if (!ref[b].empty()) {
+                ASSERT_EQ(q.front(BankId(b)).addr.value(),
+                          ref[b].front().addr.value());
+                oldest = std::min(oldest, ref[b].front().arrival);
+            }
+            for (const MemRequest &r : ref[b])
+                ++blocks[r.addr.value() / kBlockSize];
+        }
+        ASSERT_EQ(q.size(), total);
+        ASSERT_EQ(q.empty(), total == 0);
+        ASSERT_EQ(q.oldestArrival(), oldest);
+        for (const auto &[block, count] : blocks) {
+            ASSERT_EQ(q.countForBlock(LogicalAddr(block * kBlockSize)),
+                      count);
+        }
+    };
+    for (int op = 0; op < 3000; ++op) {
+        unsigned bank = next() % kBanks;
+        unsigned action = next() % 4;
+        if (action == 3 && !ref[bank].empty()) {
+            MemRequest got = q.pop(BankId(bank));
+            EXPECT_EQ(got.addr.value(), ref[bank].front().addr.value());
+            EXPECT_EQ(got.arrival, ref[bank].front().arrival);
+            ref[bank].pop_front();
+        } else {
+            // Few distinct blocks so countForBlock sees collisions.
+            Addr addr = (next() % 24) * kBlockSize;
+            Tick arrival = next() % 500;
+            MemRequest r = makeReq(bank, addr, ReqType::Write, arrival);
+            if (action == 2) {
+                q.pushFront(r);
+                ref[bank].push_front(r);
+            } else {
+                q.push(r);
+                ref[bank].push_back(r);
+            }
+        }
+        check();
+        if (testing::Test::HasFatalFailure())
+            FAIL() << "mismatch at op " << op;
+    }
+    // Drain completely, still checking each step.
+    for (unsigned b = 0; b < kBanks; ++b) {
+        while (!ref[b].empty()) {
+            MemRequest got = q.pop(BankId(b));
+            EXPECT_EQ(got.addr.value(), ref[b].front().addr.value());
+            ref[b].pop_front();
+            check();
+        }
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.oldestArrival(), MaxTick);
+}
+
+TEST(RequestQueue, NonEmptyBanksMaskTracksOccupancy)
+{
+    RequestQueue q(4, 8);
+    EXPECT_FALSE(q.nonEmptyBanks().any());
+    q.push(makeReq(2, 0x40));
+    q.push(makeReq(0, 0x80));
+    EXPECT_TRUE(q.nonEmptyBanks().test(BankId(0)));
+    EXPECT_FALSE(q.nonEmptyBanks().test(BankId(1)));
+    EXPECT_TRUE(q.nonEmptyBanks().test(BankId(2)));
+    q.pop(BankId(2));
+    EXPECT_FALSE(q.nonEmptyBanks().test(BankId(2)));
+    q.pop(BankId(0));
+    EXPECT_FALSE(q.nonEmptyBanks().any());
 }
 
 TEST(RequestQueue, StressManyPushPops)

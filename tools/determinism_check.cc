@@ -16,6 +16,10 @@
  *   determinism_check [workload] [policy] [instructions] [warmup]
  *                     [seed] [runs] [faults(0|1)]
  *
+ * With MELLOWSIM_FP_DUMP=<path> the reference fingerprint is also
+ * written to <path>, so two *builds* (e.g. before and after a kernel
+ * rework) can be byte-compared, not just two runs of one build.
+ *
  * Defaults exercise a representative configuration: the stream
  * workload under BE-Mellow+SC+WQ (eager queue, cancellation and Wear
  * Quota all active). With faults=1 an aggressive fault-injection
@@ -233,6 +237,17 @@ main(int argc, char **argv)
 
         if (i == 0) {
             reference = std::move(dump);
+            if (const char *path = std::getenv("MELLOWSIM_FP_DUMP")) {
+                if (std::FILE *f = std::fopen(path, "w")) {
+                    std::fwrite(reference.data(), 1, reference.size(),
+                                f);
+                    std::fclose(f);
+                } else {
+                    std::fprintf(stderr,
+                                 "warning: cannot write fingerprint "
+                                 "to %s\n", path);
+                }
+            }
         } else if (dump != reference) {
             std::fprintf(stderr,
                          "FAIL: run %u of %s/%s (seed %" PRIu64

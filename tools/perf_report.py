@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Run the perf harness and emit BENCH_perf.json.
+
+Builds the release-lto preset (Release + IPO, allocation counter on,
+runtime checks off), runs bench/micro_kernel for the kernel-level
+metrics, then times a reduced fig11_policy_lifetime slice as the
+system-level figure. The result seeds the repo's benchmark trajectory:
+every future PR reruns this and appends, so regressions show up as a
+bend in the curve rather than a flaky gate.
+
+Usage:
+  tools/perf_report.py [--output BENCH_perf.json] [--skip-build]
+                       [--events N] [--instrs N] [--fig11-instrs N]
+
+Scaling knobs mirror the benchmarks' own environment variables; the
+defaults keep a full run under ~2 minutes on one core.
+"""
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BUILD_DIR = os.path.join(REPO_ROOT, "build-lto")
+
+
+def run(cmd, **kwargs):
+    print("+ " + " ".join(cmd), flush=True)
+    return subprocess.run(cmd, check=True, **kwargs)
+
+
+def build(jobs):
+    if not os.path.exists(os.path.join(BUILD_DIR, "CMakeCache.txt")):
+        run(["cmake", "--preset", "release-lto"], cwd=REPO_ROOT)
+    run(["cmake", "--build", BUILD_DIR, "-j", str(jobs)], cwd=REPO_ROOT)
+
+
+def parse_metrics(text):
+    """Parse `perf.<group>.<name> <value>` lines into a nested dict."""
+    out = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("perf."):
+            continue
+        key, _, value = line.partition(" ")
+        parts = key.split(".")[1:]
+        node = out
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        try:
+            node[parts[-1]] = float(value)
+        except ValueError:
+            node[parts[-1]] = value
+    return out
+
+
+def run_micro_kernel(events, instrs):
+    env = dict(os.environ)
+    env["MELLOWSIM_PERF_EVENTS"] = str(events)
+    env["MELLOWSIM_INSTRS"] = str(instrs)
+    proc = run([os.path.join(BUILD_DIR, "bench", "micro_kernel")],
+               env=env, capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    return parse_metrics(proc.stdout)
+
+
+def run_fig11_slice(instrs):
+    env = dict(os.environ)
+    env["MELLOWSIM_INSTRS"] = str(instrs)
+    env["MELLOWSIM_WARMUP"] = str(max(instrs // 4, 1))
+    env["MELLOWSIM_JOBS"] = "1"
+    binary = os.path.join(BUILD_DIR, "bench", "fig11_policy_lifetime")
+    t0 = time.monotonic()
+    proc = run([binary], env=env, capture_output=True, text=True)
+    host_sec = time.monotonic() - t0
+    lines = proc.stdout.count("\n")
+    return {"instrs": instrs, "host_sec": round(host_sec, 3),
+            "output_lines": lines}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output",
+                        default=os.path.join(REPO_ROOT, "BENCH_perf.json"))
+    parser.add_argument("--skip-build", action="store_true",
+                        help="use the existing build-lto binaries")
+    parser.add_argument("--events", type=int, default=2_000_000,
+                        help="micro_kernel event count")
+    parser.add_argument("--instrs", type=int, default=1_000_000,
+                        help="micro_kernel system-slice instructions")
+    parser.add_argument("--fig11-instrs", type=int, default=2_000_000,
+                        help="fig11 slice instructions per run")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    args = parser.parse_args()
+
+    if not args.skip_build:
+        build(args.jobs)
+
+    metrics = run_micro_kernel(args.events, args.instrs)
+    metrics["fig11_slice"] = run_fig11_slice(args.fig11_instrs)
+
+    report = {
+        "bench": "perf",
+        "schema_version": 1,
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpus": os.cpu_count(),
+        },
+        "config": {
+            "preset": "release-lto",
+            "events": args.events,
+            "instrs": args.instrs,
+            "fig11_instrs": args.fig11_instrs,
+        },
+        "metrics": metrics,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()
