@@ -2,20 +2,24 @@
 
 #ifdef MELLOWSIM_ALLOC_COUNTER_ENABLED
 
-#include <atomic>
 #include <cstdlib>
 #include <new>
+
+#include "sim/sync.hh"
 
 namespace
 {
 
-std::atomic<std::uint64_t> g_allocs{0};
-std::atomic<std::uint64_t> g_frees{0};
+// Constant-initialized (constexpr std::atomic ctor inside), so the
+// replaced operator new is safe to hit during static initialization
+// of other translation units.
+mellowsim::sync::RelaxedCounter g_allocs;
+mellowsim::sync::RelaxedCounter g_frees;
 
 void *
 countedAlloc(std::size_t bytes)
 {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_allocs.increment();
     // malloc(0) may return null; the returned pointer must be unique.
     if (void *p = std::malloc(bytes ? bytes : 1))
         return p;
@@ -25,7 +29,7 @@ countedAlloc(std::size_t bytes)
 void *
 countedAlignedAlloc(std::size_t bytes, std::size_t alignment)
 {
-    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_allocs.increment();
     void *p = nullptr;
     if (posix_memalign(&p, alignment, bytes ? bytes : alignment) != 0)
         return nullptr;
@@ -37,7 +41,7 @@ countedFree(void *p)
 {
     if (p == nullptr)
         return;
-    g_frees.fetch_add(1, std::memory_order_relaxed);
+    g_frees.increment();
     std::free(p);
 }
 
@@ -55,13 +59,13 @@ enabled()
 std::uint64_t
 allocations()
 {
-    return g_allocs.load(std::memory_order_relaxed);
+    return g_allocs.value();
 }
 
 std::uint64_t
 deallocations()
 {
-    return g_frees.load(std::memory_order_relaxed);
+    return g_frees.value();
 }
 
 } // namespace mellowsim::alloccounter

@@ -4,21 +4,40 @@
 #include <cstdio>
 #include <vector>
 
+#include "sim/sync.hh"
+
 namespace mellowsim
 {
 
-bool Logger::_quiet = false;
+std::atomic<bool> Logger::_quiet{false};
+
+namespace
+{
+
+/** Serializes message emission so lines from parallel sweep workers
+ * interleave whole, never mid-line. Guards the emit helpers below,
+ * not the streams themselves: each message is a single fprintf. */
+sync::Mutex outputMutex;
+
+void
+emitLine(std::FILE *stream, const char *prefix, const std::string &msg)
+{
+    sync::LockGuard guard(outputMutex);
+    std::fprintf(stream, "%s%s\n", prefix, msg.c_str());
+}
+
+} // namespace
 
 void
 Logger::setQuiet(bool quiet)
 {
-    _quiet = quiet;
+    _quiet.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 Logger::quiet()
 {
-    return _quiet;
+    return _quiet.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -45,7 +64,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     std::string full =
         logFormat("panic: %s (%s:%d)", msg.c_str(), file, line);
-    std::fprintf(stderr, "%s\n", full.c_str());
+    emitLine(stderr, "", full);
     throw PanicError(full);
 }
 
@@ -54,7 +73,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::string full =
         logFormat("fatal: %s (%s:%d)", msg.c_str(), file, line);
-    std::fprintf(stderr, "%s\n", full.c_str());
+    emitLine(stderr, "", full);
     throw FatalError(full);
 }
 
@@ -62,14 +81,14 @@ void
 warnImpl(const std::string &msg)
 {
     if (!Logger::quiet())
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emitLine(stderr, "warn: ", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (!Logger::quiet())
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+        emitLine(stdout, "info: ", msg);
 }
 
 } // namespace mellowsim

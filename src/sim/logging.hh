@@ -14,6 +14,7 @@
 #ifndef MELLOWSIM_SIM_LOGGING_HH
 #define MELLOWSIM_SIM_LOGGING_HH
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -35,7 +36,9 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
-/** Process-wide logging configuration. */
+/** Process-wide logging configuration. Safe to query and toggle from
+ * any thread; output from parallel sweep workers is serialized by a
+ * mutex internal to logging.cc. */
 class Logger
 {
   public:
@@ -44,7 +47,7 @@ class Logger
     static bool quiet();
 
   private:
-    static bool _quiet;
+    static std::atomic<bool> _quiet;
 };
 
 /** Format a message with printf semantics into a std::string. */

@@ -2,12 +2,11 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <limits>
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/sync.hh"
 
 namespace mellowsim
 {
@@ -28,6 +27,44 @@ envInstrs(const char *name, std::uint64_t fallback)
     fatal_if(parsed == 0, "%s must be positive", name);
     return parsed;
 }
+
+/**
+ * Deterministic first-error collection across sweep workers.
+ *
+ * Workers record (sweep index, exception) and keep draining the queue;
+ * rethrow() surfaces the error with the LOWEST sweep index, so the
+ * reported failure is the one a serial sweep would have hit first —
+ * independent of which worker thread happened to fault first.
+ */
+class ErrorCollector
+{
+  public:
+    void
+    record(std::size_t index, std::exception_ptr error)
+    {
+        sync::LockGuard guard(_mutex);
+        if (index < _firstIndex) {
+            _firstIndex = index;
+            _firstError = error;
+        }
+    }
+
+    /** Rethrow the lowest-index recorded error, if any. Call only
+     * after every worker has been joined. */
+    void
+    rethrow()
+    {
+        sync::LockGuard guard(_mutex);
+        if (_firstError)
+            std::rethrow_exception(_firstError);
+    }
+
+  private:
+    sync::Mutex _mutex;
+    std::size_t _firstIndex MELLOW_GUARDED_BY(_mutex) =
+        std::numeric_limits<std::size_t>::max();
+    std::exception_ptr _firstError MELLOW_GUARDED_BY(_mutex);
+};
 
 } // namespace
 
@@ -50,11 +87,8 @@ runOne(const std::string &workload, const WritePolicyConfig &policy)
 }
 
 std::vector<SimReport>
-runConfigs(std::vector<SystemConfig> configs)
+runConfigs(std::vector<SystemConfig> configs, unsigned jobs)
 {
-    unsigned jobs = static_cast<unsigned>(
-        envInstrs("MELLOWSIM_JOBS",
-                  std::max(1u, std::thread::hardware_concurrency())));
     std::vector<SimReport> reports(configs.size());
 
     if (jobs <= 1 || configs.size() <= 1) {
@@ -64,10 +98,11 @@ runConfigs(std::vector<SystemConfig> configs)
     }
 
     // Each System is fully isolated, so a simple work-stealing index
-    // preserves bit-identical results in deterministic slots.
+    // preserves bit-identical results in deterministic slots. Workers
+    // keep draining after an error so the collector can pick the
+    // lowest-index failure rather than the first to arrive.
     std::atomic<std::size_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    ErrorCollector errors;
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -76,24 +111,29 @@ runConfigs(std::vector<SystemConfig> configs)
             try {
                 reports[i] = runSystem(configs[i]);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                return;
+                errors.record(i, std::current_exception());
             }
         }
     };
-    std::vector<std::thread> threads;
     unsigned n = static_cast<unsigned>(
         std::min<std::size_t>(jobs, configs.size()));
-    threads.reserve(n);
-    for (unsigned t = 0; t < n; ++t)
-        threads.emplace_back(worker);
-    for (auto &t : threads)
-        t.join();
-    if (first_error)
-        std::rethrow_exception(first_error);
+    {
+        sync::ThreadGroup threads(n);
+        for (unsigned t = 0; t < n; ++t)
+            threads.spawn(worker);
+        // ThreadGroup's destructor joins, so an exception from
+        // spawn() cannot leak already-running workers.
+    }
+    errors.rethrow();
     return reports;
+}
+
+std::vector<SimReport>
+runConfigs(std::vector<SystemConfig> configs)
+{
+    unsigned jobs = static_cast<unsigned>(envInstrs(
+        "MELLOWSIM_JOBS", sync::hardwareConcurrency()));
+    return runConfigs(std::move(configs), jobs);
 }
 
 std::vector<SimReport>

@@ -47,8 +47,21 @@ runGrid(const std::vector<std::string> &workloads,
         const std::vector<WritePolicyConfig> &policies,
         const std::function<void(SystemConfig &)> &tweak = nullptr);
 
-/** Run an arbitrary list of prepared configurations (parallel). */
+/**
+ * Run an arbitrary list of prepared configurations in parallel across
+ * MELLOWSIM_JOBS worker threads (default: hardware concurrency).
+ *
+ * A worker-thread exception is rethrown after the sweep drains, and
+ * when several configurations fail the one with the lowest sweep
+ * index wins — the same error a serial sweep would report, regardless
+ * of thread arrival order.
+ */
 std::vector<SimReport> runConfigs(std::vector<SystemConfig> configs);
+
+/** As above with an explicit worker count (ignores MELLOWSIM_JOBS);
+ * used by tools/determinism_check --threads. */
+std::vector<SimReport> runConfigs(std::vector<SystemConfig> configs,
+                                  unsigned jobs);
 
 /** Look up the report for (workload, policy) in a result set. */
 const SimReport &findReport(const std::vector<SimReport> &reports,

@@ -1,0 +1,12 @@
+// analyze-expect: confinement-port
+// The include is blessed (the layer manifest's restricted edge lets
+// cache see nvm/memory_port.hh), but the cache bypasses the port
+// vocabulary and grabs the channel's queue internals directly —
+// exactly the hole only the confinement-port rule can see.
+#include "nvm/memory_port.hh"
+
+void
+drainBehindThePortsBack(ChannelInternals &internals)
+{
+    internals.drainNow();
+}

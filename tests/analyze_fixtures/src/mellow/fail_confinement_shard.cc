@@ -1,0 +1,13 @@
+// analyze-expect: confinement-shard
+// The policy layer writes bank state directly instead of asking the
+// owning shard (module nvm) to do it; under the sharded kernel this
+// is a cross-thread write to shard-owned state. No include or symbol
+// crosses the layer manifest — only the confinement rule sees it.
+
+class Bank;
+
+void
+throttleBank(Bank &bank, unsigned long now)
+{
+    bank.pauseWrite(now);
+}

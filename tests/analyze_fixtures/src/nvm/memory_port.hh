@@ -1,0 +1,23 @@
+// Fixture seam header: the blessed cache -> memory-system port
+// (mirrors src/nvm/memory_port.hh; analyzed textually, never
+// compiled). Consumers may use the MemoryPort vocabulary only;
+// ChannelInternals is exposed here for the controller's own wiring
+// and is declared internal in the fixture confinement.toml.
+#pragma once
+
+#include "nvm/queues.hh"
+
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+    virtual bool writeback(MemRequest req) = 0;
+    virtual bool eagerQueueHasSpace() const = 0;
+};
+
+class ChannelInternals
+{
+  public:
+    RequestQueue &writeQueue();
+    void drainNow();
+};

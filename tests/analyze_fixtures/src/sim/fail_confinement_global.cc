@@ -1,0 +1,33 @@
+// analyze-expect: confinement-global
+// Mutable static-storage state with no synchronization story: raced
+// by parallel sweep workers and invisible to the determinism audit.
+// The atomic, sync-typed and const declarations below must stay
+// silent (negative coverage for the exemption list).
+#include <atomic>
+#include <cstdint>
+
+#include "sim/sync.hh"
+
+namespace
+{
+
+std::uint64_t g_eventsDispatched = 0;
+
+std::atomic<std::uint64_t> g_allocSamples{0};
+
+mellowsim::sync::RelaxedCounter g_retries;
+
+const char *const kBannerText = "mellowsim";
+
+} // namespace
+
+std::uint64_t
+bumpDispatchCount()
+{
+    static bool warnedOnce = false;
+    warnedOnce = true;
+    ++g_eventsDispatched;
+    g_allocSamples.fetch_add(1);
+    g_retries.increment();
+    return g_eventsDispatched;
+}

@@ -1,0 +1,30 @@
+// Writing a MELLOW_GUARDED_BY field without holding its mutex must be
+// rejected by Clang's thread-safety analysis (-Wthread-safety as an
+// error, as in the thread-safety preset). Under compilers without the
+// capability attributes the annotations are no-ops, so this snippet
+// is only registered when the test compiler is Clang.
+#include "sim/sync.hh"
+
+using namespace mellowsim;
+
+class Tally
+{
+  public:
+    void
+    bump()
+    {
+        ++_count; // no LockGuard: unguarded write to _count
+    }
+
+  private:
+    sync::Mutex _mutex;
+    unsigned long _count MELLOW_GUARDED_BY(_mutex) = 0;
+};
+
+int
+main()
+{
+    Tally t;
+    t.bump();
+    return 0;
+}

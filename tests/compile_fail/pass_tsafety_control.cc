@@ -1,0 +1,35 @@
+// Positive control for the thread-safety snippets: the same guarded
+// field and REQUIRES function as the fail_tsafety_* fixtures, but
+// with the lock correctly held via LockGuard — this must compile
+// cleanly under -Wthread-safety -Wthread-safety-beta -Werror, proving
+// the failing snippets fail for the right reason and not because the
+// wrappers themselves trip the analysis.
+#include "sim/sync.hh"
+
+using namespace mellowsim;
+
+class Tally
+{
+  public:
+    void
+    bump()
+    {
+        sync::LockGuard guard(_mutex);
+        ++_count;
+        drainLocked();
+    }
+
+  private:
+    void drainLocked() MELLOW_REQUIRES(_mutex) { ++_count; }
+
+    sync::Mutex _mutex;
+    unsigned long _count MELLOW_GUARDED_BY(_mutex) = 0;
+};
+
+int
+main()
+{
+    Tally t;
+    t.bump();
+    return 0;
+}

@@ -34,6 +34,51 @@ TEST(Average, MeanMinMax)
     EXPECT_DOUBLE_EQ(a.sum(), 9.0);
 }
 
+TEST(Counter, MergeFoldsShardTallies)
+{
+    Counter a;
+    Counter b;
+    a += 5;
+    b += 7;
+    a.merge(b);
+    EXPECT_EQ(a.value(), 12u);
+    EXPECT_EQ(b.value(), 7u);
+    a.merge(Counter{});
+    EXPECT_EQ(a.value(), 12u);
+}
+
+TEST(Average, MergeEqualsConcatenatedStreams)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    Average b;
+    b.sample(8.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 8.0);
+}
+
+TEST(Average, MergeEmptyIsIdentity)
+{
+    Average a;
+    a.sample(2.0);
+    a.merge(Average{});
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 2.0);
+
+    // And merging into an empty one adopts the other's min/max.
+    Average empty;
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 2.0);
+}
+
 TEST(Average, ResetClearsEverything)
 {
     Average a;
@@ -108,6 +153,28 @@ TEST(Histogram, BucketsSamples)
     EXPECT_EQ(h.buckets()[0], 2u);
     EXPECT_EQ(h.buckets()[1], 1u);
     EXPECT_EQ(h.buckets()[4], 2u);
+}
+
+TEST(Histogram, MergeAddsBucketwise)
+{
+    Histogram a(10.0, 5);
+    Histogram b(10.0, 5);
+    a.sample(0.5);
+    b.sample(0.5);
+    b.sample(9.9);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.buckets()[0], 2u);
+    EXPECT_EQ(a.buckets()[4], 1u);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch)
+{
+    Histogram a(10.0, 5);
+    Histogram fewer_buckets(10.0, 4);
+    Histogram different_range(20.0, 5);
+    EXPECT_THROW(a.merge(fewer_buckets), PanicError);
+    EXPECT_THROW(a.merge(different_range), PanicError);
 }
 
 TEST(GeoMean, KnownValues)

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """mellow-analyze — semantic static analysis for mellowsim.
 
-Four rule families the regex lint (tools/mellow_lint.py) cannot
+Seven rule families the regex lint (tools/mellow_lint.py) cannot
 express:
 
   value-escape      .value() on a strong type outside whitelisted
@@ -11,6 +11,19 @@ express:
   nondet-handler    wall clocks, raw RNG, unordered iteration or I/O
                     reachable from an EventQueue::schedule callback
   request-lifetime  a MemRequest read after std::move() into a queue
+
+plus the shard-confinement family driven by
+tools/analyze/confinement.toml (the concurrency model of DESIGN.md
+§11, which the future sharded per-channel kernel will be written
+against):
+
+  confinement-global  mutable static/namespace-scope state that is not
+                      atomic, a sync.hh type, thread_local or const
+  confinement-shard   a declared mutator of shard-owned state called
+                      from a module outside the declared owners
+  confinement-port    a shard's internal types referenced from a
+                      consumer module instead of going through the
+                      declared message-port seam headers
 
 Findings honour the shared `// mlint: allow(<rule>): <reason>`
 suppression syntax (tools/analyze/suppress.py).
@@ -97,10 +110,11 @@ def _build_project(backend: str, files: dict[str, list[str]],
 
 
 def _run_rules(project, layers: dict, whitelists: dict,
-               enabled: list[str]) -> list[Finding]:
+               confinement: dict, enabled: list[str]) -> list[Finding]:
     findings: list[Finding] = []
     for rule in enabled:
-        findings.extend(RULE_CHECKERS[rule](project, layers, whitelists))
+        findings.extend(
+            RULE_CHECKERS[rule](project, layers, whitelists, confinement))
 
     # Drop suppressed findings.
     sup_cache = {}
@@ -199,6 +213,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=os.path.join(ANALYZE_DIR, "layers.toml"))
     parser.add_argument("--whitelists",
                         default=os.path.join(ANALYZE_DIR, "whitelists.toml"))
+    parser.add_argument("--confinement", default=None,
+                        help="confinement manifest (default: a "
+                             "confinement.toml in the analyzed tree "
+                             "root if present, else "
+                             "tools/analyze/confinement.toml)")
     parser.add_argument("--sarif", metavar="OUT",
                         help="also write SARIF 2.1.0 to OUT")
     parser.add_argument("--only-rule", action="append", default=[],
@@ -224,6 +243,15 @@ def main(argv: list[str] | None = None) -> int:
 
     layers = _load_toml(args.layers, "layer")
     whitelists = _load_toml(args.whitelists, "whitelist")
+    # A tree-local confinement.toml (e.g. in the fixture tree) wins
+    # over the repo manifest so fixture trees stay self-describing.
+    confinement_path = args.confinement
+    if confinement_path is None:
+        tree_local = os.path.join(root, "confinement.toml")
+        confinement_path = (tree_local if os.path.exists(tree_local)
+                            else os.path.join(ANALYZE_DIR,
+                                              "confinement.toml"))
+    confinement = _load_toml(confinement_path, "confinement")
 
     # Self-test always runs the textual backend: the fixtures gate the
     # shared rule logic and must work without libclang.
@@ -231,7 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     project, backend_used = _build_project(
         backend, files, args.build_dir, root)
 
-    findings = _run_rules(project, layers, whitelists, enabled)
+    findings = _run_rules(project, layers, whitelists, confinement,
+                          enabled)
 
     if args.sarif:
         from sarif import to_sarif

@@ -32,12 +32,19 @@ RULE_VALUE_ESCAPE = "value-escape"
 RULE_LAYERING = "layering"
 RULE_NONDET_HANDLER = "nondet-handler"
 RULE_REQUEST_LIFETIME = "request-lifetime"
+#: Shard-confinement family (tools/analyze/confinement.toml).
+RULE_CONFINEMENT_GLOBAL = "confinement-global"
+RULE_CONFINEMENT_SHARD = "confinement-shard"
+RULE_CONFINEMENT_PORT = "confinement-port"
 
 ALL_RULES = (
     RULE_VALUE_ESCAPE,
     RULE_LAYERING,
     RULE_NONDET_HANDLER,
     RULE_REQUEST_LIFETIME,
+    RULE_CONFINEMENT_GLOBAL,
+    RULE_CONFINEMENT_SHARD,
+    RULE_CONFINEMENT_PORT,
 )
 
 

@@ -13,6 +13,9 @@ from collections import defaultdict
 
 from frontend_textual import strip_comments_and_strings
 from model import (
+    RULE_CONFINEMENT_GLOBAL,
+    RULE_CONFINEMENT_PORT,
+    RULE_CONFINEMENT_SHARD,
     RULE_LAYERING,
     RULE_NONDET_HANDLER,
     RULE_REQUEST_LIFETIME,
@@ -73,8 +76,11 @@ def _collect_symbols(project: Project, src_root: str) -> dict:
     """Top-level type/alias names per module from header files.
     Returns name -> (module, header-path-as-included)."""
     defs: dict[str, set[tuple[str, str]]] = defaultdict(set)
+    # The optional MELLOW_* group skips capability-annotation macros
+    # (src/sim/sync.hh): `class MELLOW_CAPABILITY("mutex") Mutex`.
     type_re = re.compile(
-        r"^(?:class|struct|enum\s+class|enum)\s+([A-Z]\w*)")
+        r"^(?:class|struct|enum\s+class|enum)\s+"
+        r"(?:MELLOW_\w+\s*(?:\([^)]*\)\s*)?)?([A-Z]\w*)")
     alias_re = re.compile(r"^using\s+([A-Z]\w*)\s*=")
     for path, lines in project.files.items():
         if not path.endswith(".hh"):
@@ -353,13 +359,221 @@ def check_request_lifetime(project: Project, whitelists: dict) -> list[Finding]:
     return findings
 
 
+# --- Rules 5-7: shard confinement -----------------------------------
+#
+# The confinement family enforces the concurrency model in DESIGN.md
+# §11 from the declarations in tools/analyze/confinement.toml. All
+# three rules are computed lexically over the shared IR file map, so
+# both frontends agree by construction.
+
+#: Keywords that can never start a variable definition at namespace
+#: scope (filters function bodies, type definitions, using aliases...).
+_NS_NONVAR_KEYWORDS = frozenset(
+    """using typedef return extern friend template namespace class
+    struct enum union public private protected case goto else if for
+    while switch do try catch static_assert operator void""".split())
+
+#: A namespace-scope variable definition: `Type name;`,
+#: `Type name = init;` or `Type name{init};` on one line. The type may
+#: be qualified/templated; the name may be a qualified out-of-class
+#: static-member definition (`Type Class::member = init;`).
+_NS_VAR_RE = re.compile(
+    r"^([A-Za-z_][\w:]*(?:\s*<[^;={}]*>)?(?:\s*[*&])*)\s+"
+    r"[A-Za-z_][\w:]*\s*(?:\{[^{}]*\}|\[[^\]]*\]|=[^=;][^;]*)?\s*;")
+
+_STATIC_DECL_RE = re.compile(r"^\s*(?:inline\s+)?static\s+")
+
+#: Declarations carrying one of these are synchronization-aware and
+#: exempt from confinement-global (plus whatever confinement.toml's
+#: [global].synchronized_types adds).
+_EXEMPT_RE = re.compile(r"\bconst\b|\bconstexpr\b|\bthread_local\b")
+_BUILTIN_SYNC_MARKERS = ("std::atomic", "std::once_flag")
+
+
+def _scope_kinds(clean: list[str]):
+    """Yield (line_index, at_namespace_scope) for every line, tracking
+    a brace stack whose openers are classified as namespace, type, or
+    other (function bodies, initializers) scopes. A line starting
+    inside an unclosed parenthesis group (the continuation of a
+    multi-line declaration) is never at namespace scope."""
+    stack: list[str] = []
+    paren_depth = 0
+    prev_nonblank = ""
+    type_open_re = re.compile(
+        r"^\s*(?:template\s*<[^<>]*>\s*)?"
+        r"(?:class|struct|enum|union)\b")
+    for i, line in enumerate(clean):
+        yield i, paren_depth == 0 and all(
+            kind == "ns" for kind in stack)
+        col = 0
+        for ch in line:
+            if ch == "{":
+                header = line[:col].strip() or prev_nonblank
+                if re.search(r"\bnamespace\b", header):
+                    stack.append("ns")
+                elif type_open_re.match(header):
+                    stack.append("type")
+                else:
+                    stack.append("other")
+            elif ch == "}" and stack:
+                stack.pop()
+            elif ch == "(":
+                paren_depth += 1
+            elif ch == ")" and paren_depth:
+                paren_depth -= 1
+            col += 1
+        if line.strip():
+            prev_nonblank = line.strip()
+
+
+def check_confinement_global(project: Project, confinement: dict,
+                             src_root: str = "src") -> list[Finding]:
+    """Mutable static-storage state must be synchronized (atomic, a
+    sync.hh type, or a manifest-listed type), thread-local, or const:
+    anything else is invisible shared state that a parallel sweep or
+    the future sharded kernel would race on."""
+    sync_markers = _BUILTIN_SYNC_MARKERS + tuple(
+        confinement.get("global", {}).get("synchronized_types", []))
+
+    def exempt(line: str) -> bool:
+        return bool(_EXEMPT_RE.search(line)) or any(
+            marker in line for marker in sync_markers)
+
+    def is_variable(line: str) -> bool:
+        # A '(' before the first initializer/terminator means a
+        # function declaration or definition, not a variable.
+        head = re.split(r"[={;]", line, maxsplit=1)[0]
+        return "(" not in head and "[[" not in head
+
+    findings = []
+    for path, lines in project.files.items():
+        if _module_of(path, src_root) is None:
+            continue
+        clean = strip_comments_and_strings(lines)
+        for i, at_ns in _scope_kinds(clean):
+            line = clean[i]
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if _STATIC_DECL_RE.match(line):
+                # static anywhere: class member, function-local, or
+                # file scope — all outlive the run and are shared.
+                if exempt(line) or not is_variable(stripped):
+                    continue
+                findings.append(Finding(
+                    RULE_CONFINEMENT_GLOBAL, path, i + 1,
+                    "mutable static state is shared across threads; "
+                    "make it std::atomic, a sync.hh type, thread_local "
+                    "or const (confinement.toml [global])"))
+                continue
+            if not at_ns:
+                continue
+            body = re.sub(r"^inline\s+", "", stripped)
+            m = _NS_VAR_RE.match(body)
+            if not m:
+                continue
+            first_word = re.split(r"[^\w]", body, maxsplit=1)[0]
+            if first_word in _NS_NONVAR_KEYWORDS:
+                continue
+            if exempt(line) or not is_variable(body):
+                continue
+            findings.append(Finding(
+                RULE_CONFINEMENT_GLOBAL, path, i + 1,
+                "mutable namespace-scope state is shared across "
+                "threads; make it std::atomic, a sync.hh type, "
+                "thread_local or const (confinement.toml [global])"))
+    return findings
+
+
+def check_confinement_shard(project: Project, confinement: dict,
+                            src_root: str = "src") -> list[Finding]:
+    """Calls to declared mutators of shard-owned state from modules
+    outside the declared owners. Mutator names in the manifest must be
+    project-unique; the future ChannelShard kernel is written against
+    exactly this ownership map."""
+    mutators: dict[str, tuple[str, tuple[str, ...]]] = {}
+    for entry in confinement.get("shard_owned", []):
+        owners = tuple(entry.get("owners", []))
+        for name in entry.get("mutators", []):
+            mutators[name] = (entry.get("type", "?"), owners)
+
+    findings = []
+    seen: set[tuple[str, int, str]] = set()
+    for func in project.functions:
+        module = _module_of(func.file, src_root)
+        if module is None:
+            continue
+        for callee, line in func.calls:
+            hit = mutators.get(callee)
+            if hit is None:
+                continue
+            type_name, owners = hit
+            if module in owners:
+                continue
+            key = (func.file, line, callee)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                RULE_CONFINEMENT_SHARD, func.file, line,
+                f"{type_name}::{callee}() mutates shard-owned state "
+                f"from module \"{module}\"; only "
+                f"{sorted(owners)} may write it "
+                f"(confinement.toml [[shard_owned]])"))
+    return findings
+
+
+def check_confinement_port(project: Project, confinement: dict,
+                           src_root: str = "src") -> list[Finding]:
+    """References to a shard's internal types from consumer modules:
+    cross-shard communication must go through the declared seam
+    headers' port vocabulary, even when the layer manifest permits the
+    include."""
+    findings = []
+    for port in confinement.get("port", []):
+        internal = set(port.get("internal_modules", []))
+        trusted = set(port.get("trusted_modules", []))
+        seams = port.get("seam_headers", [])
+        word_res = {t: re.compile(r"\b" + re.escape(t) + r"\b")
+                    for t in port.get("internal_types", [])}
+        for path, lines in project.files.items():
+            module = _module_of(path, src_root)
+            if module is None or module in internal or module in trusted:
+                continue
+            clean = strip_comments_and_strings(lines)
+            reported: set[str] = set()
+            for i, line in enumerate(clean):
+                for name, word_re in word_res.items():
+                    if name in reported or not word_re.search(line):
+                        continue
+                    reported.add(name)
+                    findings.append(Finding(
+                        RULE_CONFINEMENT_PORT, path, i + 1,
+                        f"module \"{module}\" touches {name}, internal "
+                        f"to the \"{port.get('name', '?')}\" shard; "
+                        f"communicate through the declared seam "
+                        f"({', '.join(seams)}) "
+                        f"(confinement.toml [[port]])"))
+    return findings
+
+
 RULE_CHECKERS = {
     RULE_VALUE_ESCAPE:
-        lambda project, layers, wl: check_value_escape(project, wl),
+        lambda project, layers, wl, conf: check_value_escape(project, wl),
     RULE_LAYERING:
-        lambda project, layers, wl: check_layering(project, layers),
+        lambda project, layers, wl, conf: check_layering(project, layers),
     RULE_NONDET_HANDLER:
-        lambda project, layers, wl: check_nondet_handler(project, wl),
+        lambda project, layers, wl, conf: check_nondet_handler(project, wl),
     RULE_REQUEST_LIFETIME:
-        lambda project, layers, wl: check_request_lifetime(project, wl),
+        lambda project, layers, wl, conf:
+            check_request_lifetime(project, wl),
+    RULE_CONFINEMENT_GLOBAL:
+        lambda project, layers, wl, conf:
+            check_confinement_global(project, conf),
+    RULE_CONFINEMENT_SHARD:
+        lambda project, layers, wl, conf:
+            check_confinement_shard(project, conf),
+    RULE_CONFINEMENT_PORT:
+        lambda project, layers, wl, conf:
+            check_confinement_port(project, conf),
 }

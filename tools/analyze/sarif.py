@@ -20,6 +20,20 @@ _RULE_DESCRIPTIONS = {
     "request-lifetime":
         "A request object is read after ownership was handed to a "
         "queue.",
+    "confinement-global":
+        "Mutable static-storage state that is not std::atomic, a "
+        "sync.hh type, thread_local or const races under the parallel "
+        "sweep and the future sharded kernel "
+        "(tools/analyze/confinement.toml [global]).",
+    "confinement-shard":
+        "A declared mutator of shard-owned state is called from a "
+        "module outside the declared owners "
+        "(tools/analyze/confinement.toml [[shard_owned]]).",
+    "confinement-port":
+        "A shard's internal types are referenced from a consumer "
+        "module; cross-shard communication must go through the "
+        "declared message-port seam headers "
+        "(tools/analyze/confinement.toml [[port]]).",
 }
 
 

@@ -37,6 +37,10 @@ echo "==> [3/4] determinism audit"
 # all replay byte-identically too (trailing 1 = faults on).
 ./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
     200000 50000 1 2 1
+# Parallel-readiness gate: the sweep grid byte-identical between a
+# serial run and contended worker threads.
+./build-asan/tools/determinism_check --threads 2
+./build-asan/tools/determinism_check --threads 8
 
 echo "==> [4/4] lint (mellow_lint + mellow-analyze + clang-tidy)"
 tools/lint.sh --build-dir build-asan

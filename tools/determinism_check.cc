@@ -15,6 +15,16 @@
  * Usage:
  *   determinism_check [workload] [policy] [instructions] [warmup]
  *                     [seed] [runs] [faults(0|1)]
+ *   determinism_check --threads N [instructions] [warmup]
+ *
+ * The --threads mode is the parallel-readiness gate: it builds a
+ * (workload x policy x seed) sweep grid — fault injection layered on
+ * alternate entries so the fault RNG is contended too — runs it once
+ * serially as the reference, then again across N worker threads via
+ * runConfigs(configs, N), and byte-compares every report fingerprint.
+ * Any cross-thread state leak (a shared RNG, an unsynchronized global
+ * tally, allocator-order dependence) shows up as a diff between the
+ * serial and threaded sweeps.
  *
  * With MELLOWSIM_FP_DUMP=<path> the reference fingerprint is also
  * written to <path>, so two *builds* (e.g. before and after a kernel
@@ -39,6 +49,7 @@
 #include "mellow/policy.hh"
 #include "sim/logging.hh"
 #include "system/report.hh"
+#include "system/runner.hh"
 #include "system/system.hh"
 
 namespace
@@ -62,12 +73,13 @@ line(std::ostringstream &out, const char *name, std::uint64_t v)
 }
 
 /**
- * Exhaustive textual fingerprint of one run: the full SimReport plus
- * per-bank wear, busy-time and quota state dug out of the live
- * system. Everything that could diverge between runs is in here.
+ * Textual fingerprint of everything in a SimReport. This is the part
+ * of the audit the --threads sweep can apply too, where only the
+ * reports survive the worker threads (each System is torn down inside
+ * runConfigs()).
  */
 std::string
-fingerprint(System &sys, const SimReport &r)
+reportFingerprint(const SimReport &r)
 {
     std::ostringstream out;
     out << "workload " << r.workload << '\n';
@@ -111,6 +123,19 @@ fingerprint(System &sys, const SimReport &r)
     line(out, "firstUncorrectableTick",
          static_cast<std::uint64_t>(r.firstUncorrectableTick));
     line(out, "effectiveCapacityFraction", r.effectiveCapacityFraction);
+    return out.str();
+}
+
+/**
+ * Exhaustive textual fingerprint of one run: the full SimReport plus
+ * per-bank wear, busy-time and quota state dug out of the live
+ * system. Everything that could diverge between runs is in here.
+ */
+std::string
+fingerprint(System &sys, const SimReport &r)
+{
+    std::ostringstream out;
+    out << reportFingerprint(r);
 
     MemorySystem &mem = sys.memory();
     for (unsigned c = 0; c < mem.numChannels(); ++c) {
@@ -177,12 +202,114 @@ reportFirstDiff(const std::string &a, const std::string &b)
     }
 }
 
+/**
+ * Aggressive fault-injection layer: near-instant endurance
+ * exhaustion, a heavy weak-line tail, frequent verify failures, and
+ * repair / spare pools small enough to exhaust, so every fault path
+ * fires within a short run.
+ */
+void
+layerFaults(SystemConfig &cfg)
+{
+    FaultConfig &f = cfg.memory.fault;
+    f.enabled = true;
+    f.enduranceScale = 5e-7;
+    f.enduranceSigma = 1.0;
+    f.transientFailProb = 0.02;
+    f.maxRetries = 3;
+    f.repairEntriesPerLine = 1;
+    f.spareLinesPerBank = 8;
+}
+
+/**
+ * Parallel-readiness gate (--threads N): run a sweep grid serially,
+ * then across N contended worker threads, and require byte-identical
+ * report fingerprints slot by slot.
+ */
+int
+runThreadsMode(unsigned jobs, std::uint64_t instructions,
+               std::uint64_t warmup)
+{
+    // Sequential, random and pointer-chasing traffic across plain and
+    // fully-featured policies; fault injection on alternate entries so
+    // the per-system fault RNGs run under contention too.
+    const char *workloads[] = {"stream", "gups", "mcf"};
+    const char *policyNames[] = {"Norm", "BE-Mellow+SC+WQ"};
+
+    std::vector<SystemConfig> configs;
+    for (const char *w : workloads) {
+        for (const char *p : policyNames) {
+            SystemConfig cfg;
+            cfg.workloadName = w;
+            cfg.policy = policies::fromName(p);
+            cfg.instructions = instructions;
+            cfg.warmupInstructions = warmup;
+            cfg.seed = configs.size() + 1;
+            if (configs.size() % 2 == 1)
+                layerFaults(cfg);
+            configs.push_back(std::move(cfg));
+        }
+    }
+
+    std::vector<SimReport> serial = runConfigs(configs, 1);
+    std::vector<SimReport> threaded = runConfigs(configs, jobs);
+
+    bool ok = true;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        std::string a = reportFingerprint(serial[i]);
+        std::string b = reportFingerprint(threaded[i]);
+        if (a != b) {
+            ok = false;
+            std::fprintf(stderr,
+                         "FAIL: grid entry %zu (%s / %s) diverged "
+                         "between the serial reference and the "
+                         "%u-thread sweep\n",
+                         i, serial[i].workload.c_str(),
+                         serial[i].policy.c_str(), jobs);
+            reportFirstDiff(a, b);
+        }
+    }
+    if (!ok)
+        return 1;
+    std::printf("OK: %zu-config sweep grid (%" PRIu64
+                " instrs each) byte-identical between serial and "
+                "%u-thread runs\n",
+                configs.size(), instructions, jobs);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace mellowsim;
+
+    if (argc > 1 && std::string(argv[1]) == "--threads") {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: %s --threads N [instructions] "
+                         "[warmup]\n", argv[0]);
+            return 2;
+        }
+        unsigned jobs = static_cast<unsigned>(
+            std::strtoul(argv[2], nullptr, 10));
+        // Long enough per config that the worker threads genuinely
+        // overlap (contended allocator, shared stdio, ...) instead of
+        // finishing one after another.
+        std::uint64_t instructions =
+            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1'000'000;
+        std::uint64_t warmup =
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 50'000;
+        if (jobs == 0 || instructions == 0) {
+            std::fprintf(stderr,
+                         "usage: %s --threads N>=1 [instructions>0] "
+                         "[warmup]\n", argv[0]);
+            return 2;
+        }
+        Logger::setQuiet(true);
+        return runThreadsMode(jobs, instructions, warmup);
+    }
 
     std::string workload = argc > 1 ? argv[1] : "stream";
     std::string policy = argc > 2 ? argv[2] : "BE-Mellow+SC+WQ";
@@ -216,20 +343,8 @@ main(int argc, char **argv)
         cfg.instructions = instructions;
         cfg.warmupInstructions = warmup;
         cfg.seed = seed;
-        if (faults) {
-            // Aggressive settings so every fault path fires within a
-            // short run: near-instant endurance exhaustion, a heavy
-            // weak-line tail, frequent verify failures, and repair /
-            // spare pools small enough to exhaust.
-            FaultConfig &f = cfg.memory.fault;
-            f.enabled = true;
-            f.enduranceScale = 5e-7;
-            f.enduranceSigma = 1.0;
-            f.transientFailProb = 0.02;
-            f.maxRetries = 3;
-            f.repairEntriesPerLine = 1;
-            f.spareLinesPerBank = 8;
-        }
+        if (faults)
+            layerFaults(cfg);
 
         System sys(cfg);
         SimReport r = sys.run();

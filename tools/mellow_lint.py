@@ -32,6 +32,15 @@ Checks project conventions that clang-tidy cannot express:
                       be [[nodiscard]]: silently dropping a queried
                       stat or address is always a bug.
 
+  raw-sync-primitive  Raw standard-library synchronization primitives
+                      (std::mutex, std::thread, std::lock_guard, ...)
+                      outside src/sim/sync.hh. The sync.hh wrappers
+                      carry the Clang thread-safety capability
+                      annotations and are the vocabulary the
+                      confinement analysis trusts; a raw primitive is
+                      invisible to both. (std::atomic is fine — it is
+                      part of the sanctioned vocabulary.)
+
 Suppress a finding with the shared annotation syntax (parsed by
 tools/analyze/suppress.py, the same module mellow-analyze uses): a
 trailing annotation suppresses its own line, a standalone annotation
@@ -107,6 +116,18 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*(?:this->)?(\w+)\s*\)")
 # --- schedule-literal ------------------------------------------------
 
 SCHEDULE_LITERAL_RE = re.compile(r"\bschedule\s*\(\s*\d")
+
+# --- raw-sync-primitive ----------------------------------------------
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"thread|jthread|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(?:_any)?)\b"
+)
+
+# The one sanctioned home of the raw primitives (see its header
+# comment); everything else goes through its wrappers.
+SYNC_WRAPPER_FILE = "src/sim/sync.hh"
 
 # --- missing-nodiscard -----------------------------------------------
 
@@ -209,6 +230,20 @@ class Linter:
                         f"'{m.group(1)}': iteration order is "
                         "unspecified; iterate a sorted copy or annotate "
                         "why order cannot leak",
+                    )
+
+            if (
+                rel != SYNC_WRAPPER_FILE
+                and rel.startswith("src/")
+                and not allowed("raw-sync-primitive")
+            ):
+                m = RAW_SYNC_RE.search(code)
+                if m:
+                    self.report(
+                        path, lineno, "raw-sync-primitive",
+                        f"{m.group(0)} outside sim/sync.hh; use the "
+                        "capability-annotated wrappers (sync::Mutex, "
+                        "sync::LockGuard, sync::ThreadGroup)",
                     )
 
             if not allowed("schedule-literal"):

@@ -4,9 +4,15 @@
 Builds the release-lto preset (Release + IPO, allocation counter on,
 runtime checks off), runs bench/micro_kernel for the kernel-level
 metrics, then times a reduced fig11_policy_lifetime slice as the
-system-level figure. The result seeds the repo's benchmark trajectory:
-every future PR reruns this and appends, so regressions show up as a
-bend in the curve rather than a flaky gate.
+system-level figure.
+
+BENCH_perf.json is a trajectory, not a snapshot (schema_version 2):
+each invocation APPENDS a run keyed by git SHA and date to the `runs`
+list, so regressions show up as a bend in the curve rather than a
+flaky gate. Re-running on the same commit replaces that commit's
+entry instead of duplicating it, and a legacy single-run file
+(schema_version 1) is migrated in place as the trajectory's first
+point.
 
 Usage:
   tools/perf_report.py [--output BENCH_perf.json] [--skip-build]
@@ -82,6 +88,54 @@ def run_fig11_slice(instrs):
             "output_lines": lines}
 
 
+def git_head_sha():
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, check=True)
+        return proc.stdout.strip() or None
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def load_trajectory(path):
+    """Existing trajectory at `path`, migrating a v1 snapshot.
+
+    Returns the list of runs (oldest first). A schema_version 1 file
+    was a single run with no provenance; it becomes the first
+    trajectory point with null sha/date rather than being thrown away.
+    An unreadable or foreign file starts a fresh trajectory.
+    """
+    try:
+        with open(path) as f:
+            old = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(old, dict) or old.get("bench") != "perf":
+        return []
+    if old.get("schema_version") == 2:
+        runs = old.get("runs", [])
+        return runs if isinstance(runs, list) else []
+    # v1: one anonymous run.
+    return [{
+        "git_sha": None,
+        "date": None,
+        "host": old.get("host"),
+        "config": old.get("config"),
+        "metrics": old.get("metrics"),
+    }]
+
+
+def append_run(runs, run):
+    """Append `run`, replacing any prior entry for the same commit."""
+    sha = run.get("git_sha")
+    if sha is not None:
+        runs = [r for r in runs if r.get("git_sha") != sha]
+    runs.append(run)
+    return runs
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output",
@@ -103,9 +157,9 @@ def main():
     metrics = run_micro_kernel(args.events, args.instrs)
     metrics["fig11_slice"] = run_fig11_slice(args.fig11_instrs)
 
-    report = {
-        "bench": "perf",
-        "schema_version": 1,
+    run_entry = {
+        "git_sha": git_head_sha(),
+        "date": time.strftime("%Y-%m-%d", time.gmtime()),
         "host": {
             "machine": platform.machine(),
             "system": platform.system(),
@@ -119,10 +173,17 @@ def main():
         },
         "metrics": metrics,
     }
+
+    runs = append_run(load_trajectory(args.output), run_entry)
+    report = {
+        "bench": "perf",
+        "schema_version": 2,
+        "runs": runs,
+    }
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output} ({len(runs)} run(s) in trajectory)")
 
 
 if __name__ == "__main__":
