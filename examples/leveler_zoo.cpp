@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Leveler-zoo scenario: SoftWear versus WoLFRaM when lines die.
+ *
+ * Both backends spread wear, but they meet faults very differently:
+ * SoftWear levels at page granularity from approximate sampled
+ * counters and leaves retirement to the fault model's stacked remap
+ * table, while WoLFRaM's programmable address decoder serves leveling
+ * swaps AND retirement through one indirection (the FaultRemapDelegate
+ * seam). This demo runs the same dirty-eviction stress under heavy
+ * lognormal endurance variation (sigma 1.0 — a thick weak-line tail)
+ * through both, plus Start-Gap as the paper's reference point, and
+ * compares when each scheme hits its first uncorrectable error and
+ * how much capacity is left at the end.
+ *
+ * With the capacity floor armed, a run that wears out stops
+ * gracefully with status "capacity-exhausted" — partial IPC and all —
+ * instead of asserting; that is the graceful end-of-life contract.
+ *
+ * Usage: leveler_zoo [instructions] [endurance_scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "mellow/policy.hh"
+#include "sim/types.hh"
+#include "system/report.hh"
+#include "system/system.hh"
+#include "wear/wear_leveler.hh"
+#include "workload/generators.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+/** Dirty-eviction stress: a 3 MB random footprint against the 2 MB LLC. */
+WorkloadParams
+stressParams()
+{
+    WorkloadParams p;
+    p.name = "zoo-stress";
+    p.footprintBytes = 3ull * 1024 * 1024;
+    p.hotBytes = 256 * 1024;
+    p.coldFraction = 1.0;
+    p.pattern = AccessPattern::Random;
+    p.writeFraction = 0.6;
+    p.meanGap = 10.0;
+    return p;
+}
+
+const char *
+tickStr(Tick t, char *buf, std::size_t n)
+{
+    if (t == 0)
+        std::snprintf(buf, n, "%10s", "never");
+    else
+        std::snprintf(buf, n, "%8.1fus",
+                      static_cast<double>(t) / kMicrosecond);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t instrs =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000ull;
+    double scale = argc > 2 ? std::atof(argv[2]) : 2e-7;
+    if (instrs == 0 || scale <= 0.0) {
+        std::fprintf(stderr,
+                     "usage: %s [instructions] [endurance_scale]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    std::printf("Wear-leveler zoo under heavy endurance variation\n"
+                "(median line endurance %.2g wear units, lognormal "
+                "sigma 1.0)\n\n",
+                scale);
+
+    const std::vector<WearLevelerKind> kinds = {
+        WearLevelerKind::StartGap,
+        WearLevelerKind::SoftWear,
+        WearLevelerKind::WoLFRaM,
+    };
+
+    std::printf("%-16s %-18s %10s %8s %6s %9s\n", "leveler", "status",
+                "first_ue", "retired", "dead", "capacity");
+    for (WearLevelerKind kind : kinds) {
+        SystemConfig cfg;
+        cfg.policy = policies::beMellow().withSC();
+        cfg.instructions = instrs;
+        cfg.warmupInstructions = instrs / 6;
+        cfg.memory.geometry.capacityBytes = 64ull * 1024 * 1024;
+        cfg.memory.wearLeveler = kind;
+        // Short maintenance periods so every scheme actually churns
+        // within the window.
+        cfg.memory.gapWritePeriod = 32;
+        cfg.memory.softWearSamplePeriod = 2;
+        cfg.memory.softWearRelocThreshold = 8;
+        cfg.memory.fault.enabled = true;
+        cfg.memory.fault.enduranceSigma = 1.0;
+        cfg.memory.fault.enduranceScale = scale;
+        cfg.memory.fault.repairEntriesPerLine = 1;
+        cfg.memory.fault.spareLinesPerBank = 8;
+        // Graceful end-of-life instead of degrading forever: stop at
+        // 0.1% dead lines.
+        cfg.memory.fault.capacityFloorFraction = 0.999;
+
+        System sys(cfg, makeSynthetic(stressParams(), cfg.seed));
+        SimReport r = sys.run();
+
+        char b[32];
+        std::printf("%-16s %-18s %s %8llu %6llu %8.4f%%\n",
+                    wearLevelerKindName(kind), reportStatusName(r.status),
+                    tickStr(r.firstUncorrectableTick, b, 32),
+                    static_cast<unsigned long long>(r.retiredLines),
+                    static_cast<unsigned long long>(r.deadLines),
+                    100.0 * r.effectiveCapacityFraction);
+    }
+
+    std::printf(
+        "\nWoLFRaM's unified decoder keeps diffusing hot lines away "
+        "from the weak-line tail while it retires, so it reaches the "
+        "first uncorrectable error later than page-granular SoftWear "
+        "on the same stream; a run that does wear out ends with "
+        "status capacity-exhausted and a well-formed report rather "
+        "than an assert.\n");
+    return 0;
+}

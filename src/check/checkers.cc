@@ -293,6 +293,7 @@ WearConservationChecker::capture(const MemoryController &ctrl)
         s.trackerNormalWrites += bw.normalWrites;
         s.trackerSlowWrites += bw.slowWrites;
         s.trackerCancelledWrites += bw.cancelledWrites;
+        s.trackerMaintenanceWrites += bw.maintenanceWrites;
         s.minBankWearUnits = b == 0 ? bw.wearUnits
                                     : std::min(s.minBankWearUnits,
                                                bw.wearUnits);
@@ -304,6 +305,7 @@ WearConservationChecker::capture(const MemoryController &ctrl)
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
     s.retriedWrites = st.retriedWrites.value();
+    s.maintenanceWrites = st.maintenanceWrites.value();
     s.issuedWriteAttempts = st.totalWriteIssues();
 
     std::uint64_t demand = 0, eager = 0, paused = 0;
@@ -338,6 +340,16 @@ WearConservationChecker::evaluate(const Snapshot &s,
             "controller cancelled %llu",
             static_cast<unsigned long long>(s.trackerCancelledWrites),
             static_cast<unsigned long long>(s.cancelledWrites)));
+    }
+    // Leveler maintenance copies are charged as real device traffic;
+    // the tracker must see exactly the copies the controller issued.
+    if (s.trackerMaintenanceWrites != s.maintenanceWrites) {
+        sink.add(logFormat(
+            "wear tracker saw %llu maintenance writes but the "
+            "controller charged %llu",
+            static_cast<unsigned long long>(
+                s.trackerMaintenanceWrites),
+            static_cast<unsigned long long>(s.maintenanceWrites)));
     }
     std::uint64_t accounted = s.completedWrites + s.cancelledWrites +
                               s.retriedWrites + s.inFlightWrites;
@@ -399,6 +411,7 @@ EnergyCrossChecker::capture(const MemoryController &ctrl)
     s.completedWrites = completedWrites(st);
     s.cancelledWrites = st.cancelledWrites.value();
     s.retriedWrites = st.retriedWrites.value();
+    s.maintenanceWrites = st.maintenanceWrites.value();
     s.issuedReads = st.issuedReads.value();
     s.rowHitReads = st.rowHitReads.value();
     s.rowMissReads = st.rowMissReads.value();
@@ -409,19 +422,22 @@ void
 EnergyCrossChecker::evaluate(const Snapshot &s, ViolationSink &sink)
 {
     // Retried attempts drew write energy even though their request
-    // did not complete.
+    // did not complete; leveler maintenance copies are charged as
+    // normal-speed writes with no request at all.
     std::uint64_t energy_writes =
         s.energyNormalWrites + s.energySlowWrites;
-    std::uint64_t finished_pulses = s.completedWrites + s.retriedWrites;
+    std::uint64_t finished_pulses =
+        s.completedWrites + s.retriedWrites + s.maintenanceWrites;
     if (energy_writes != finished_pulses) {
         sink.add(logFormat(
             "energy model charged %llu completed writes but the "
             "controller finished %llu pulses (%llu completed + %llu "
-            "retried)",
+            "retried + %llu maintenance)",
             static_cast<unsigned long long>(energy_writes),
             static_cast<unsigned long long>(finished_pulses),
             static_cast<unsigned long long>(s.completedWrites),
-            static_cast<unsigned long long>(s.retriedWrites)));
+            static_cast<unsigned long long>(s.retriedWrites),
+            static_cast<unsigned long long>(s.maintenanceWrites)));
     }
     if (s.energyCancelledWrites != s.cancelledWrites) {
         sink.add(logFormat(
@@ -556,6 +572,7 @@ FaultChecker::capture(const MemoryController &ctrl)
     s.writesToRetiredLines = fm->writesToRetiredLines();
     s.maxRepairsOnLine = fm->maxRepairsOnLine();
     s.remapEntries = fm->remapEntries();
+    s.delegateRetiredLines = fm->delegateRetiredLines();
     s.remapValid = fm->remapTableValid();
     s.retiredLines = fs.retiredLines;
     s.deadLines = fs.deadLines;
@@ -591,10 +608,14 @@ FaultChecker::evaluate(const Snapshot &s, ViolationSink &sink)
         sink.add("retirement remap table is not a bijection onto "
                  "in-range spare lines of retired sources");
     }
-    if (s.remapEntries != s.retiredLines) {
+    // A retirement consumes either a remap-table entry or (under a
+    // unified-remap leveler) a delegate rerouting — exactly one.
+    if (s.remapEntries + s.delegateRetiredLines != s.retiredLines) {
         sink.add(logFormat(
-            "remap table has %llu entries but %llu lines are retired",
+            "remap table has %llu entries + %llu delegate "
+            "retirements but %llu lines are retired",
             static_cast<unsigned long long>(s.remapEntries),
+            static_cast<unsigned long long>(s.delegateRetiredLines),
             static_cast<unsigned long long>(s.retiredLines)));
     }
     if (s.maxSparesUsed > s.spareLinesPerBank) {

@@ -171,6 +171,7 @@ class WearConservationChecker : public InvariantChecker
         std::uint64_t trackerNormalWrites = 0;
         std::uint64_t trackerSlowWrites = 0;
         std::uint64_t trackerCancelledWrites = 0;
+        std::uint64_t trackerMaintenanceWrites = 0;
         double minBankWearUnits = 0.0;
         double totalWearUnits = 0.0;
         double maxBankWearUnits = 0.0;
@@ -178,6 +179,7 @@ class WearConservationChecker : public InvariantChecker
         std::uint64_t completedWrites = 0; ///< demand + eager
         std::uint64_t cancelledWrites = 0;
         std::uint64_t retriedWrites = 0;
+        std::uint64_t maintenanceWrites = 0; ///< leveler copies
         std::uint64_t issuedWriteAttempts = 0;
         std::uint64_t inFlightWrites = 0; ///< incl. paused
     };
@@ -217,6 +219,7 @@ class EnergyCrossChecker : public InvariantChecker
         std::uint64_t completedWrites = 0; ///< demand + eager
         std::uint64_t cancelledWrites = 0;
         std::uint64_t retriedWrites = 0;
+        std::uint64_t maintenanceWrites = 0; ///< leveler copies
         std::uint64_t issuedReads = 0;
         std::uint64_t rowHitReads = 0;
         std::uint64_t rowMissReads = 0;
@@ -282,6 +285,11 @@ class FaultChecker : public InvariantChecker
         std::uint64_t writesToRetiredLines = 0;
         std::uint64_t maxRepairsOnLine = 0;
         std::uint64_t remapEntries = 0;
+        /** Retirements routed through a unified-remap delegate
+         *  (WoLFRaM): they consume no table entry, so the bijection
+         *  check is remapEntries + delegateRetiredLines ==
+         *  retiredLines. */
+        std::uint64_t delegateRetiredLines = 0;
         bool remapValid = true;
         std::uint64_t retiredLines = 0;
         std::uint64_t deadLines = 0;

@@ -79,6 +79,17 @@ class TraceCore
     /** Instructions per (core) cycle over the whole run. */
     [[nodiscard]] double ipc() const;
 
+    /**
+     * Instructions dispatched so far, valid mid-run — the runner uses
+     * it to report partial progress when a simulation stops early at
+     * the end-of-life capacity floor (stats().instructions is only
+     * finalised when the core completes its limit).
+     */
+    [[nodiscard]] std::uint64_t instructionsDispatched() const
+    {
+        return _seq;
+    }
+
     [[nodiscard]] const CoreStats &stats() const { return _stats; }
     [[nodiscard]] const CoreConfig &config() const { return _config; }
 

@@ -22,8 +22,8 @@ constexpr double kTwoPi = 6.283185307179586476925286766559;
 } // namespace
 
 FaultModel::FaultModel(const FaultConfig &config)
-    : _config(config), _sparesUsed(config.numBanks, 0),
-      _bankRetries(config.numBanks, 0)
+    : _config(config), _delegates(config.numBanks, nullptr),
+      _sparesUsed(config.numBanks, 0), _bankRetries(config.numBanks, 0)
 {
     fatal_if(config.numBanks == 0, "fault model needs >= 1 bank");
     fatal_if(config.blocksPerBank == 0,
@@ -99,13 +99,13 @@ FaultModel::touch(BankId bank, DeviceAddr line)
 }
 
 DeviceAddr
-FaultModel::remap(BankId bank, LineIndex line) const
+FaultModel::remap(BankId bank, LeveledAddr block) const
 {
     // Follow the retirement chain; each hop was remapped to a freshly
     // allocated spare, so the chain is acyclic by construction.
     std::uint64_t stride =
         _config.blocksPerBank + _config.spareLinesPerBank;
-    std::uint64_t cur = line.value();
+    std::uint64_t cur = block.value();
     std::uint64_t key =
         static_cast<std::uint64_t>(bank.value()) * stride + cur;
     for (auto it = _remap.find(key); it != _remap.end();
@@ -114,6 +114,12 @@ FaultModel::remap(BankId bank, LineIndex line) const
         key = static_cast<std::uint64_t>(bank.value()) * stride + cur;
     }
     return DeviceAddr(cur);
+}
+
+void
+FaultModel::setRemapDelegate(BankId bank, FaultRemapDelegate *delegate)
+{
+    _delegates[bank] = delegate;
 }
 
 void
@@ -155,7 +161,26 @@ FaultModel::escalate(BankId bank, DeviceAddr line,
         return WriteVerdict::Ok;
     }
 
-    if (_sparesUsed[bank] < _config.spareLinesPerBank) {
+    if (FaultRemapDelegate *delegate = _delegates[bank];
+        delegate != nullptr) {
+        // Unified remap path: the leveler's programmable decoder owns
+        // the indirection; it reroutes the block's logical occupant
+        // to one of its own spare slots (or reports exhaustion, which
+        // falls through to the uncorrectable branch below).
+        // mlint: allow(value-escape): the delegate seam is raw block
+        // numbers by contract (see FaultRemapDelegate).
+        if (auto spare = delegate->retirePhysical(line.value())) {
+            state.retired = true;
+            ++_stats.retiredLines;
+            ++_delegateRetiredLines;
+            ++_sparesUsed[bank];
+            // Fresh endurance draw for the spare.
+            touch(bank, DeviceAddr(*spare));
+            _capacityTrace.push_back(
+                {now, _stats.retiredLines, _stats.deadLines});
+            return WriteVerdict::Retired;
+        }
+    } else if (_sparesUsed[bank] < _config.spareLinesPerBank) {
         // Retire the line; all future traffic is redirected to a
         // fresh bank-local spare through the indirection table.
         state.retired = true;
@@ -224,6 +249,26 @@ FaultModel::verifyWrite(BankId bankId, DeviceAddr deviceLine,
     return WriteVerdict::Ok;
 }
 
+void
+FaultModel::noteMaintenanceWrite(BankId bank, DeviceAddr line,
+                                 double wearUnits, Tick now)
+{
+    LineState &state = touch(bank, line);
+    ++state.writes;
+    state.wear += wearUnits;
+    if (state.dead) {
+        // Already uncorrectable; count degraded-mode traffic but stop
+        // escalating (the data loss was recorded once).
+        ++_stats.writesToDeadLines;
+        return;
+    }
+    // No verification/retry stage: a migration copy that lands on a
+    // worn-out cell escalates straight to repair/retire/dead, and the
+    // verdict has no requester to flow back to.
+    if (state.wear >= state.endurance)
+        (void)escalate(bank, line, state, now);
+}
+
 double
 FaultModel::lineEndurance(BankId bank, DeviceAddr line)
 {
@@ -279,6 +324,12 @@ FaultModel::remapTableValid() const
         // Every source must actually be retired.
         auto it = _lines.find(key);
         if (it == _lines.end() || !it->second.retired)
+            return false;
+    }
+    // Unified-remap banks keep the stacked table empty; their own
+    // decoder must stay bijective instead.
+    for (const FaultRemapDelegate *delegate : _delegates) {
+        if (delegate != nullptr && !delegate->remapValid())
             return false;
     }
     return true;

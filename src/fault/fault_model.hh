@@ -40,6 +40,7 @@
 #define MELLOWSIM_FAULT_FAULT_MODEL_HH
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -97,6 +98,15 @@ struct FaultConfig
     /** Spare lines per bank available for retirement remapping. */
     std::uint64_t spareLinesPerBank = 64;
 
+    /**
+     * End-of-life floor: when the system-wide effective capacity
+     * fraction drops to (or below) this value the runner stops the
+     * simulation and reports ReportStatus::CapacityExhausted instead
+     * of simulating a memory that has effectively died. 0 disables
+     * the floor (the seed behaviour: degrade forever).
+     */
+    double capacityFloorFraction = 0.0;
+
     // Filled in by the controller from its geometry.
     unsigned numBanks = 16;
     std::uint64_t blocksPerBank = 4ull * 1024 * 1024;
@@ -146,6 +156,53 @@ deviceLineOf(LineIndex line)
     return DeviceAddr(line.value());
 }
 
+/**
+ * Leveled-space variant of the same boundary, for configurations
+ * where the leveled block needs no further indirection: fault
+ * remapping disabled, or a leveler that owns the fault remap itself
+ * (WoLFRaM's unified decoder — see FaultRemapDelegate).
+ */
+[[nodiscard]] constexpr DeviceAddr
+deviceLineOf(LeveledAddr block)
+{
+    return DeviceAddr(block.value());
+}
+
+/**
+ * A wear leveler that owns the retirement indirection (WoLFRaM's
+ * programmable address decoder). When a bank registers a delegate,
+ * FaultModel::escalate routes retirement through it instead of the
+ * stacked _remap table: leveling and fault remapping share one
+ * mechanism, which is the point of the unified remap path.
+ *
+ * Raw std::uint64_t block numbers cross this seam on purpose: the
+ * delegate lives in the leveler's physical-block space, where both
+ * LeveledAddr (its own outputs) and DeviceAddr (the fault model's
+ * view) coincide by construction.
+ */
+class FaultRemapDelegate
+{
+  public:
+    virtual ~FaultRemapDelegate() = default;
+
+    /**
+     * Retire a physical block: reroute its logical occupant to a
+     * spare slot and never map anything onto the block again.
+     *
+     * @return The spare block that took over, or std::nullopt when
+     *         spare capacity is exhausted (the caller then records an
+     *         uncorrectable error and degrades capacity).
+     */
+    virtual std::optional<std::uint64_t>
+    retirePhysical(std::uint64_t physicalBlock) = 0;
+
+    /** True iff the unified mapping is still a bijection. */
+    [[nodiscard]] virtual bool remapValid() const = 0;
+
+    /** Blocks this delegate has retired so far. */
+    [[nodiscard]] virtual std::uint64_t retiredCount() const = 0;
+};
+
 /** See file comment. */
 class FaultModel
 {
@@ -153,14 +210,24 @@ class FaultModel
     explicit FaultModel(const FaultConfig &config);
 
     /**
-     * Resolve a logical line to its current device line through the
-     * retirement indirection table (identity for healthy lines;
+     * Resolve a wear-leveled block to its current device line through
+     * the retirement indirection table (identity for healthy lines;
      * follows retirement chains when a spare itself retired). The
      * controller applies this to every request at issue time, so
      * retired lines are never written. This is the sanctioned
-     * LineIndex -> DeviceAddr conversion (see strong_types.hh).
+     * LeveledAddr -> DeviceAddr conversion (see strong_types.hh).
+     * Banks whose leveler owns the fault remap (FaultRemapDelegate)
+     * bypass it: their level() output is already the device line.
      */
-    [[nodiscard]] DeviceAddr remap(BankId bank, LineIndex line) const;
+    [[nodiscard]] DeviceAddr remap(BankId bank, LeveledAddr block) const;
+
+    /**
+     * Register the unified-remap delegate for one bank (nullptr to
+     * clear). Retirement on that bank then goes through
+     * FaultRemapDelegate::retirePhysical; the stacked _remap table
+     * stays empty for it.
+     */
+    void setRemapDelegate(BankId bank, FaultRemapDelegate *delegate);
 
     /**
      * Note a write issued to the (post-remap) device @p line. A
@@ -181,6 +248,18 @@ class FaultModel
     WriteVerdict verifyWrite(BankId bank, DeviceAddr line,
                              double wearUnits, PulseFactor pulseFactor,
                              unsigned retriesSoFar, Tick now);
+
+    /**
+     * Account a maintenance write (leveler gap move, refresh swap, or
+     * SoftWear/WoLFRaM migration) on the (post-remap) device @p line.
+     * Maintenance traffic wears cells and can exhaust a line's
+     * endurance budget — the escalation path (repair, retire, dead)
+     * runs exactly as for demand writes — but there is no request to
+     * retry, so the transient-verification stage is skipped and the
+     * verdict is not propagated.
+     */
+    void noteMaintenanceWrite(BankId bank, DeviceAddr line,
+                              double wearUnits, Tick now);
 
     // --- Introspection ---------------------------------------------
     [[nodiscard]] const FaultStats &stats() const { return _stats; }
@@ -218,9 +297,17 @@ class FaultModel
         return _remap.size();
     }
 
+    /** Retirements routed through unified-remap delegates. */
+    [[nodiscard]] std::uint64_t delegateRetiredLines() const
+    {
+        return _delegateRetiredLines;
+    }
+
     /**
      * True iff the indirection table is a bijection onto distinct
-     * in-range spare lines and every source line is marked retired.
+     * in-range spare lines, every source line is marked retired, and
+     * every registered unified-remap delegate reports its own mapping
+     * bijective.
      */
     [[nodiscard]] bool remapTableValid() const;
 
@@ -275,11 +362,14 @@ class FaultModel
     std::unordered_map<std::uint64_t, LineState> _lines;
     /** Retirement indirection: line key -> replacement line index. */
     std::unordered_map<std::uint64_t, std::uint64_t> _remap;
+    /** Unified-remap delegates, one slot per bank (may be null). */
+    IndexedVector<BankId, FaultRemapDelegate *> _delegates;
     IndexedVector<BankId, std::uint64_t> _sparesUsed;
     IndexedVector<BankId, std::uint64_t> _bankRetries;
     std::vector<CapacitySample> _capacityTrace;
     std::uint64_t _maxRepairsOnLine = 0;
     std::uint64_t _writesToRetiredLines = 0;
+    std::uint64_t _delegateRetiredLines = 0;
 };
 
 } // namespace mellowsim

@@ -77,6 +77,20 @@ Bank::resumeWrite(Tick now)
     return _busyUntil;
 }
 
+void
+Bank::occupyMaintenance(Tick now, Tick duration)
+{
+    panic_if(_paused, "maintenance write over a paused write");
+    // Piggyback after the current busy horizon; the copy is issued by
+    // the completion handler of a demand write, so the bank is
+    // usually just freeing up.
+    Tick start = std::max(now, _busyUntil);
+    _busyUntil = start + duration;
+    // The copy rewrites a line the row buffer may have latched.
+    _openRowTag = kNoOpenRow;
+    _busy.markBusyUntil(start, _busyUntil);
+}
+
 MemRequest
 Bank::cancelWrite(Tick now, Tick *elapsedPulse)
 {

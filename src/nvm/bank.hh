@@ -123,6 +123,16 @@ class Bank
     /** Invalidate the open row (a write-through touched it). */
     void closeRow() { _openRowTag = kNoOpenRow; }
 
+    /**
+     * Occupy the bank for a leveler maintenance copy (gap move,
+     * refresh swap, page migration). Maintenance piggybacks after
+     * whatever the bank is doing — it extends the busy horizon rather
+     * than claiming an idle bank, so it never collides with an
+     * in-flight pulse — and stales the open row. It carries no
+     * request and cannot be cancelled or paused.
+     */
+    void occupyMaintenance(Tick now, Tick duration);
+
     /** Busy-time accounting for utilisation reporting. */
     stats::BusyTracker &busyTracker() { return _busy; }
     [[nodiscard]] const stats::BusyTracker &busyTracker() const { return _busy; }

@@ -27,14 +27,20 @@ MemoryController::MemoryController(EventQueue &eventq,
               WearTrackerConfig w;
               w.numBanks = config.geometry.numBanks;
               w.blocksPerBank = config.geometry.blocksPerBank();
-              w.leveler = config.wearLeveler;
+              // With fault injection enabled the controller owns the
+              // live issue-path leveler; the tracker must not stack a
+              // second (measurement) rotation on top of it.
+              w.leveler = config.fault.enabled ? WearLevelerKind::None
+                                               : config.wearLeveler;
               w.gapWritePeriod = config.gapWritePeriod;
+              w.levelerSeed = config.levelerSeed;
               w.levelingEfficiency = config.levelingEfficiency;
               w.detailedBlocks = config.detailedWear;
               return w;
           }(),
           _endurance),
-      _energy(config.energy)
+      _energy(config.energy),
+      _levelers(config.geometry.numBanks)
 {
     fatal_if(config.drainLowThreshold >= config.writeQueueSize,
              "drain low threshold (%u) must be below the write queue "
@@ -51,10 +57,42 @@ MemoryController::MemoryController(EventQueue &eventq,
         _eventq.scheduleIn(q.samplePeriod, [this] { onQuotaPeriod(); });
     }
     if (_config.fault.enabled) {
+        // The unified remap path: one live leveler per bank on the
+        // issue path, then the retirement indirection on its output.
+        WearLevelerParams lp;
+        lp.kind = _config.wearLeveler;
+        lp.numBlocks = _config.geometry.blocksPerBank();
+        lp.maintenancePeriod = _config.gapWritePeriod;
+        lp.pageBlocks = _config.softWearPageBlocks;
+        lp.counterSamplePeriod = _config.softWearSamplePeriod;
+        lp.relocationThreshold = _config.softWearRelocThreshold;
+        lp.spareBlocks = _config.fault.spareLinesPerBank;
+        for (unsigned i = 0; i < _config.geometry.numBanks; ++i) {
+            lp.seed = _config.levelerSeed + i;
+            _levelers[BankId(i)] = makeWearLeveler(lp);
+        }
+
         FaultConfig f = _config.fault;
         f.numBanks = _config.geometry.numBanks;
-        f.blocksPerBank = _config.geometry.blocksPerBank();
+        // The fault model lives in the leveled block space. A
+        // unified-remap leveler (WoLFRaM) already includes its spare
+        // slots in numPhysicalBlocks, and the fault model must name
+        // its spares [numBlocks, numBlocks + spares) to match the
+        // PAD's slot layout; every other leveler needs the spare pool
+        // appended after its own physical range (Start-Gap's leveled
+        // space is [0, N + 1), so spares starting at N would collide
+        // with the gap block).
+        const WearLeveler &proto = *_levelers[BankId(0)];
+        f.blocksPerBank = proto.ownsFaultRemap()
+                              ? proto.numBlocks()
+                              : proto.numPhysicalBlocks();
         _faults = std::make_unique<FaultModel>(f);
+        for (unsigned i = 0; i < _config.geometry.numBanks; ++i) {
+            if (FaultRemapDelegate *delegate =
+                    _levelers[BankId(i)]->faultRemapDelegate()) {
+                _faults->setRemapDelegate(BankId(i), delegate);
+            }
+        }
     }
 }
 
@@ -471,9 +509,59 @@ MemoryController::chooseAdaptiveFactor(BankId bank, Tick now) const
 DeviceAddr
 MemoryController::deviceLineFor(const MemRequest &req) const
 {
-    if (_faults != nullptr)
-        return _faults->remap(req.loc.bank, req.loc.blockInBank);
+    if (_faults != nullptr) {
+        // The unified remap path: the bank's live leveler moves the
+        // logical line into the leveled block space, then retirement
+        // redirects. A leveler that owns the fault remap (WoLFRaM)
+        // already resolved retirement inside level(), so its output
+        // is final.
+        const WearLeveler &lev = *_levelers[req.loc.bank];
+        LeveledAddr leveled = lev.level(req.loc.blockInBank);
+        if (lev.ownsFaultRemap())
+            return deviceLineOf(leveled);
+        return _faults->remap(req.loc.bank, leveled);
+    }
     return deviceLineOf(req.loc.blockInBank);
+}
+
+void
+MemoryController::runLevelerMaintenance(BankId bank, LineIndex written,
+                                        Tick now)
+{
+    if (_levelers[bank] == nullptr)
+        return;
+    WearLeveler &lev = *_levelers[bank];
+    std::uint64_t extra[2] = {0, 0};
+    // mlint: allow(value-escape): noteWrite's counter seam is raw
+    // block numbers by contract (see WearLeveler::noteWrite).
+    unsigned moves = lev.noteWrite(extra, written.value());
+    for (unsigned i = 0; i < moves; ++i)
+        chargeMaintenanceWrite(bank, LeveledAddr(extra[i]), now);
+    while (lev.hasPendingMigration())
+        chargeMaintenanceWrite(bank, LeveledAddr(lev.takeMigrationWrite()),
+                               now);
+}
+
+void
+MemoryController::chargeMaintenanceWrite(BankId bank, LeveledAddr block,
+                                         Tick now)
+{
+    const WearLeveler &lev = *_levelers[bank];
+    // Maintenance targets are physical blocks in the leveled space;
+    // only the (non-unified) retirement indirection still applies.
+    DeviceAddr line = (lev.ownsFaultRemap() || _faults == nullptr)
+                          ? deviceLineOf(block)
+                          : _faults->remap(bank, block);
+    Tick pulse = _timing.tWP;
+    _wear.recordMaintenanceWrite(bank, line, pulse);
+    if (_quota != nullptr)
+        _quota->recordWear(bank, _endurance.wearPerWrite(pulse));
+    _energy.recordWrite(/*slow=*/false);
+    ++_stats.maintenanceWrites;
+    _banks[bank].occupyMaintenance(now, pulse);
+    if (_faults != nullptr)
+        _faults->noteMaintenanceWrite(bank, line,
+                                      _endurance.wearPerWrite(pulse), now);
 }
 
 void
@@ -485,6 +573,10 @@ MemoryController::onWriteComplete(BankId bank)
     MemRequest req = b.finishWrite();
     _writeCompletion[bank] = InvalidEventHandle;
     Tick now = _eventq.curTick();
+    // Captured before the Retry branch moves the request away; the
+    // leveler counts logical demand writes, retries included (every
+    // attempt stressed the line, matching the tracker's accounting).
+    LineIndex logical = req.loc.blockInBank;
 
     // Device-level accounting is per attempt: a pulse that later
     // fails verification still stressed and powered the cell (and
@@ -524,6 +616,8 @@ MemoryController::onWriteComplete(BankId bank)
                ? _stats.completedEagerWrites
                : _stats.completedDemandWrites);
     }
+
+    runLevelerMaintenance(bank, logical, now);
 
     requestSchedule(now);
 }

@@ -96,10 +96,24 @@ struct MemControllerConfig
     double levelingEfficiency = 0.9;
     /** Track per-block wear through the leveler (tests/benches). */
     bool detailedWear = false;
-    /** Wear-leveling scheme used by the detailed tracker. */
+    /**
+     * Wear-leveling scheme. Without fault injection it only drives
+     * the detailed tracker's measurement leveler; with fault
+     * injection enabled the controller owns one live leveler per
+     * bank on the issue path (LineIndex -> LeveledAddr -> DeviceAddr)
+     * and charges its maintenance copies as real write traffic.
+     */
     WearLevelerKind wearLeveler = WearLevelerKind::StartGap;
     /** Leveler maintenance period in writes (gap move/refresh step). */
     std::uint64_t gapWritePeriod = 100;
+    /** Key seed for randomized levelers (per-bank offset applied). */
+    std::uint64_t levelerSeed = 0xBADC0DE5ull;
+    /** SoftWear: blocks per software-managed page. */
+    std::uint64_t softWearPageBlocks = 64;
+    /** SoftWear: every Nth write bumps a page counter. */
+    std::uint64_t softWearSamplePeriod = 8;
+    /** SoftWear: sampled writes since relocation that trigger one. */
+    std::uint64_t softWearRelocThreshold = 16;
 };
 
 /** Aggregated controller statistics. */
@@ -126,6 +140,14 @@ struct MemControllerStats
     stats::Counter completedEagerWrites;  ///< eager writes finished
     /** Write-verify failures reissued with a slower pulse. */
     stats::Counter retriedWrites;
+    /**
+     * Wear-leveler maintenance writes (gap moves, refresh swaps,
+     * SoftWear/WoLFRaM migration copies) charged as real traffic by
+     * the controller-owned levelers. Not part of totalWriteIssues():
+     * they carry no request, occupy the bank out of band, and the
+     * wear/energy checkers tie them out separately.
+     */
+    stats::Counter maintenanceWrites;
 
     stats::Counter drainEntries;
     stats::Average readLatency;   ///< arrival to data delivered, ticks
@@ -223,6 +245,15 @@ class MemoryController : public MemoryPort
     /** Device state of one bank, for auditing and tests. */
     [[nodiscard]] const Bank &bank(BankId idx) const;
 
+    /**
+     * The controller-owned issue-path leveler of one bank, or null
+     * when fault injection is disabled (no leveling on that path).
+     */
+    [[nodiscard]] const WearLeveler *issueLeveler(BankId idx) const
+    {
+        return _levelers[idx].get();
+    }
+
     [[nodiscard]] std::size_t readQueueDepth() const
     {
         return _readQ.size();
@@ -263,8 +294,25 @@ class MemoryController : public MemoryPort
     [[nodiscard]] PulseFactor chooseAdaptiveFactor(BankId bank,
                                                    Tick now) const;
 
-    /** Device line a request targets (fault remap or identity). */
+    /**
+     * Device line a request targets: leveler rotation first (when the
+     * controller owns levelers), then the retirement indirection —
+     * unless the leveler owns the fault remap itself (WoLFRaM), in
+     * which case its output is already final.
+     */
     [[nodiscard]] DeviceAddr deviceLineFor(const MemRequest &req) const;
+
+    /**
+     * Advance the bank's leveler after a completed demand pulse to
+     * logical block @p written and charge all resulting maintenance
+     * writes (gap moves, swaps, queued migrations) as real traffic.
+     */
+    void runLevelerMaintenance(BankId bank, LineIndex written,
+                               Tick now);
+
+    /** Charge one maintenance write to leveled block @p block. */
+    void chargeMaintenanceWrite(BankId bank, LeveledAddr block,
+                                Tick now);
 
     /** Reserve the data bus; returns the burst start tick. */
     Tick reserveBus(Tick earliest);
@@ -312,6 +360,13 @@ class MemoryController : public MemoryPort
     EnergyModel _energy;
     std::unique_ptr<WearQuota> _quota;
     std::unique_ptr<FaultModel> _faults;
+    /**
+     * Controller-owned wear levelers, one per bank; populated only
+     * when fault injection is enabled (the unified remap path). All
+     * slots stay null otherwise and the issue path is the identity
+     * LineIndex -> DeviceAddr of the seed behaviour.
+     */
+    IndexedVector<BankId, std::unique_ptr<WearLeveler>> _levelers;
 
     MemControllerStats _stats;
 

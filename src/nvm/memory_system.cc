@@ -117,6 +117,32 @@ MemorySystem::lifetimeYears(Tick simTime) const
 }
 
 double
+MemorySystem::effectiveCapacityFraction() const
+{
+    double min_frac = 1.0;
+    for (const auto &c : _channels) {
+        if (const FaultModel *fm = c->faultModel())
+            min_frac =
+                std::min(min_frac, fm->effectiveCapacityFraction());
+    }
+    return min_frac;
+}
+
+bool
+MemorySystem::capacityFloorReached() const
+{
+    double floor = _config.channel.fault.capacityFloorFraction;
+    if (floor <= 0.0)
+        return false;
+    for (const auto &c : _channels) {
+        const FaultModel *fm = c->faultModel();
+        if (fm != nullptr && fm->effectiveCapacityFraction() <= floor)
+            return true;
+    }
+    return false;
+}
+
+double
 MemorySystem::avgBankUtilization() const
 {
     double sum = 0.0;

@@ -67,6 +67,22 @@ class MemorySystem : public MemoryPort
     /** Minimum leveled lifetime over every bank of every channel. */
     [[nodiscard]] double lifetimeYears(Tick simTime) const;
 
+    /**
+     * Minimum effective-capacity fraction over all channels (1.0 with
+     * fault injection off). Monotonically non-increasing over a run:
+     * dead lines never come back.
+     */
+    [[nodiscard]] double effectiveCapacityFraction() const;
+
+    /**
+     * True iff fault injection is on, a capacity floor is configured
+     * (FaultConfig::capacityFloorFraction > 0) and some channel's
+     * effective capacity has fallen to it — the end-of-life signal
+     * the System run loop polls to stop gracefully instead of
+     * simulating a memory that no longer functions.
+     */
+    [[nodiscard]] bool capacityFloorReached() const;
+
     /** Mean bank utilisation over all channels. */
     [[nodiscard]] double avgBankUtilization() const;
 

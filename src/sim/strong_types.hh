@@ -20,11 +20,16 @@
  * tests/compile_fail/ suite pins that property.
  *
  * Numeric conversion between address spaces happens through exactly
- * two sanctioned, named boundaries:
+ * three sanctioned, named boundaries:
  *
- *   - FaultModel::remap (+ deviceLineOf for fault-free configs):
- *     LineIndex -> DeviceAddr (retirement indirection), and
- *   - WearLeveler::translate: DeviceAddr -> LeveledAddr (rotation).
+ *   - WearLeveler::level (+ leveledLineOf for unleveled configs):
+ *     LineIndex -> LeveledAddr (the controller-owned leveling
+ *     rotation on the issue path),
+ *   - FaultModel::remap (+ deviceLineOf for fault-free configs and
+ *     for WoLFRaM, whose leveler owns the retirement indirection):
+ *     LeveledAddr -> DeviceAddr (retirement indirection), and
+ *   - WearLeveler::translate: DeviceAddr -> LeveledAddr (the wear
+ *     tracker's measurement-path rotation in detailed mode).
  *
  * Everything here is constexpr, trivially copyable and exactly the
  * size of its representation — the types vanish at -O1.

@@ -27,6 +27,8 @@ columnValue(const SimReport &r, const std::string &col)
         return r.workload;
     if (col == "policy")
         return r.policy;
+    if (col == "status")
+        return reportStatusName(r.status);
     if (col == "ipc")
         return fmt("%.3f", r.ipc);
     if (col == "lifetime")
@@ -69,11 +71,24 @@ columnValue(const SimReport &r, const std::string &col)
 
 } // namespace
 
+const char *
+reportStatusName(ReportStatus status)
+{
+    switch (status) {
+      case ReportStatus::Ok:
+        return "ok";
+      case ReportStatus::CapacityExhausted:
+        return "capacity-exhausted";
+    }
+    panic("unreachable report status");
+}
+
 std::string
 reportsToCsv(const std::vector<SimReport> &reports)
 {
     std::ostringstream out;
-    out << "workload,policy,instructions,sim_ns,ipc,lifetime_years,"
+    out << "workload,policy,status,instructions,sim_ns,ipc,"
+           "lifetime_years,"
            "bank_utilization,drain_fraction,mpki,"
            "llc_demand_reads,llc_demand_writes,llc_misses,"
            "writebacks_to_mem,eager_sent,eager_wasted,"
@@ -86,7 +101,8 @@ reportsToCsv(const std::vector<SimReport> &reports)
            "fault_repairs,retired_lines,dead_lines,first_fault_ns,"
            "first_ue_ns,effective_capacity\n";
     for (const SimReport &r : reports) {
-        out << r.workload << ',' << r.policy << ',' << r.instructions
+        out << r.workload << ',' << r.policy << ','
+            << reportStatusName(r.status) << ',' << r.instructions
             << ',' << fmt("%.1f", ticksToNs(r.simTicks)) << ','
             << fmt("%.4f", r.ipc) << ','
             << (std::isinf(r.lifetimeYears)

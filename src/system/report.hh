@@ -20,11 +20,30 @@
 namespace mellowsim
 {
 
+/** How a simulation run ended. */
+enum class ReportStatus
+{
+    /** The workload ran to completion. */
+    Ok,
+    /**
+     * Fault injection drove effective capacity down to the configured
+     * floor before the workload finished: the run stopped gracefully
+     * at end-of-life with the metrics measured up to that point.
+     */
+    CapacityExhausted,
+};
+
+/** Printable name of a report status ("ok", "capacity-exhausted"). */
+[[nodiscard]] const char *reportStatusName(ReportStatus status);
+
 /** Everything measured in one simulation run. */
 struct SimReport
 {
     std::string workload;
     std::string policy;
+
+    /** How the run ended (see ReportStatus). */
+    ReportStatus status = ReportStatus::Ok;
 
     std::uint64_t instructions = 0;
     Tick simTicks = 0;
@@ -76,6 +95,8 @@ struct SimReport
     Tick firstUncorrectableTick = 0;         ///< 0 = never
     /** Fraction of lines still reliable (1.0 with faults off). */
     double effectiveCapacityFraction = 1.0;
+    /** True iff the run ended at the configured capacity floor. */
+    bool capacityFloorReached = false;
 
     /**
      * All issued write attempts (demand + eager). Issue counters are
@@ -102,9 +123,9 @@ std::string reportsToCsv(const std::vector<SimReport> &reports);
 
 /**
  * Render reports as an aligned text table with a chosen subset of
- * columns. Supported column names: workload, policy, ipc, lifetime,
- * utilization, drain, mpki, energy, reads, writes, retries, faults,
- * retired, dead, first_fault_ns, first_ue_ns, capacity.
+ * columns. Supported column names: workload, policy, status, ipc,
+ * lifetime, utilization, drain, mpki, energy, reads, writes, retries,
+ * faults, retired, dead, first_fault_ns, first_ue_ns, capacity.
  */
 std::string reportsToTable(const std::vector<SimReport> &reports,
                            const std::vector<std::string> &columns);

@@ -67,15 +67,26 @@ System::run()
     }
 
     _core->start(_config.instructions);
+    // End-of-life: once fault injection has killed enough lines to
+    // reach the configured capacity floor, stop the run gracefully
+    // and report what was measured — never assert or abort on a
+    // memory that wore out. Polled every 1024 events to keep the
+    // check off the hot path.
+    bool capacity_exhausted = false;
+    std::uint64_t steps = 0;
     while (!_core->done()) {
         if (!_eventq.step())
             break;
+        if ((++steps & 0x3FF) == 0 && _memory->capacityFloorReached()) {
+            capacity_exhausted = true;
+            break;
+        }
         if (_eventq.curTick() > _config.maxSimTicks) {
             fatal("simulation exceeded the %f s safety wall",
                   ticksToSeconds(_config.maxSimTicks));
         }
     }
-    panic_if(!_core->done(),
+    panic_if(!_core->done() && !capacity_exhausted,
              "event queue drained before the core finished");
     _memory->finalize();
     if (_checks != nullptr)
@@ -85,9 +96,27 @@ System::run()
     SimReport r;
     r.workload = _workload->info().name;
     r.policy = _config.policy.name;
+    r.status = capacity_exhausted ? ReportStatus::CapacityExhausted
+                                  : ReportStatus::Ok;
+    r.capacityFloorReached = capacity_exhausted;
     r.instructions = _core->stats().instructions;
-    r.simTicks = _core->finishTick();
-    r.ipc = _core->ipc();
+    if (capacity_exhausted) {
+        // The core never finished; measure IPC over the instructions
+        // it retired up to the wall clock of the last event.
+        // stats().instructions is only finalised at completion, so
+        // read the live dispatch count instead.
+        r.instructions = _core->instructionsDispatched();
+        r.simTicks = _eventq.curTick();
+        if (r.simTicks > 0) {
+            double cycles =
+                static_cast<double>(r.simTicks) /
+                static_cast<double>(_config.core.clockPeriod);
+            r.ipc = static_cast<double>(r.instructions) / cycles;
+        }
+    } else {
+        r.simTicks = _core->finishTick();
+        r.ipc = _core->ipc();
+    }
 
     r.lifetimeYears = std::min(_memory->lifetimeYears(r.simTicks),
                                _config.maxReportedLifetimeYears);

@@ -48,7 +48,8 @@ SecurityRefresh::remap(std::uint64_t logicalBlock) const
 }
 
 unsigned
-SecurityRefresh::noteWrite(std::uint64_t *extra)
+SecurityRefresh::noteWrite(std::uint64_t *extra,
+                           std::uint64_t /*logicalBlock*/)
 {
     if (++_writesSinceStep < _refreshInterval)
         return 0;

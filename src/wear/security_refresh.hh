@@ -50,7 +50,8 @@ class SecurityRefresh : public WearLeveler
     [[nodiscard]] std::uint64_t
     remap(std::uint64_t logicalBlock) const override;
 
-    unsigned noteWrite(std::uint64_t *extra = nullptr) override;
+    unsigned noteWrite(std::uint64_t *extra = nullptr,
+                       std::uint64_t logicalBlock = 0) override;
 
     [[nodiscard]] const char *name() const override { return "security-refresh"; }
 

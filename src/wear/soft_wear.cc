@@ -1,0 +1,113 @@
+#include "wear/soft_wear.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+SoftWear::SoftWear(std::uint64_t numBlocks, std::uint64_t pageBlocks,
+                   std::uint64_t counterSamplePeriod,
+                   std::uint64_t relocationThreshold)
+    : _numBlocks(numBlocks),
+      _pageBlocks(std::min(pageBlocks, numBlocks)),
+      _samplePeriod(counterSamplePeriod),
+      _relocThreshold(relocationThreshold)
+{
+    fatal_if(numBlocks == 0, "SoftWear needs at least one block");
+    fatal_if(_pageBlocks == 0, "SoftWear page size must be positive");
+    fatal_if(numBlocks % _pageBlocks != 0,
+             "SoftWear page size %llu must divide the bank size %llu",
+             static_cast<unsigned long long>(_pageBlocks),
+             static_cast<unsigned long long>(numBlocks));
+    fatal_if(counterSamplePeriod == 0,
+             "SoftWear sample period must be positive");
+    fatal_if(relocationThreshold == 0,
+             "SoftWear relocation threshold must be positive");
+    _numPages = numBlocks / _pageBlocks;
+    _physOfLogical.resize(_numPages);
+    _logicalOfPhys.resize(_numPages);
+    std::iota(_physOfLogical.begin(), _physOfLogical.end(), 0);
+    std::iota(_logicalOfPhys.begin(), _logicalOfPhys.end(), 0);
+    _count.assign(_numPages, 0);
+    _countAtSwap.assign(_numPages, 0);
+}
+
+std::uint64_t
+SoftWear::remap(std::uint64_t logicalBlock) const
+{
+    panic_if(logicalBlock >= _numBlocks,
+             "logical block %llu out of range (N=%llu)",
+             static_cast<unsigned long long>(logicalBlock),
+             static_cast<unsigned long long>(_numBlocks));
+    std::uint64_t page = logicalBlock / _pageBlocks;
+    std::uint64_t offset = logicalBlock % _pageBlocks;
+    return _physOfLogical[page] * _pageBlocks + offset;
+}
+
+void
+SoftWear::relocate(std::uint64_t hotPhys, std::uint64_t coldPhys)
+{
+    std::uint64_t hotLogical = _logicalOfPhys[hotPhys];
+    std::uint64_t coldLogical = _logicalOfPhys[coldPhys];
+    std::swap(_physOfLogical[hotLogical], _physOfLogical[coldLogical]);
+    std::swap(_logicalOfPhys[hotPhys], _logicalOfPhys[coldPhys]);
+    // Both pages are copied wholesale; every block of each page is
+    // rewritten once, as real controller traffic.
+    for (std::uint64_t b = 0; b < _pageBlocks; ++b)
+        _migrations.push_back(hotPhys * _pageBlocks + b);
+    for (std::uint64_t b = 0; b < _pageBlocks; ++b)
+        _migrations.push_back(coldPhys * _pageBlocks + b);
+    // Rearm both pages' thresholds at their current counts.
+    _countAtSwap[hotPhys] = _count[hotPhys];
+    _countAtSwap[coldPhys] = _count[coldPhys];
+    ++_relocations;
+}
+
+unsigned
+SoftWear::noteWrite(std::uint64_t *, std::uint64_t logicalBlock)
+{
+    if (++_writesSeen % _samplePeriod != 0)
+        return 0;
+    ++_sampledWrites;
+
+    std::uint64_t phys = _physOfLogical[logicalBlock / _pageBlocks];
+    ++_count[phys];
+    if (_count[phys] - _countAtSwap[phys] < _relocThreshold)
+        return 0;
+    if (_numPages < 2)
+        return 0;
+
+    // Coldest physical page by sampled count; deterministic tie-break
+    // on the lowest index.
+    std::uint64_t coldest = phys == 0 ? 1 : 0;
+    for (std::uint64_t p = 0; p < _numPages; ++p) {
+        if (p != phys && _count[p] < _count[coldest])
+            coldest = p;
+    }
+    if (_count[coldest] >= _count[phys]) {
+        // Nothing colder to trade with; rearm so the page does not
+        // retrigger on the very next sample.
+        _countAtSwap[phys] = _count[phys];
+        return 0;
+    }
+    relocate(phys, coldest);
+    return 0;
+}
+
+std::uint64_t
+SoftWear::takeMigrationWrite()
+{
+    panic_if(_migrationsTaken >= _migrations.size(),
+             "takeMigrationWrite with no pending migration");
+    std::uint64_t block = _migrations[_migrationsTaken++];
+    if (_migrationsTaken == _migrations.size()) {
+        _migrations.clear();
+        _migrationsTaken = 0;
+    }
+    return block;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SoftWear-style software-only page-granularity wear leveling
+ * (Hakert et al. — software wear management for non-volatile main
+ * memories; see PAPERS.md).
+ *
+ * Unlike Start-Gap (hardware registers, block granularity, constant
+ * rotation) SoftWear models what an OS/runtime can do with nothing
+ * but an indirection table and *approximate* write counts:
+ *
+ *  - The bank is divided into pages of `pageBlocks` blocks; a
+ *    software page table permutes logical pages over physical pages.
+ *  - Write counts are sampled: only every `counterSamplePeriod`-th
+ *    demand write bumps the counter of the physical page it hit, so
+ *    the bookkeeping cost is bounded and the counts carry bounded
+ *    error — exactly the approximation the paper argues is enough.
+ *  - When a physical page accumulates `relocationThreshold` sampled
+ *    writes since it last moved, its logical occupant is swapped with
+ *    the occupant of the least-written physical page. The swap
+ *    copies both pages, so 2 * pageBlocks migration writes are queued
+ *    and the controller charges them as real write traffic (bank
+ *    occupancy, wear, endurance, energy).
+ *
+ * The mapping is a page permutation at every instant, so
+ * logical -> physical stays bijective by construction; the property
+ * tests sweep that invariant alongside Start-Gap composition.
+ */
+
+#ifndef MELLOWSIM_WEAR_SOFT_WEAR_HH
+#define MELLOWSIM_WEAR_SOFT_WEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "wear/wear_leveler.hh"
+
+namespace mellowsim
+{
+
+/** See file comment. */
+class SoftWear : public WearLeveler
+{
+  public:
+    /**
+     * @param numBlocks            Logical blocks managed.
+     * @param pageBlocks           Blocks per software page (clamped
+     *                             to numBlocks; must then divide it).
+     * @param counterSamplePeriod  Every Nth demand write is sampled
+     *                             into the page counters (>= 1).
+     * @param relocationThreshold  Sampled writes on one page since
+     *                             its last relocation that trigger a
+     *                             swap with the coldest page (>= 1).
+     */
+    SoftWear(std::uint64_t numBlocks, std::uint64_t pageBlocks = 64,
+             std::uint64_t counterSamplePeriod = 8,
+             std::uint64_t relocationThreshold = 16);
+
+    [[nodiscard]] std::uint64_t numBlocks() const override
+    {
+        return _numBlocks;
+    }
+    [[nodiscard]] std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks;
+    }
+
+    [[nodiscard]] std::uint64_t
+    remap(std::uint64_t logicalBlock) const override;
+
+    unsigned noteWrite(std::uint64_t *extra = nullptr,
+                       std::uint64_t logicalBlock = 0) override;
+
+    [[nodiscard]] bool hasPendingMigration() const override
+    {
+        return _migrationsTaken < _migrations.size();
+    }
+    std::uint64_t takeMigrationWrite() override;
+
+    [[nodiscard]] const char *name() const override
+    {
+        return "soft-wear";
+    }
+
+    // --- Introspection (tests, benches) ----------------------------
+    [[nodiscard]] std::uint64_t numPages() const { return _numPages; }
+    [[nodiscard]] std::uint64_t pageBlocks() const { return _pageBlocks; }
+    /** Completed page swaps. */
+    [[nodiscard]] std::uint64_t relocations() const
+    {
+        return _relocations;
+    }
+    /** Demand writes that hit the sampled counters. */
+    [[nodiscard]] std::uint64_t sampledWrites() const
+    {
+        return _sampledWrites;
+    }
+    /** Sampled count of one physical page. */
+    [[nodiscard]] std::uint64_t pageWriteCount(std::uint64_t physPage) const
+    {
+        return _count[physPage];
+    }
+
+  private:
+    /** Swap the logical occupants of two physical pages. */
+    void relocate(std::uint64_t hotPhys, std::uint64_t coldPhys);
+
+    std::uint64_t _numBlocks;
+    std::uint64_t _pageBlocks;
+    std::uint64_t _numPages;
+    std::uint64_t _samplePeriod;
+    std::uint64_t _relocThreshold;
+
+    /** Physical page of each logical page, and its inverse. */
+    std::vector<std::uint64_t> _physOfLogical;
+    std::vector<std::uint64_t> _logicalOfPhys;
+
+    /** Sampled write counts per physical page (approximate). */
+    std::vector<std::uint64_t> _count;
+    /** Count at each physical page's last relocation. */
+    std::vector<std::uint64_t> _countAtSwap;
+
+    /** Pending migration writes (physical blocks), drained in order. */
+    std::vector<std::uint64_t> _migrations;
+    std::size_t _migrationsTaken = 0;
+
+    std::uint64_t _writesSeen = 0;
+    std::uint64_t _sampledWrites = 0;
+    std::uint64_t _relocations = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_SOFT_WEAR_HH

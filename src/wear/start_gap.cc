@@ -30,7 +30,7 @@ StartGap::remap(std::uint64_t logicalBlock) const
 }
 
 unsigned
-StartGap::noteWrite(std::uint64_t *extra)
+StartGap::noteWrite(std::uint64_t *extra, std::uint64_t /*logicalBlock*/)
 {
     if (++_writesSinceMove < _gapWritePeriod)
         return 0;

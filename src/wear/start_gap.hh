@@ -66,7 +66,8 @@ class StartGap : public WearLeveler
      *                    (and therefore wore by one extra write).
      * @return 1 if a gap movement (extra write) occurred, else 0.
      */
-    unsigned noteWrite(std::uint64_t *extra = nullptr) override;
+    unsigned noteWrite(std::uint64_t *extra = nullptr,
+                       std::uint64_t logicalBlock = 0) override;
 
     [[nodiscard]] const char *name() const override { return "start-gap"; }
 

@@ -1,0 +1,84 @@
+#include "wear/wear_leveler.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "wear/security_refresh.hh"
+#include "wear/soft_wear.hh"
+#include "wear/start_gap.hh"
+#include "wear/wolfram.hh"
+
+namespace mellowsim
+{
+
+const char *
+wearLevelerKindName(WearLevelerKind kind)
+{
+    switch (kind) {
+      case WearLevelerKind::StartGap:
+        return "start-gap";
+      case WearLevelerKind::SecurityRefresh:
+        return "security-refresh";
+      case WearLevelerKind::SoftWear:
+        return "soft-wear";
+      case WearLevelerKind::WoLFRaM:
+        return "wolfram";
+      case WearLevelerKind::None:
+        return "none";
+    }
+    return "?";
+}
+
+bool
+wearLevelerKindFromName(const char *name, WearLevelerKind *kind)
+{
+    for (WearLevelerKind k : {
+             WearLevelerKind::StartGap,
+             WearLevelerKind::SecurityRefresh,
+             WearLevelerKind::SoftWear,
+             WearLevelerKind::WoLFRaM,
+             WearLevelerKind::None,
+         }) {
+        if (std::strcmp(name, wearLevelerKindName(k)) == 0) {
+            *kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+WearLeveler::takeMigrationWrite()
+{
+    panic("takeMigrationWrite on a leveler with no pending migration");
+    return 0;
+}
+
+std::unique_ptr<WearLeveler>
+makeWearLeveler(const WearLevelerParams &params)
+{
+    fatal_if(params.numBlocks == 0,
+             "wear leveler needs at least one block");
+    switch (params.kind) {
+      case WearLevelerKind::StartGap:
+        return std::make_unique<StartGap>(params.numBlocks,
+                                          params.maintenancePeriod);
+      case WearLevelerKind::SecurityRefresh:
+        return std::make_unique<SecurityRefresh>(
+            params.numBlocks, params.maintenancePeriod, params.seed);
+      case WearLevelerKind::SoftWear:
+        return std::make_unique<SoftWear>(
+            params.numBlocks, params.pageBlocks,
+            params.counterSamplePeriod, params.relocationThreshold);
+      case WearLevelerKind::WoLFRaM:
+        return std::make_unique<WolframPad>(
+            params.numBlocks, params.spareBlocks,
+            params.maintenancePeriod, params.seed);
+      case WearLevelerKind::None:
+        return std::make_unique<NoLeveling>(params.numBlocks);
+    }
+    panic("unknown wear leveler kind");
+    return nullptr;
+}
+
+} // namespace mellowsim

@@ -3,33 +3,61 @@
  * Wear-leveler abstraction.
  *
  * The paper's system uses Start-Gap at bank granularity; the related
- * work discusses Security Refresh as the randomized alternative. Both
- * are implemented behind this interface so the detailed wear tracker
- * (and the abl_wear_leveling bench) can compare them — and quantify
- * the leveling-efficiency assumption (eta = 0.9) the lifetime
- * extrapolation makes.
+ * work discusses Security Refresh as the randomized alternative, and
+ * two further schemes round out the zoo: SoftWear-style software
+ * page-granularity leveling from approximate write counters, and
+ * WoLFRaM's programmable address decoder that unifies leveling with
+ * fault remapping. All are implemented behind this interface so the
+ * controller's issue path, the detailed wear tracker and the
+ * abl_wear_leveling / abl_leveler_zoo benches can compare them — and
+ * quantify the leveling-efficiency assumption (eta = 0.9) the
+ * lifetime extrapolation makes.
  */
 
 #ifndef MELLOWSIM_WEAR_WEAR_LEVELER_HH
 #define MELLOWSIM_WEAR_WEAR_LEVELER_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/strong_types.hh"
 
 namespace mellowsim
 {
 
+class FaultRemapDelegate; // fault/fault_model.hh
+
 /** Which wear-leveling scheme a bank uses. */
 enum class WearLevelerKind
 {
     StartGap,        ///< the paper's choice (Table II)
     SecurityRefresh, ///< randomized alternative (related work)
+    SoftWear,        ///< software page-level leveling (Hakert et al.)
+    WoLFRaM,         ///< programmable-address-decoder (Yavits et al.)
     None,            ///< identity mapping (comparison baseline)
 };
 
 /** Printable name of a leveler kind. */
 [[nodiscard]] const char *wearLevelerKindName(WearLevelerKind kind);
+
+/**
+ * Parse a leveler kind from its printable name ("start-gap", ...).
+ * @param[out] kind  Receives the parsed kind on success.
+ * @return True iff @p name named a known kind.
+ */
+[[nodiscard]] bool wearLevelerKindFromName(const char *name,
+                                           WearLevelerKind *kind);
+
+/**
+ * The no-leveler half of the sanctioned LineIndex -> LeveledAddr
+ * boundary: with wear leveling disabled every bank-local line is its
+ * own leveled block. The other half is WearLeveler::level.
+ */
+[[nodiscard]] constexpr LeveledAddr
+leveledLineOf(LineIndex line)
+{
+    return LeveledAddr(line.value());
+}
 
 /** Logical-to-physical block remapper that rotates over time. */
 class WearLeveler
@@ -45,8 +73,8 @@ class WearLeveler
 
     /**
      * Current physical home of a block, as a raw index permutation.
-     * This is the mechanism; typed callers go through translate(),
-     * the sanctioned DeviceAddr -> LeveledAddr boundary. The raw
+     * This is the mechanism; typed callers go through level() /
+     * translate(), the sanctioned conversion boundaries. The raw
      * form stays public for the leveler property tests, which compose
      * permutations (StartGap o SecurityRefresh) inside one space.
      */
@@ -54,8 +82,21 @@ class WearLeveler
     remap(std::uint64_t logicalBlock) const = 0;
 
     /**
-     * The one sanctioned conversion from the device-line space into
-     * the wear-leveled physical-block space (see strong_types.hh).
+     * The issue-path half of the sanctioned conversion chain
+     * LogicalAddr -> LeveledAddr -> DeviceAddr (see strong_types.hh):
+     * a decoded bank-local line enters the wear-leveled block space.
+     */
+    [[nodiscard]] LeveledAddr
+    level(LineIndex line) const
+    {
+        return LeveledAddr(remap(line.value()));
+    }
+
+    /**
+     * The measurement-path conversion from the device-line space into
+     * the wear-leveled physical-block space, used by the detailed
+     * wear tracker when it folds final device lines through its own
+     * leveler instance (see strong_types.hh).
      */
     [[nodiscard]] LeveledAddr
     translate(DeviceAddr line) const
@@ -70,9 +111,46 @@ class WearLeveler
      * @param extra  If non-null, must have room for two entries;
      *               receives the physical blocks written by
      *               maintenance.
+     * @param logicalBlock  The logical block the demand write hit.
+     *               Counter-driven levelers (SoftWear, WoLFRaM) use
+     *               it; rotation-driven ones ignore it, which is why
+     *               it trails the output parameter with a default.
      * @return Number of extra maintenance writes (0..2).
      */
-    virtual unsigned noteWrite(std::uint64_t *extra = nullptr) = 0;
+    virtual unsigned noteWrite(std::uint64_t *extra = nullptr,
+                               std::uint64_t logicalBlock = 0) = 0;
+
+    /**
+     * Bulk relocations (SoftWear page migrations, WoLFRaM swaps) are
+     * too large for the two-entry noteWrite buffer; they queue here
+     * and the owner drains them as real write traffic.
+     */
+    [[nodiscard]] virtual bool hasPendingMigration() const
+    {
+        return false;
+    }
+
+    /** Pop the next queued migration destination (physical block). */
+    virtual std::uint64_t takeMigrationWrite();
+
+    /**
+     * True iff this leveler also owns the fault-retirement
+     * indirection (WoLFRaM's unified programmable address decoder).
+     * The controller then treats level() output as final and the
+     * FaultModel delegates retirement instead of stacking its own
+     * remap table on top.
+     */
+    [[nodiscard]] virtual bool ownsFaultRemap() const { return false; }
+
+    /**
+     * The FaultRemapDelegate view of a leveler with
+     * ownsFaultRemap() == true; null for every other scheme. Lets
+     * the controller register the delegate without a cast.
+     */
+    [[nodiscard]] virtual FaultRemapDelegate *faultRemapDelegate()
+    {
+        return nullptr;
+    }
 
     /** Scheme name for reports. */
     [[nodiscard]] virtual const char *name() const = 0;
@@ -99,12 +177,43 @@ class NoLeveling : public WearLeveler
     {
         return logicalBlock;
     }
-    unsigned noteWrite(std::uint64_t *) override { return 0; }
+    unsigned noteWrite(std::uint64_t * = nullptr,
+                       std::uint64_t = 0) override
+    {
+        return 0;
+    }
     [[nodiscard]] const char *name() const override { return "none"; }
 
   private:
     std::uint64_t _numBlocks;
 };
+
+/** Everything needed to build any leveler in the zoo. */
+struct WearLevelerParams
+{
+    WearLevelerKind kind = WearLevelerKind::StartGap;
+    /** Logical blocks managed (bank size in lines). */
+    std::uint64_t numBlocks = 0;
+    /** Maintenance period in writes (gap move / refresh / swap step). */
+    std::uint64_t maintenancePeriod = 100;
+    /** Key seed for randomized levelers (SecurityRefresh, WoLFRaM). */
+    std::uint64_t seed = 0xBADC0DE5ull;
+    // --- SoftWear ---------------------------------------------------
+    /** Blocks per software-managed page. */
+    std::uint64_t pageBlocks = 64;
+    /** Only every Nth write bumps a page counter (approximation). */
+    std::uint64_t counterSamplePeriod = 8;
+    /** Sampled writes on one page since its last relocation that
+     *  trigger rotating its content to the least-worn page. */
+    std::uint64_t relocationThreshold = 16;
+    // --- WoLFRaM ----------------------------------------------------
+    /** Spare physical blocks folded into the unified decoder. */
+    std::uint64_t spareBlocks = 0;
+};
+
+/** Build a leveler of the requested kind. */
+[[nodiscard]] std::unique_ptr<WearLeveler>
+makeWearLeveler(const WearLevelerParams &params);
 
 } // namespace mellowsim
 

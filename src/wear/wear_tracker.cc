@@ -5,8 +5,6 @@
 #include <limits>
 
 #include "sim/logging.hh"
-#include "wear/security_refresh.hh"
-#include "wear/start_gap.hh"
 
 namespace mellowsim
 {
@@ -17,32 +15,18 @@ namespace
 std::unique_ptr<WearLeveler>
 makeLeveler(const WearTrackerConfig &config, unsigned bank)
 {
-    switch (config.leveler) {
-      case WearLevelerKind::StartGap:
-        return std::make_unique<StartGap>(config.blocksPerBank,
-                                          config.gapWritePeriod);
-      case WearLevelerKind::SecurityRefresh:
-        return std::make_unique<SecurityRefresh>(
-            config.blocksPerBank, config.gapWritePeriod,
-            config.levelerSeed + bank);
-      case WearLevelerKind::None:
-        return std::make_unique<NoLeveling>(config.blocksPerBank);
-    }
-    panic("unknown wear leveler kind");
+    WearLevelerParams params;
+    params.kind = config.leveler;
+    params.numBlocks = config.blocksPerBank;
+    params.maintenancePeriod = config.gapWritePeriod;
+    params.seed = config.levelerSeed + bank;
+    // SoftWear/WoLFRaM knobs stay at their defaults here: the
+    // detailed-mode leveler is a measurement instrument (no fault
+    // model attached, so WoLFRaM runs with zero spares).
+    return makeWearLeveler(params);
 }
 
 } // namespace
-
-const char *
-wearLevelerKindName(WearLevelerKind kind)
-{
-    switch (kind) {
-      case WearLevelerKind::StartGap: return "start-gap";
-      case WearLevelerKind::SecurityRefresh: return "security-refresh";
-      case WearLevelerKind::None: return "none";
-    }
-    return "?";
-}
 
 WearTracker::WearTracker(const WearTrackerConfig &config,
                          const EnduranceModel &model)
@@ -82,12 +66,23 @@ WearTracker::addWear(BankId bank, DeviceAddr line, double units,
 
     if (countAsWrite) {
         std::uint64_t extra[2] = {0, 0};
-        unsigned moves = b.leveler->noteWrite(extra);
+        // mlint: allow(value-escape): noteWrite's counter seam is raw
+        // block numbers by contract (see WearLeveler::noteWrite).
+        unsigned moves = b.leveler->noteWrite(extra, block.value());
         for (unsigned i = 0; i < moves; ++i) {
             // Maintenance copies are normal-speed writes to their
             // destination blocks (noteWrite reports physical blocks).
             double copy_units = _model.wearPerWriteFactor(PulseFactor(1.0));
             b.blockWear[LeveledAddr(extra[i])] += copy_units;
+            b.stats.wearUnits += copy_units;
+            ++b.stats.gapMoveWrites;
+        }
+        // Bulk relocations (SoftWear page swaps) arrive through the
+        // migration queue instead of the two-entry buffer.
+        while (b.leveler->hasPendingMigration()) {
+            double copy_units = _model.wearPerWriteFactor(PulseFactor(1.0));
+            b.blockWear[LeveledAddr(b.leveler->takeMigrationWrite())] +=
+                copy_units;
             b.stats.wearUnits += copy_units;
             ++b.stats.gapMoveWrites;
         }
@@ -124,6 +119,15 @@ WearTracker::recordCancelledWrite(BankId bank, DeviceAddr line,
     addWear(bank, line, units, /*countAsWrite=*/false);
     ++_banks[bank].stats.cancelledWrites;
     (void)slow;
+}
+
+void
+WearTracker::recordMaintenanceWrite(BankId bank, DeviceAddr line,
+                                    Tick writeLatency)
+{
+    addWear(bank, line, _model.wearPerWrite(writeLatency),
+            /*countAsWrite=*/false);
+    ++_banks[bank].stats.maintenanceWrites;
 }
 
 const BankWearStats &

@@ -48,6 +48,14 @@ struct BankWearStats
     std::uint64_t cancelledWrites = 0; ///< aborted attempts (partial wear)
     /** Extra writes from leveler maintenance (gap moves / swaps). */
     std::uint64_t gapMoveWrites = 0;
+    /**
+     * Maintenance writes charged by the controller's own leveler
+     * (migration copies issued as real traffic), as opposed to
+     * gapMoveWrites which counts the detailed-mode internal leveler's
+     * copies. The wear-conservation checker ties this to the
+     * controller's maintenanceWrites counter.
+     */
+    std::uint64_t maintenanceWrites = 0;
 };
 
 /** Configuration of the wear tracker. */
@@ -102,6 +110,17 @@ class WearTracker
     void recordCancelledWrite(BankId bank, DeviceAddr line,
                               Tick writeLatency, Tick elapsed,
                               bool slow, double cancelWearFraction);
+
+    /**
+     * Account a controller-issued maintenance write (wear-leveler
+     * migration copy) of pulse time @p writeLatency to the device
+     * @p line. Wears the cell like any write but is counted
+     * separately from demand traffic — it must not advance the
+     * detailed-mode internal leveler either (that leveler belongs to
+     * a different, measurement-only indirection).
+     */
+    void recordMaintenanceWrite(BankId bank, DeviceAddr line,
+                                Tick writeLatency);
 
     /** Aggregate stats of one bank. */
     [[nodiscard]] const BankWearStats &bankStats(BankId bank) const;

@@ -1,0 +1,120 @@
+#include "wear/wolfram.hh"
+
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace mellowsim
+{
+
+WolframPad::WolframPad(std::uint64_t numBlocks,
+                       std::uint64_t spareBlocks,
+                       std::uint64_t swapPeriod, std::uint64_t seed)
+    : _numBlocks(numBlocks), _spareBlocks(spareBlocks),
+      _swapPeriod(swapPeriod), _rng(seed)
+{
+    fatal_if(numBlocks == 0, "WoLFRaM needs at least one block");
+    fatal_if(swapPeriod == 0, "WoLFRaM swap period must be positive");
+    _logToPhys.resize(numBlocks);
+    std::iota(_logToPhys.begin(), _logToPhys.end(), 0);
+    _physToLog.assign(numBlocks + spareBlocks, kFree);
+    std::iota(_physToLog.begin(), _physToLog.begin() + numBlocks, 0);
+    _retired.assign(numBlocks + spareBlocks, false);
+}
+
+std::uint64_t
+WolframPad::remap(std::uint64_t logicalBlock) const
+{
+    panic_if(logicalBlock >= _numBlocks,
+             "logical block %llu out of range (N=%llu)",
+             static_cast<unsigned long long>(logicalBlock),
+             static_cast<unsigned long long>(_numBlocks));
+    return _logToPhys[logicalBlock];
+}
+
+unsigned
+WolframPad::noteWrite(std::uint64_t *extra, std::uint64_t logicalBlock)
+{
+    if (++_writesSinceSwap < _swapPeriod)
+        return 0;
+    _writesSinceSwap = 0;
+    if (_numBlocks < 2)
+        return 0;
+
+    // Diffuse the just-written (hence hot) logical line to a random
+    // physical slot by trading places with a random partner. The
+    // generator is a per-bank member, so replay only depends on the
+    // (deterministic) completion order of writes on this bank.
+    std::uint64_t partner = _rng.next() % _numBlocks;
+    if (partner == logicalBlock)
+        partner = partner + 1 == _numBlocks ? 0 : partner + 1;
+
+    std::uint64_t pa = _logToPhys[logicalBlock];
+    std::uint64_t pb = _logToPhys[partner];
+    _logToPhys[logicalBlock] = pb;
+    _logToPhys[partner] = pa;
+    _physToLog[pa] = partner;
+    _physToLog[pb] = logicalBlock;
+    ++_swaps;
+
+    // Both physical lines are rewritten with the exchanged contents.
+    if (extra != nullptr) {
+        extra[0] = pa;
+        extra[1] = pb;
+    }
+    return 2;
+}
+
+std::optional<std::uint64_t>
+WolframPad::retirePhysical(std::uint64_t physicalBlock)
+{
+    panic_if(physicalBlock >= _physToLog.size(),
+             "retiring physical block %llu out of range (P=%llu)",
+             static_cast<unsigned long long>(physicalBlock),
+             static_cast<unsigned long long>(_physToLog.size()));
+    panic_if(_retired[physicalBlock],
+             "double retirement of physical block %llu",
+             static_cast<unsigned long long>(physicalBlock));
+    if (_sparesUsed == _spareBlocks)
+        return std::nullopt;
+
+    // Fresh spares are consumed in slot order; a spare that itself
+    // retires later is simply never reused, so a bump counter is a
+    // valid allocator.
+    std::uint64_t spare = _numBlocks + _sparesUsed++;
+    std::uint64_t occupant = _physToLog[physicalBlock];
+    panic_if(occupant == kFree,
+             "retiring unoccupied physical block %llu",
+             static_cast<unsigned long long>(physicalBlock));
+    _logToPhys[occupant] = spare;
+    _physToLog[spare] = occupant;
+    _physToLog[physicalBlock] = kFree;
+    _retired[physicalBlock] = true;
+    ++_retiredCount;
+    return spare;
+}
+
+bool
+WolframPad::remapValid() const
+{
+    // The PAD must stay a bijection from logical lines onto live
+    // (non-retired) physical slots, with the inverse in sync.
+    std::vector<bool> seen(_physToLog.size(), false);
+    for (std::uint64_t l = 0; l < _numBlocks; ++l) {
+        std::uint64_t p = _logToPhys[l];
+        if (p >= _physToLog.size() || _retired[p] || seen[p])
+            return false;
+        seen[p] = true;
+        if (_physToLog[p] != l)
+            return false;
+    }
+    for (std::uint64_t p = 0; p < _physToLog.size(); ++p) {
+        if (!seen[p] && _physToLog[p] != kFree)
+            return false;
+        if (_retired[p] && _physToLog[p] != kFree)
+            return false;
+    }
+    return true;
+}
+
+} // namespace mellowsim

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * WoLFRaM-style unified wear leveling + fault remapping (Yavits et
+ * al. — wear leveling and fault tolerance for resistive memories;
+ * see PAPERS.md).
+ *
+ * WoLFRaM's observation is that wear leveling and fault remapping
+ * are the same mechanism: a programmable address decoder (PAD) that
+ * maps every logical line to an arbitrary physical line. One
+ * indirection then serves both purposes:
+ *
+ *  - Leveling: every `swapPeriod` demand writes, the just-written
+ *    logical line trades physical slots with a (seeded-)random
+ *    partner, so hot lines continuously diffuse across the bank.
+ *    The swap rewrites both physical lines (two extra writes).
+ *  - Fault remapping: when the fault model retires a physical line,
+ *    the PAD reroutes its logical occupant to a fresh spare slot —
+ *    the same table entry the leveler rotates, not a second stacked
+ *    remap table. The FaultModel calls in through the
+ *    FaultRemapDelegate seam and keeps its own table empty.
+ *
+ * The mapping is maintained as an explicit permutation
+ * logical [0, N) -> physical [0, N + spares), with the inverse held
+ * alongside, so bijectivity is checkable in O(N) (remapValid) and
+ * every retirement/swap is O(1). That costs 16 bytes per line per
+ * bank — the reason the WoLFRaM tests, audits and benches run on
+ * deliberately small geometries.
+ */
+
+#ifndef MELLOWSIM_WEAR_WOLFRAM_HH
+#define MELLOWSIM_WEAR_WOLFRAM_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "sim/rng.hh"
+#include "wear/wear_leveler.hh"
+
+namespace mellowsim
+{
+
+/** See file comment. */
+class WolframPad : public WearLeveler, public FaultRemapDelegate
+{
+  public:
+    /**
+     * @param numBlocks    Logical blocks managed.
+     * @param spareBlocks  Extra physical blocks appended to the PAD
+     *                     for retirement (0 = die at first retire).
+     * @param swapPeriod   Demand writes between leveling swaps.
+     * @param seed         Partner-selection generator seed.
+     */
+    WolframPad(std::uint64_t numBlocks, std::uint64_t spareBlocks,
+               std::uint64_t swapPeriod = 100,
+               std::uint64_t seed = 0xBADC0DE5ull);
+
+    // --- WearLeveler ------------------------------------------------
+    [[nodiscard]] std::uint64_t numBlocks() const override
+    {
+        return _numBlocks;
+    }
+    [[nodiscard]] std::uint64_t numPhysicalBlocks() const override
+    {
+        return _numBlocks + _spareBlocks;
+    }
+
+    [[nodiscard]] std::uint64_t
+    remap(std::uint64_t logicalBlock) const override;
+
+    unsigned noteWrite(std::uint64_t *extra = nullptr,
+                       std::uint64_t logicalBlock = 0) override;
+
+    [[nodiscard]] bool ownsFaultRemap() const override { return true; }
+
+    [[nodiscard]] FaultRemapDelegate *faultRemapDelegate() override
+    {
+        return this;
+    }
+
+    [[nodiscard]] const char *name() const override { return "wolfram"; }
+
+    // --- FaultRemapDelegate -----------------------------------------
+    std::optional<std::uint64_t>
+    retirePhysical(std::uint64_t physicalBlock) override;
+
+    [[nodiscard]] bool remapValid() const override;
+
+    [[nodiscard]] std::uint64_t retiredCount() const override
+    {
+        return _retiredCount;
+    }
+
+    // --- Introspection (tests, benches) ----------------------------
+    /** Leveling swaps performed. */
+    [[nodiscard]] std::uint64_t swaps() const { return _swaps; }
+    /** Spare slots consumed by retirement. */
+    [[nodiscard]] std::uint64_t sparesUsed() const { return _sparesUsed; }
+    [[nodiscard]] bool blockRetired(std::uint64_t physicalBlock) const
+    {
+        return _retired[physicalBlock];
+    }
+
+  private:
+    /** Sentinel for a physical slot with no logical occupant. */
+    static constexpr std::uint64_t kFree = ~std::uint64_t{0};
+
+    std::uint64_t _numBlocks;
+    std::uint64_t _spareBlocks;
+    std::uint64_t _swapPeriod;
+    Rng _rng;
+
+    /** The PAD itself: logical -> physical, and its inverse. */
+    std::vector<std::uint64_t> _logToPhys;
+    std::vector<std::uint64_t> _physToLog;
+    /** Physical slots taken out of service forever. */
+    std::vector<bool> _retired;
+
+    std::uint64_t _writesSinceSwap = 0;
+    std::uint64_t _swaps = 0;
+    std::uint64_t _sparesUsed = 0;
+    std::uint64_t _retiredCount = 0;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_WEAR_WOLFRAM_HH

@@ -114,7 +114,7 @@ TEST(AddressSpaces, FaultRemapStaysInjectiveWithRetiredLines)
         now += 100;
     }
     // Chain: wear out the spare the first victim landed on.
-    DeviceAddr first_spare = fm.remap(bank, LineIndex(victims[0]));
+    DeviceAddr first_spare = fm.remap(bank, LeveledAddr(victims[0]));
     ASSERT_GE(first_spare.value(), kLines) << "expected a spare line";
     retireLine(fm, bank, first_spare, now);
     ASSERT_EQ(fm.stats().retiredLines, 6u);
@@ -125,7 +125,7 @@ TEST(AddressSpaces, FaultRemapStaysInjectiveWithRetiredLines)
     // untouched lines.
     std::unordered_set<DeviceAddr> targets;
     for (std::uint64_t l = 0; l < kLines; ++l) {
-        DeviceAddr d = fm.remap(bank, LineIndex(l));
+        DeviceAddr d = fm.remap(bank, LeveledAddr(l));
         EXPECT_TRUE(targets.insert(d).second)
             << "two logical lines share device line " << d.value();
         EXPECT_LT(d.value(), kLines + kSpares);
@@ -143,13 +143,13 @@ TEST(AddressSpaces, FaultRemapStaysInjectiveWithRetiredLines)
     // line back through the table goes nowhere new (chains are
     // followed eagerly, so issue-time resolution is idempotent).
     for (std::uint64_t v : victims) {
-        DeviceAddr d = fm.remap(bank, LineIndex(v));
-        EXPECT_EQ(fm.remap(bank, LineIndex(d.value())), d);
+        DeviceAddr d = fm.remap(bank, LeveledAddr(v));
+        EXPECT_EQ(fm.remap(bank, LeveledAddr(d.value())), d);
     }
 
     // The other bank is untouched: pure identity.
     for (std::uint64_t l = 0; l < kLines; l += 97)
-        EXPECT_EQ(fm.remap(BankId(1), LineIndex(l)).value(), l);
+        EXPECT_EQ(fm.remap(BankId(1), LeveledAddr(l)).value(), l);
 
     EXPECT_TRUE(fm.remapTableValid());
 }
@@ -215,7 +215,7 @@ TEST(AddressSpaces, FullChainComposesInjectively)
 
     std::unordered_set<LeveledAddr> physical;
     for (std::uint64_t l = 0; l < kLines; ++l) {
-        DeviceAddr d = fm.remap(bank, LineIndex(l));
+        DeviceAddr d = fm.remap(bank, LeveledAddr(l));
         LeveledAddr p = sg.translate(d);
         EXPECT_TRUE(physical.insert(p).second)
             << "composed collision at logical line " << l;

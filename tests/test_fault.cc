@@ -110,7 +110,7 @@ TEST(FaultModel, RemapIsIdentityForHealthyLines)
 {
     FaultModel fm(smallConfig());
     for (std::uint64_t line = 0; line < 16; ++line) {
-        EXPECT_EQ(fm.remap(BankId(0), LineIndex(line)).value(), line);
+        EXPECT_EQ(fm.remap(BankId(0), LeveledAddr(line)).value(), line);
         EXPECT_FALSE(fm.lineRetired(BankId(0), DeviceAddr(line)));
     }
     EXPECT_EQ(fm.remapEntries(), 0u);
@@ -138,7 +138,7 @@ TEST(FaultModel, RepairThenRetireOnWearExhaustion)
     EXPECT_EQ(fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 4000),
               WriteVerdict::Retired);
     EXPECT_TRUE(fm.lineRetired(BankId(0), DeviceAddr(3)));
-    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 16u);
+    EXPECT_EQ(fm.remap(BankId(0), LeveledAddr(3)).value(), 16u);
     EXPECT_EQ(fm.sparesUsed(BankId(0)), 1u);
     EXPECT_EQ(fm.sparesUsed(BankId(1)), 0u);
     EXPECT_EQ(fm.stats().retiredLines, 1u);
@@ -161,11 +161,11 @@ TEST(FaultModel, RetirementChainsFollowToFreshSpare)
     // then wear out the spare the same way (-> spare 17).
     for (int i = 0; i < 4; ++i)
         fm.verifyWrite(BankId(0), DeviceAddr(3), 0.6, PulseFactor(1.0), 0, 1000 + i);
-    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 16u);
+    EXPECT_EQ(fm.remap(BankId(0), LeveledAddr(3)).value(), 16u);
     for (int i = 0; i < 4; ++i)
         fm.verifyWrite(BankId(0), DeviceAddr(16), 0.6, PulseFactor(1.0), 0, 2000 + i);
-    EXPECT_EQ(fm.remap(BankId(0), LineIndex(3)).value(), 17u);
-    EXPECT_EQ(fm.remap(BankId(0), LineIndex(16)).value(), 17u);
+    EXPECT_EQ(fm.remap(BankId(0), LeveledAddr(3)).value(), 17u);
+    EXPECT_EQ(fm.remap(BankId(0), LeveledAddr(16)).value(), 17u);
     EXPECT_EQ(fm.stats().retiredLines, 2u);
     EXPECT_EQ(fm.remapEntries(), 2u);
     EXPECT_TRUE(fm.remapTableValid());
@@ -221,7 +221,7 @@ TEST(FaultModel, TransientFailuresRequestBoundedRetries)
     for (int w = 0; w < 50; ++w) {
         unsigned retries = 0;
         for (;;) {
-            DeviceAddr line = fm.remap(BankId(0), LineIndex(5));
+            DeviceAddr line = fm.remap(BankId(0), LeveledAddr(5));
             WriteVerdict v =
                 fm.verifyWrite(BankId(0), DeviceAddr(line), 1e-12, PulseFactor(1.0), retries, 100 + w);
             if (v != WriteVerdict::Retry)

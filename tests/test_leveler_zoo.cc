@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Property tests for the wear-leveler zoo additions (SoftWear,
+ * WoLFRaM) and the unified remap path they plug into.
+ *
+ * The contract every leveler must hold is the same one
+ * test_leveler_property.cc sweeps for Start-Gap and Security Refresh:
+ * at every instant of a long interleaved stream the logical-to-
+ * physical map is injective into the leveler's physical range. The
+ * zoo adds two twists worth their own sweeps:
+ *
+ *  - SoftWear relocates whole pages from *approximate* sampled
+ *    counters, and each relocation queues a bulk migration the owner
+ *    drains as real writes — the permutation must hold mid-drain and
+ *    the migration cost must be exactly two pages per swap.
+ *  - WoLFRaM's programmable decoder serves leveling swaps and fault
+ *    retirement through ONE table, so the bijection must survive
+ *    arbitrary interleavings of the two — including spare exhaustion,
+ *    which must degrade (nullopt) rather than corrupt the mapping.
+ *
+ * The full-chain tests then compose the sanctioned conversions
+ * (LineIndex -> LeveledAddr -> DeviceAddr) with a live FaultModel, in
+ * both wirings the controller uses: stacked (leveler + fault remap
+ * table) and unified (WoLFRaM as FaultRemapDelegate, stacked table
+ * provably empty).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_model.hh"
+#include "sim/rng.hh"
+#include "wear/soft_wear.hh"
+#include "wear/start_gap.hh"
+#include "wear/wolfram.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+/** Assert a leveler's remap is injective into [0, numPhysicalBlocks). */
+void
+expectPermutation(const WearLeveler &lev, std::uint64_t step)
+{
+    std::vector<bool> hit(lev.numPhysicalBlocks(), false);
+    for (std::uint64_t logical = 0; logical < lev.numBlocks();
+         ++logical) {
+        std::uint64_t phys = lev.remap(logical);
+        ASSERT_LT(phys, lev.numPhysicalBlocks())
+            << lev.name() << " left its range at step " << step;
+        ASSERT_FALSE(hit[phys])
+            << "two logical blocks collided on physical " << phys
+            << " at step " << step;
+        hit[phys] = true;
+    }
+}
+
+/** Wear a device line to retirement (4 x 0.6 wear: repair, retire). */
+void
+retireLine(FaultModel &fm, BankId bank, DeviceAddr line, Tick base)
+{
+    for (int i = 0; i < 4; ++i)
+        fm.verifyWrite(bank, line, 0.6, PulseFactor(1.0), 0, base + i);
+}
+
+} // namespace
+
+// --- SoftWear --------------------------------------------------------
+
+TEST(SoftWear, StaysPermutationAndChargesTwoPagesPerRelocation)
+{
+    constexpr std::uint64_t kBlocks = 256;
+    constexpr std::uint64_t kPageBlocks = 16;
+    // Sample every write and relocate after 4 so a hot page moves fast.
+    SoftWear sw(kBlocks, kPageBlocks, /*counterSamplePeriod=*/1,
+                /*relocationThreshold=*/4);
+    ASSERT_EQ(sw.numPages(), kBlocks / kPageBlocks);
+
+    Rng rng(0x50F7);
+    std::uint64_t migrationWrites = 0;
+    expectPermutation(sw, 0);
+    for (std::uint64_t step = 1; step <= 3000; ++step) {
+        // Skewed stream: half the writes hammer page 0's blocks, the
+        // rest spread out — the shape SoftWear exists to level.
+        std::uint64_t logical = (step % 2 == 0)
+                                    ? rng.nextBounded(kPageBlocks)
+                                    : rng.nextBounded(kBlocks);
+        std::uint64_t extra[2] = {0, 0};
+        EXPECT_EQ(sw.noteWrite(extra, logical), 0u)
+            << "SoftWear moves pages via the migration queue, not the "
+               "two-entry buffer";
+        while (sw.hasPendingMigration()) {
+            std::uint64_t phys = sw.takeMigrationWrite();
+            ASSERT_LT(phys, kBlocks);
+            ++migrationWrites;
+        }
+        expectPermutation(sw, step);
+    }
+    // The hot page must actually have been rotated away, and every
+    // completed swap copies both pages involved.
+    EXPECT_GT(sw.relocations(), 0u);
+    EXPECT_EQ(migrationWrites, sw.relocations() * 2 * kPageBlocks);
+    EXPECT_GT(sw.sampledWrites(), 0u);
+}
+
+TEST(SoftWear, SampledCountersApproximateButBounded)
+{
+    constexpr std::uint64_t kBlocks = 128;
+    constexpr std::uint64_t kPageBlocks = 16;
+    constexpr std::uint64_t kPeriod = 8;
+    // Threshold high enough that nothing relocates: counters only grow.
+    SoftWear sw(kBlocks, kPageBlocks, kPeriod,
+                /*relocationThreshold=*/1000000);
+
+    constexpr std::uint64_t kWrites = 4096;
+    for (std::uint64_t i = 0; i < kWrites; ++i)
+        (void)sw.noteWrite(nullptr, i % kBlocks);
+
+    // Exactly every kPeriod-th write was sampled, and the sampled
+    // total is what the per-page counters hold between them.
+    EXPECT_EQ(sw.sampledWrites(), kWrites / kPeriod);
+    std::uint64_t counted = 0;
+    for (std::uint64_t p = 0; p < sw.numPages(); ++p)
+        counted += sw.pageWriteCount(p);
+    EXPECT_EQ(counted, sw.sampledWrites());
+    EXPECT_EQ(sw.relocations(), 0u);
+}
+
+TEST(LevelerZoo, StartGapComposedWithSoftWearStaysInjective)
+{
+    // Mirror of the StartGap o SecurityRefresh composition sweep:
+    // SoftWear's page permutation feeds Start-Gap's rotation, and the
+    // composed map must stay injective at every interleaving —
+    // including mid-migration, when SoftWear has already flipped its
+    // table but the owner is still draining the copy writes.
+    constexpr std::uint64_t kBlocks = 64;
+    SoftWear sw(kBlocks, /*pageBlocks=*/8, /*counterSamplePeriod=*/1,
+                /*relocationThreshold=*/3);
+    StartGap sg(kBlocks, /*gapWritePeriod=*/3);
+    Rng rng(0xC0FFEE);
+
+    auto expectComposedBijection = [&](std::uint64_t step) {
+        std::vector<bool> hit(sg.numPhysicalBlocks(), false);
+        for (std::uint64_t logical = 0; logical < kBlocks; ++logical) {
+            std::uint64_t mid = sw.remap(logical);
+            ASSERT_LT(mid, kBlocks)
+                << "SoftWear left its range at step " << step;
+            std::uint64_t phys = sg.remap(mid);
+            ASSERT_LT(phys, sg.numPhysicalBlocks())
+                << "StartGap left its range at step " << step;
+            ASSERT_FALSE(hit[phys])
+                << "two logical blocks collided on physical " << phys
+                << " at step " << step;
+            hit[phys] = true;
+        }
+    };
+
+    expectComposedBijection(0);
+    for (std::uint64_t step = 1; step <= 4000; ++step) {
+        std::uint64_t logical = rng.nextBounded(kBlocks);
+        // Drive both layers the way the controller does: the demand
+        // write lands at sw.remap(logical) inside Start-Gap's domain,
+        // and every migration copy is one more write through SG.
+        std::uint64_t mid = sw.remap(logical);
+        (void)sg.remap(mid);
+        std::uint64_t extra[2] = {0, 0};
+        (void)sw.noteWrite(extra, logical);
+        (void)sg.noteWrite(extra, mid);
+        while (sw.hasPendingMigration()) {
+            std::uint64_t copy = sw.takeMigrationWrite();
+            (void)sg.noteWrite(extra, copy);
+            expectComposedBijection(step);
+        }
+        expectComposedBijection(step);
+    }
+    // Sanity: both layers actually churned.
+    EXPECT_GT(sw.relocations(), 0u);
+    EXPECT_GT(sg.gapMoves(), kBlocks);
+}
+
+// --- WoLFRaM ---------------------------------------------------------
+
+TEST(Wolfram, PadStaysBijectiveUnderInterleavedSwapsAndRetirements)
+{
+    constexpr std::uint64_t kBlocks = 256;
+    constexpr std::uint64_t kSpares = 16;
+    WolframPad pad(kBlocks, kSpares, /*swapPeriod=*/2, /*seed=*/0xFEED);
+    ASSERT_TRUE(pad.ownsFaultRemap());
+    ASSERT_EQ(pad.numPhysicalBlocks(), kBlocks + kSpares);
+
+    Rng rng(0xBEEF);
+    std::uint64_t retired = 0;
+    for (std::uint64_t step = 1; step <= 2000; ++step) {
+        std::uint64_t logical = rng.nextBounded(kBlocks);
+        std::uint64_t extra[2] = {0, 0};
+        unsigned moves = pad.noteWrite(extra, logical);
+        for (unsigned i = 0; i < moves; ++i)
+            ASSERT_LT(extra[i], pad.numPhysicalBlocks());
+
+        // Every ~100th step, retire the current physical home of a
+        // random logical line — the same table the swaps rotate.
+        if (step % 100 == 0 && retired < kSpares) {
+            std::uint64_t victim = pad.remap(rng.nextBounded(kBlocks));
+            auto spare = pad.retirePhysical(victim);
+            ASSERT_TRUE(spare.has_value())
+                << "spares exhausted early at step " << step;
+            ASSERT_LT(*spare, pad.numPhysicalBlocks());
+            ASSERT_TRUE(pad.blockRetired(victim));
+            ++retired;
+        }
+
+        ASSERT_TRUE(pad.remapValid()) << "PAD broke at step " << step;
+        expectPermutation(pad, step);
+        // No logical line may ever map onto a retired slot.
+        for (std::uint64_t l = 0; l < kBlocks; ++l)
+            ASSERT_FALSE(pad.blockRetired(pad.remap(l)))
+                << "logical " << l << " mapped onto a retired slot at "
+                << "step " << step;
+    }
+    EXPECT_GT(pad.swaps(), 0u);
+    EXPECT_EQ(pad.retiredCount(), retired);
+    EXPECT_EQ(pad.sparesUsed(), retired);
+}
+
+TEST(Wolfram, SpareExhaustionDegradesGracefully)
+{
+    constexpr std::uint64_t kBlocks = 32;
+    constexpr std::uint64_t kSpares = 2;
+    WolframPad pad(kBlocks, kSpares, /*swapPeriod=*/4, /*seed=*/1);
+
+    // Burn both spares.
+    for (std::uint64_t i = 0; i < kSpares; ++i) {
+        auto spare = pad.retirePhysical(pad.remap(i));
+        ASSERT_TRUE(spare.has_value());
+    }
+    EXPECT_EQ(pad.retiredCount(), kSpares);
+
+    // The next retirement must report exhaustion — not assert, not
+    // corrupt the table. The victim stays mapped (it soldiers on as
+    // an uncorrectable line, which is the caller's job to record).
+    std::uint64_t victim = pad.remap(10);
+    EXPECT_FALSE(pad.retirePhysical(victim).has_value());
+    EXPECT_EQ(pad.retiredCount(), kSpares);
+    EXPECT_FALSE(pad.blockRetired(victim));
+    EXPECT_TRUE(pad.remapValid());
+    expectPermutation(pad, 0);
+
+    // Leveling keeps working on the shrunken healthy pool.
+    for (std::uint64_t step = 0; step < 64; ++step) {
+        (void)pad.noteWrite(nullptr, step % kBlocks);
+        ASSERT_TRUE(pad.remapValid());
+    }
+    EXPECT_GT(pad.swaps(), 0u);
+}
+
+// --- Full chain: LineIndex -> LeveledAddr -> DeviceAddr --------------
+
+TEST(LevelerZoo, StackedChainStaysInjectiveUnderActiveRetirement)
+{
+    // The non-unified wiring: SoftWear levels, the FaultModel stacks
+    // its retirement indirection on top. Retirements and page
+    // relocations interleave; the composed chain
+    // level() -> FaultModel::remap() must stay injective throughout
+    // and retired leveled blocks must land in the spare region.
+    constexpr std::uint64_t kLines = 128;
+    constexpr std::uint64_t kSpares = 8;
+    const BankId bank(0);
+
+    SoftWear sw(kLines, /*pageBlocks=*/16, /*counterSamplePeriod=*/1,
+                /*relocationThreshold=*/4);
+
+    FaultConfig f;
+    f.enabled = true;
+    f.numBanks = 1;
+    f.blocksPerBank = sw.numPhysicalBlocks();
+    f.spareLinesPerBank = kSpares;
+    f.repairEntriesPerLine = 1;
+    f.enduranceSigma = 0.0;
+    f.enduranceScale = 1.0;
+    f.transientFailProb = 0.0;
+    FaultModel fm(f);
+
+    Rng rng(0x57AC);
+    std::uint64_t retirementsDriven = 0;
+    for (std::uint64_t step = 1; step <= 1500; ++step) {
+        std::uint64_t logical = rng.nextBounded(kLines);
+        (void)sw.noteWrite(nullptr, logical);
+        while (sw.hasPendingMigration())
+            (void)sw.takeMigrationWrite();
+
+        if (step % 150 == 0 && retirementsDriven < kSpares) {
+            // Retire whatever device line a random logical currently
+            // resolves to — retirement in the face of live leveling.
+            LeveledAddr lv = sw.level(LineIndex(rng.nextBounded(kLines)));
+            DeviceAddr dev = fm.remap(bank, lv);
+            retireLine(fm, bank, dev, Tick(step));
+            ++retirementsDriven;
+        }
+
+        // Full-chain sweep: every logical line resolves to a distinct
+        // healthy device line.
+        std::unordered_set<std::uint64_t> devices;
+        for (std::uint64_t l = 0; l < kLines; ++l) {
+            LeveledAddr lv = sw.level(LineIndex(l));
+            DeviceAddr dev = fm.remap(bank, lv);
+            ASSERT_LT(dev.value(), kLines + kSpares);
+            ASSERT_TRUE(devices.insert(dev.value()).second)
+                << "chain collision on device line " << dev.value()
+                << " at step " << step;
+            ASSERT_FALSE(fm.lineRetired(bank, dev))
+                << "chain resolved to retired device line "
+                << dev.value() << " at step " << step;
+        }
+        ASSERT_TRUE(fm.remapTableValid());
+    }
+    EXPECT_EQ(fm.stats().retiredLines, retirementsDriven);
+    EXPECT_EQ(fm.remapEntries(), retirementsDriven);
+    EXPECT_EQ(fm.delegateRetiredLines(), 0u);
+    EXPECT_GT(sw.relocations(), 0u);
+    // Retired leveled blocks re-resolve into the spare region.
+    EXPECT_GT(fm.sparesUsed(bank), 0u);
+}
+
+TEST(LevelerZoo, UnifiedChainKeepsStackedTableEmptyUnderRetirement)
+{
+    // The unified wiring: WoLFRaM's PAD is registered as the bank's
+    // FaultRemapDelegate, so level() output IS the device line and
+    // FaultModel::escalate reroutes retirement through the PAD. The
+    // stacked remap table must stay provably empty, retirements must
+    // be attributed to the delegate, and the chain must stay injective
+    // all the way to spare exhaustion and graceful capacity decay.
+    constexpr std::uint64_t kLines = 64;
+    constexpr std::uint64_t kSpares = 8;
+    const BankId bank(0);
+
+    WolframPad pad(kLines, kSpares, /*swapPeriod=*/16, /*seed=*/0xFEED);
+
+    FaultConfig f;
+    f.enabled = true;
+    f.numBanks = 1;
+    // The controller sizes the fault layer to the PAD's logical space
+    // when the leveler owns the remap; spare slots then line up with
+    // the PAD's own spare region [kLines, kLines + kSpares).
+    f.blocksPerBank = pad.numBlocks();
+    f.spareLinesPerBank = kSpares;
+    f.repairEntriesPerLine = 1;
+    f.enduranceSigma = 0.0;
+    f.enduranceScale = 1.0;
+    f.transientFailProb = 0.0;
+    FaultModel fm(f);
+    fm.setRemapDelegate(bank, pad.faultRemapDelegate());
+
+    Rng rng(0xF00D);
+    double lastCapacity = 1.0;
+    bool sawRetired = false;
+    bool sawUncorrectable = false;
+    for (std::uint64_t step = 1; step <= 3000; ++step) {
+        std::uint64_t logical = rng.nextBounded(kLines);
+        // Issue path: level() output is final for a unified leveler.
+        DeviceAddr dev = deviceLineOf(pad.level(LineIndex(logical)));
+        WriteVerdict verdict =
+            fm.verifyWrite(bank, dev, 0.6, PulseFactor(1.0), 0,
+                           Tick(step));
+        sawRetired |= verdict == WriteVerdict::Retired;
+        sawUncorrectable |= verdict == WriteVerdict::Uncorrectable;
+
+        // Leveling swaps are maintenance writes the fault model sees.
+        std::uint64_t extra[2] = {0, 0};
+        unsigned moves = pad.noteWrite(extra, logical);
+        for (unsigned i = 0; i < moves; ++i)
+            fm.noteMaintenanceWrite(bank, DeviceAddr(extra[i]), 0.6,
+                                    Tick(step));
+
+        // One indirection: the stacked table never grows, and every
+        // retirement is the delegate's.
+        ASSERT_EQ(fm.remapEntries(), 0u);
+        ASSERT_EQ(fm.delegateRetiredLines(), fm.stats().retiredLines);
+        ASSERT_EQ(fm.delegateRetiredLines(), pad.retiredCount());
+        ASSERT_TRUE(fm.remapTableValid());
+
+        // Chain injectivity, skipping retired slots.
+        std::unordered_set<std::uint64_t> devices;
+        for (std::uint64_t l = 0; l < kLines; ++l) {
+            DeviceAddr d = deviceLineOf(pad.level(LineIndex(l)));
+            ASSERT_LT(d.value(), pad.numPhysicalBlocks());
+            ASSERT_TRUE(devices.insert(d.value()).second)
+                << "unified chain collision at step " << step;
+            ASSERT_FALSE(pad.blockRetired(d.value()));
+        }
+
+        // Graceful degradation: capacity only ever shrinks.
+        double capacity = fm.effectiveCapacityFraction();
+        ASSERT_LE(capacity, lastCapacity);
+        lastCapacity = capacity;
+    }
+    // The stream was hot enough to burn through every spare and into
+    // uncorrectable territory — without any assert along the way.
+    EXPECT_TRUE(sawRetired);
+    EXPECT_TRUE(sawUncorrectable);
+    EXPECT_EQ(pad.retiredCount(), kSpares);
+    EXPECT_GT(fm.stats().deadLines, 0u);
+    EXPECT_LT(fm.effectiveCapacityFraction(), 1.0);
+    EXPECT_GT(fm.stats().firstUncorrectableTick, Tick(0));
+    EXPECT_EQ(fm.writesToRetiredLines(), 0u);
+}

@@ -37,8 +37,16 @@ echo "==> [3/4] determinism audit"
 # all replay byte-identically too (trailing 1 = faults on).
 ./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
     200000 50000 1 2 1
-# Parallel-readiness gate: the sweep grid byte-identical between a
-# serial run and contended worker threads.
+# The wear-leveler zoo backends under faults: SoftWear's sampled
+# counters and page migrations, and WoLFRaM's PAD swaps plus
+# delegate-routed retirements, must replay byte-identically as well.
+./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
+    200000 50000 1 2 1 soft-wear
+./build-asan/tools/determinism_check stream BE-Mellow+SC+WQ \
+    200000 50000 1 2 1 wolfram
+# Parallel-readiness gate: the sweep grid (which includes SoftWear and
+# WoLFRaM entries) byte-identical between a serial run and contended
+# worker threads.
 ./build-asan/tools/determinism_check --threads 2
 ./build-asan/tools/determinism_check --threads 8
 

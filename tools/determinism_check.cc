@@ -14,8 +14,14 @@
  *
  * Usage:
  *   determinism_check [workload] [policy] [instructions] [warmup]
- *                     [seed] [runs] [faults(0|1)]
+ *                     [seed] [runs] [faults(0|1)] [leveler]
  *   determinism_check --threads N [instructions] [warmup]
+ *
+ * The optional [leveler] argument (start-gap, security-refresh,
+ * soft-wear, wolfram, none) selects the wear-leveling backend and
+ * shrinks the memory to 64 MB so the table-based backends stay cheap;
+ * the --threads sweep grid includes SoftWear and WoLFRaM entries of
+ * its own.
  *
  * The --threads mode is the parallel-readiness gate: it builds a
  * (workload x policy x seed) sweep grid — fault injection layered on
@@ -39,6 +45,7 @@
  * byte-identical same-seed audit.
  */
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +54,7 @@
 #include <vector>
 
 #include "mellow/policy.hh"
+#include "wear/wear_leveler.hh"
 #include "sim/logging.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
@@ -84,6 +92,9 @@ reportFingerprint(const SimReport &r)
     std::ostringstream out;
     out << "workload " << r.workload << '\n';
     out << "policy " << r.policy << '\n';
+    out << "status " << reportStatusName(r.status) << '\n';
+    line(out, "capacityFloorReached",
+         static_cast<std::uint64_t>(r.capacityFloorReached));
     line(out, "instructions", r.instructions);
     line(out, "simTicks", static_cast<std::uint64_t>(r.simTicks));
     line(out, "ipc", r.ipc);
@@ -148,7 +159,19 @@ fingerprint(System &sys, const SimReport &r)
             std::snprintf(buf, sizeof(buf), "%.17g", w.wearUnits);
             out << buf << ' ' << w.normalWrites << ' ' << w.slowWrites
                 << ' ' << w.cancelledWrites << ' '
+                << w.maintenanceWrites << ' '
                 << ctrl.bank(BankId(b)).busyTracker().busyTicks() << '\n';
+            if (const WearLeveler *lev = ctrl.issueLeveler(BankId(b))) {
+                // Fold a prefix of the live permutation into the dump
+                // so PAD/permutation state must replay exactly too.
+                std::uint64_t h = 0;
+                std::uint64_t n = std::min<std::uint64_t>(
+                    lev->numBlocks(), 4096);
+                for (std::uint64_t i = 0; i < n; ++i)
+                    h = h * 1099511628211ull + lev->remap(i);
+                out << "ch" << c << ".lev" << b << ' ' << lev->name()
+                    << ' ' << h << '\n';
+            }
         }
         if (const WearQuota *q = ctrl.wearQuota()) {
             for (unsigned b = 0; b < ctrl.numBanks(); ++b) {
@@ -222,6 +245,34 @@ layerFaults(SystemConfig &cfg)
 }
 
 /**
+ * Select a wear-leveling backend and shrink the memory to 64 MB: the
+ * table-based zoo backends (SoftWear pages, WoLFRaM's explicit PAD)
+ * cost per-line state, so the audit runs them on a small geometry —
+ * which also makes the fault layer's retirements dense enough to
+ * exercise the unified remap path.
+ */
+void
+layerLeveler(SystemConfig &cfg, WearLevelerKind kind)
+{
+    cfg.memory.wearLeveler = kind;
+    cfg.memory.geometry.capacityBytes = 64ull << 20;
+    // Tiny caches, so dirty lines actually reach memory inside the
+    // audit's short run: with the stock 2 MB LLC a 200k-instruction
+    // run evicts nothing and the leveler would never see a write,
+    // let alone swap, migrate or retire anything.
+    cfg.hierarchy.l1.sizeBytes = 4 * 1024;
+    cfg.hierarchy.l2.sizeBytes = 8 * 1024;
+    cfg.hierarchy.llc.cache.sizeBytes = 16 * 1024;
+    // Hair-trigger SoftWear knobs and near-zero endurance, so page
+    // migrations, delegate retirements and spare exhaustion all fire
+    // (and must replay) inside the 200k-instruction audit.
+    cfg.memory.softWearSamplePeriod = 2;
+    cfg.memory.softWearRelocThreshold = 4;
+    cfg.memory.gapWritePeriod = 8;
+    cfg.memory.fault.enduranceScale = 1e-9;
+}
+
+/**
  * Parallel-readiness gate (--threads N): run a sweep grid serially,
  * then across N contended worker threads, and require byte-identical
  * report fingerprints slot by slot.
@@ -249,6 +300,21 @@ runThreadsMode(unsigned jobs, std::uint64_t instructions,
                 layerFaults(cfg);
             configs.push_back(std::move(cfg));
         }
+    }
+    // The zoo backends under fault injection: their permutation /
+    // PAD state, migration traffic and delegate retirements must stay
+    // byte-identical under worker-thread contention too.
+    for (WearLevelerKind kind :
+         {WearLevelerKind::SoftWear, WearLevelerKind::WoLFRaM}) {
+        SystemConfig cfg;
+        cfg.workloadName = "stream";
+        cfg.policy = policies::fromName("BE-Mellow+SC+WQ");
+        cfg.instructions = instructions;
+        cfg.warmupInstructions = warmup;
+        cfg.seed = configs.size() + 1;
+        layerFaults(cfg);
+        layerLeveler(cfg, kind);
+        configs.push_back(std::move(cfg));
     }
 
     std::vector<SimReport> serial = runConfigs(configs, 1);
@@ -325,10 +391,20 @@ main(int argc, char **argv)
                         : 2;
     bool faults =
         argc > 7 && std::strtoul(argv[7], nullptr, 10) != 0;
+    bool has_leveler = false;
+    WearLevelerKind leveler = WearLevelerKind::StartGap;
+    if (argc > 8) {
+        has_leveler = wearLevelerKindFromName(argv[8], &leveler);
+        if (!has_leveler) {
+            std::fprintf(stderr, "unknown leveler '%s'\n", argv[8]);
+            return 2;
+        }
+    }
     if (instructions == 0 || runs < 2) {
         std::fprintf(stderr,
                      "usage: %s [workload] [policy] [instructions] "
-                     "[warmup] [seed] [runs>=2] [faults(0|1)]\n",
+                     "[warmup] [seed] [runs>=2] [faults(0|1)] "
+                     "[leveler]\n",
                      argv[0]);
         return 2;
     }
@@ -345,6 +421,8 @@ main(int argc, char **argv)
         cfg.seed = seed;
         if (faults)
             layerFaults(cfg);
+        if (has_leveler)
+            layerLeveler(cfg, leveler);
 
         System sys(cfg);
         SimReport r = sys.run();
