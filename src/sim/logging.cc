@@ -9,7 +9,7 @@
 namespace mellowsim
 {
 
-std::atomic<bool> Logger::_quiet{false};
+sync::RelaxedFlag Logger::_quiet{false};
 
 namespace
 {
@@ -31,13 +31,13 @@ emitLine(std::FILE *stream, const char *prefix, const std::string &msg)
 void
 Logger::setQuiet(bool quiet)
 {
-    _quiet.store(quiet, std::memory_order_relaxed);
+    _quiet.set(quiet);
 }
 
 bool
 Logger::quiet()
 {
-    return _quiet.load(std::memory_order_relaxed);
+    return _quiet.get();
 }
 
 std::string

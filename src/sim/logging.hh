@@ -14,10 +14,11 @@
 #ifndef MELLOWSIM_SIM_LOGGING_HH
 #define MELLOWSIM_SIM_LOGGING_HH
 
-#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+
+#include "sim/sync.hh"
 
 namespace mellowsim
 {
@@ -47,7 +48,7 @@ class Logger
     static bool quiet();
 
   private:
-    static std::atomic<bool> _quiet;
+    static sync::RelaxedFlag _quiet;
 };
 
 /** Format a message with printf semantics into a std::string. */

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * ChannelShard scaffolding for the sharded PDES kernel.
+ *
+ * A ChannelShard is one conservatively-synchronized partition of a
+ * future parallel simulation: it owns its EventQueue, its stats and a
+ * set of ShardPort endpoints, and NOTHING it owns is touched by any
+ * other thread while a run is in flight (the confinement manifest
+ * declares this; mellow-analyze enforces it). ShardGroup drives a set
+ * of shards through lookahead-sized epochs:
+ *
+ *   epoch e covers model time [e*la, (e+1)*la). At the start of the
+ *   epoch each shard drains its input ports for messages with
+ *   when < (e+1)*la, schedules them into its local queue, runs the
+ *   queue to the epoch end, and rendezvouses at a barrier.
+ *
+ * Why one barrier per epoch is enough: SendTime's mint guarantees a
+ * message sent at tick t carries when >= t + la, so anything
+ * deliverable inside epoch e (when < (e+1)*la) was sent at
+ * t <= when - la < e*la — i.e. during some epoch < e, which completed
+ * before the barrier that opened epoch e. Draining at epoch start
+ * therefore sees every message it must deliver, and the monotonic
+ * ring means it never pops one it must not. The schedule each shard
+ * feeds its queue is thus a pure function of the configuration —
+ * independent of thread interleaving — which is what makes the
+ * serial oracle (jobs <= 1, shards stepped in index order) produce
+ * byte-identical fingerprints to the threaded run.
+ * tools/determinism_check --threads N audits exactly that, and
+ * DESIGN.md §13 writes the argument out in full.
+ */
+
+#ifndef MELLOWSIM_SIM_SHARD_HH
+#define MELLOWSIM_SIM_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/shard_port.hh"
+#include "sim/stats.hh"
+#include "sim/strong_types.hh"
+#include "sim/sync.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/** Payload of the scaffolding shard protocol. */
+using ShardPayload = std::uint64_t;
+
+/** The concrete port type ChannelShards speak. */
+using ShardChannel = ShardPort<ShardPayload>;
+
+/**
+ * Per-shard tallies, shard-owned during a run and folded on the
+ * coordinating thread afterwards via the stats merge() ops.
+ */
+struct ShardStats
+{
+    /** Messages published on output ports. */
+    stats::Counter messagesSent;
+    /** Messages drained from input ports. */
+    stats::Counter messagesReceived;
+    /** Delivery events executed (one per received message). */
+    stats::Counter deliveries;
+    /** Delivery ticks; integer-valued, so merge stays bit-exact. */
+    stats::Average deliveryTick;
+
+    /** Fold another shard's tallies into this one (post-join only). */
+    void
+    merge(const ShardStats &other)
+    {
+        messagesSent.merge(other.messagesSent);
+        messagesReceived.merge(other.messagesReceived);
+        deliveries.merge(other.deliveries);
+        deliveryTick.merge(other.deliveryTick);
+    }
+};
+
+/**
+ * One shard: an EventQueue plus typed port endpoints, all confined to
+ * whichever thread ShardGroup assigns it for the duration of run().
+ */
+class ChannelShard
+{
+  public:
+    /** Called at a message's delivery tick; may send() replies. */
+    using Handler =
+        std::function<void(ChannelShard &, Tick when, ShardPayload)>;
+
+    ChannelShard(unsigned id, Lookahead lookahead)
+        : _id(id), _lookahead(lookahead)
+    {
+    }
+    ChannelShard(const ChannelShard &) = delete;
+    ChannelShard &operator=(const ChannelShard &) = delete;
+
+    [[nodiscard]] unsigned id() const { return _id; }
+    [[nodiscard]] Lookahead lookahead() const { return _lookahead; }
+    [[nodiscard]] EventQueue &queue() { return _queue; }
+    [[nodiscard]] const ShardStats &stats() const { return _stats; }
+
+    /** Mixed tally of every delivery; the determinism fingerprint. */
+    [[nodiscard]] std::uint64_t checksum() const { return _checksum; }
+
+    /** Install the delivery handler (optional; checksum always runs). */
+    void setHandler(Handler handler) { _handler = std::move(handler); }
+
+    /** Attach the consumer end of a channel; drained in attach order. */
+    std::size_t
+    addInput(ShardChannel::Receiver receiver)
+    {
+        _inputs.push_back(std::move(receiver));
+        return _inputs.size() - 1;
+    }
+
+    /** Attach the producer end of a channel. */
+    std::size_t
+    addOutput(ShardChannel::Sender sender)
+    {
+        _outputs.push_back(std::move(sender));
+        return _outputs.size() - 1;
+    }
+
+    [[nodiscard]] std::size_t numInputs() const { return _inputs.size(); }
+    [[nodiscard]] std::size_t numOutputs() const { return _outputs.size(); }
+
+    /**
+     * Publish @p payload on output @p out for the earliest legal
+     * delivery tick: now + lookahead, the only SendTime there is.
+     */
+    void
+    send(std::size_t out, ShardPayload payload)
+    {
+        sendDelayed(out, payload, 0);
+    }
+
+    /** send() with @p extra additional ticks of delivery delay. */
+    void
+    sendDelayed(std::size_t out, ShardPayload payload, Tick extra)
+    {
+        SendTime when = _queue.curTick() + _lookahead;
+        _outputs.at(out).send(when + extra, payload);
+        ++_stats.messagesSent;
+    }
+
+    /**
+     * Run one epoch ending at @p end: drain every input for messages
+     * with when < end (attach order, so the schedule is a pure
+     * function of the configuration), then run local events to end.
+     */
+    void runEpoch(Tick end);
+
+  private:
+    void deliver(Tick when, ShardPayload payload);
+
+    unsigned _id;
+    Lookahead _lookahead;
+    EventQueue _queue;
+    ShardStats _stats;
+    std::uint64_t _checksum = 0;
+    Handler _handler;
+    std::vector<ShardChannel::Receiver> _inputs;
+    std::vector<ShardChannel::Sender> _outputs;
+};
+
+/**
+ * Owns a set of shards and the channels between them, and drives them
+ * through lookahead-sized epochs — serially in shard-index order
+ * (jobs <= 1: the oracle) or with one worker thread per shard and a
+ * sync::Barrier between epochs (jobs > 1; the shard count, not jobs,
+ * is the parallelism).
+ */
+class ShardGroup
+{
+  public:
+    explicit ShardGroup(Lookahead lookahead) : _lookahead(lookahead) {}
+    ShardGroup(const ShardGroup &) = delete;
+    ShardGroup &operator=(const ShardGroup &) = delete;
+
+    /** Create the next shard (id = creation order). */
+    ChannelShard &
+    addShard()
+    {
+        _shards.push_back(std::make_unique<ChannelShard>(
+            static_cast<unsigned>(_shards.size()), _lookahead));
+        return *_shards.back();
+    }
+
+    /** Wire a one-way channel from @p src to @p dst. */
+    void connect(ChannelShard &src, ChannelShard &dst,
+                 std::size_t capacity = ShardChannel::kDefaultCapacity);
+
+    [[nodiscard]] std::size_t numShards() const { return _shards.size(); }
+    [[nodiscard]] ChannelShard &shard(std::size_t i)
+    {
+        return *_shards.at(i);
+    }
+
+    /** Step every shard to @p until in lookahead-sized epochs. */
+    void run(Tick until, unsigned jobs);
+
+    /** Post-join fold of every shard's tallies. */
+    [[nodiscard]] ShardStats mergedStats() const;
+
+    /** Order-independent combination of the shard checksums. */
+    [[nodiscard]] std::uint64_t mergedChecksum() const;
+
+  private:
+    Lookahead _lookahead;
+    std::vector<std::unique_ptr<ChannelShard>> _shards;
+    std::vector<std::unique_ptr<ShardChannel>> _channels;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SIM_SHARD_HH

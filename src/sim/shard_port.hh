@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The one sanctioned cross-shard communication channel.
+ *
+ * A ShardPort<T> is a fixed-capacity single-producer/single-consumer
+ * ring carrying timestamped messages between exactly two ChannelShards
+ * (DESIGN.md §13). It is the *only* way simulation state may cross a
+ * shard boundary during a run — mellow-analyze's `port-protocol` and
+ * `confinement-*` rules reject everything else — and its API encodes
+ * the two properties conservative-lookahead synchronization needs:
+ *
+ *  1. Lookahead-respecting timestamps. Sender::send takes a SendTime,
+ *     which has no public constructor: the only mint is
+ *     `now + Lookahead` (strong_types.hh), so a message's delivery
+ *     tick is at least one full lookahead window past its send tick
+ *     *by construction*. tests/compile_fail/ pins this, and the
+ *     analyzer cross-checks every call site against casts.
+ *
+ *  2. Monotonic publication. Sends must be timestamp-nondecreasing
+ *     (panic otherwise), so the ring is sorted by delivery tick and
+ *     Receiver::drainUntil can pop exactly the deliverable prefix of
+ *     an epoch without ever inspecting a message the producer is
+ *     still writing.
+ *
+ * Endpoint confinement is a move-only affair: sender() and receiver()
+ * each hand out their endpoint once, the endpoints cannot be copied
+ * (a second thread holding the same side would break the SPSC
+ * contract; tests/compile_fail/fail_shardport_cross_thread.cc pins
+ * it), and the port itself is declared a capability so confinement
+ * manifests can name it. The only inter-thread edges are two
+ * sync::SpscSequence publication indices — this header touches no raw
+ * atomics, keeping `atomic-order` clean.
+ */
+
+#ifndef MELLOWSIM_SIM_SHARD_PORT_HH
+#define MELLOWSIM_SIM_SHARD_PORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/strong_types.hh"
+#include "sim/sync.hh"
+#include "sim/types.hh"
+
+namespace mellowsim
+{
+
+/**
+ * Timestamped SPSC ring between two shards. @p T is the payload; it
+ * must be trivially copyable (messages are slots in a reused ring,
+ * not owning nodes).
+ */
+template <typename T>
+class MELLOW_CAPABILITY("shard-port") ShardPort
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ShardPort payloads are ring slots; they must be "
+                  "trivially copyable");
+
+  public:
+    /** One cross-shard message: deliver @p payload at tick @p when. */
+    struct Message
+    {
+        Tick when = 0;
+        T payload{};
+    };
+
+    class Sender;
+    class Receiver;
+
+    /** @p capacity must be a power of two (masked indexing). */
+    explicit ShardPort(std::size_t capacity = kDefaultCapacity)
+        : _slots(capacity)
+    {
+        panic_if(capacity == 0 || (capacity & (capacity - 1)) != 0,
+                 "ShardPort capacity must be a power of two (got %llu)",
+                 static_cast<unsigned long long>(capacity));
+    }
+    ShardPort(const ShardPort &) = delete;
+    ShardPort &operator=(const ShardPort &) = delete;
+
+    /** Hand out the producer endpoint; callable exactly once. */
+    [[nodiscard]] Sender
+    sender()
+    {
+        panic_if(_senderTaken, "ShardPort sender endpoint taken twice");
+        _senderTaken = true;
+        return Sender(*this);
+    }
+
+    /** Hand out the consumer endpoint; callable exactly once. */
+    [[nodiscard]] Receiver
+    receiver()
+    {
+        panic_if(_receiverTaken,
+                 "ShardPort receiver endpoint taken twice");
+        _receiverTaken = true;
+        return Receiver(*this);
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return _slots.size(); }
+
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
+    /**
+     * The producer half: owned by (confined to) the sending shard's
+     * thread. Move-only — duplicating it would put two producers on
+     * one ring.
+     */
+    class Sender
+    {
+      public:
+        Sender(Sender &&other) noexcept
+            : _port(std::exchange(other._port, nullptr)),
+              _lastSent(other._lastSent)
+        {
+        }
+        Sender &operator=(Sender &&other) noexcept
+        {
+            _port = std::exchange(other._port, nullptr);
+            _lastSent = other._lastSent;
+            return *this;
+        }
+        Sender(const Sender &) = delete;
+        Sender &operator=(const Sender &) = delete;
+
+        /**
+         * Publish a message for delivery at @p when. Returns false if
+         * the ring is full (nothing published). Timestamps must be
+         * nondecreasing across calls — that is what keeps the ring
+         * sorted and drainUntil exact.
+         */
+        [[nodiscard]] bool
+        trySend(SendTime when, T payload)
+        {
+            panic_if(_port == nullptr, "send on a moved-from Sender");
+            panic_if(when.tick() < _lastSent,
+                     "non-monotonic ShardPort send: %llu after %llu",
+                     static_cast<unsigned long long>(when.tick()),
+                     static_cast<unsigned long long>(_lastSent));
+            std::uint64_t tail = _port->_tail.ownerRead();
+            std::uint64_t head = _port->_head.read();
+            if (tail - head == _port->_slots.size())
+                return false;
+            Message &slot =
+                _port->_slots[tail & (_port->_slots.size() - 1)];
+            slot.when = when.tick();
+            slot.payload = payload;
+            _port->_tail.publish(tail + 1);
+            _lastSent = when.tick();
+            return true;
+        }
+
+        /** trySend that treats a full ring as a protocol bug. */
+        void
+        send(SendTime when, T payload)
+        {
+            panic_if(!trySend(when, payload),
+                     "ShardPort overflow: ring of %llu messages full",
+                     static_cast<unsigned long long>(
+                         _port->_slots.size()));
+        }
+
+        /** Delivery tick of the last published message (0 if none). */
+        [[nodiscard]] Tick lastSent() const { return _lastSent; }
+
+      private:
+        friend class ShardPort;
+        explicit Sender(ShardPort &port) : _port(&port) {}
+
+        ShardPort *_port;
+        Tick _lastSent = 0;
+    };
+
+    /**
+     * The consumer half: owned by (confined to) the receiving shard's
+     * thread. Move-only for the same reason Sender is.
+     */
+    class Receiver
+    {
+      public:
+        Receiver(Receiver &&other) noexcept
+            : _port(std::exchange(other._port, nullptr))
+        {
+        }
+        Receiver &operator=(Receiver &&other) noexcept
+        {
+            _port = std::exchange(other._port, nullptr);
+            return *this;
+        }
+        Receiver(const Receiver &) = delete;
+        Receiver &operator=(const Receiver &) = delete;
+
+        /**
+         * Pop every message with delivery tick < @p horizon, in send
+         * order, invoking `fn(Tick when, T payload)` for each. The
+         * first message at or past the horizon stays queued — because
+         * timestamps are monotonic, everything behind it does too, so
+         * the result is exact regardless of how far ahead the
+         * producer has run. Returns the number delivered.
+         */
+        template <typename F>
+        std::size_t
+        drainUntil(Tick horizon, F &&fn)
+        {
+            panic_if(_port == nullptr, "drain on a moved-from Receiver");
+            std::uint64_t head = _port->_head.ownerRead();
+            std::uint64_t tail = _port->_tail.read();
+            std::size_t delivered = 0;
+            while (head != tail) {
+                const Message &slot =
+                    _port->_slots[head & (_port->_slots.size() - 1)];
+                if (slot.when >= horizon)
+                    break;
+                Tick when = slot.when;
+                T payload = slot.payload;
+                ++head;
+                // Free the slot before running the callback so a
+                // callback that triggers a reply cannot see a
+                // spuriously full ring.
+                _port->_head.publish(head);
+                fn(when, payload);
+                ++delivered;
+            }
+            return delivered;
+        }
+
+        /** Messages currently queued (racy snapshot; test/debug use). */
+        [[nodiscard]] std::size_t
+        pending() const
+        {
+            panic_if(_port == nullptr, "pending on a moved-from Receiver");
+            return static_cast<std::size_t>(_port->_tail.read() -
+                                            _port->_head.ownerRead());
+        }
+
+      private:
+        friend class ShardPort;
+        explicit Receiver(ShardPort &port) : _port(&port) {}
+
+        ShardPort *_port;
+    };
+
+  private:
+    std::vector<Message> _slots;
+    /** Consumer cursor: slots below it are free for reuse. */
+    sync::SpscSequence _head;
+    /** Producer cursor: slots below it are published messages. */
+    sync::SpscSequence _tail;
+    bool _senderTaken = false;
+    bool _receiverTaken = false;
+};
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SIM_SHARD_PORT_HH

@@ -31,6 +31,8 @@
 #define MELLOWSIM_SIM_SYNC_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <thread>
@@ -199,6 +201,127 @@ class ThreadGroup
 
   private:
     std::vector<std::thread> _threads;
+};
+
+/**
+ * Process-wide boolean toggle readable from any thread.
+ *
+ * Relaxed ordering: the flag is advisory configuration (e.g. log
+ * verbosity), never a synchronization point — a reader that misses a
+ * concurrent toggle by one message is correct behavior.
+ */
+class RelaxedFlag
+{
+  public:
+    constexpr explicit RelaxedFlag(bool initial) : _value(initial) {}
+
+    void set(bool value) { _value.store(value, std::memory_order_relaxed); }
+    [[nodiscard]] bool get() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> _value;
+};
+
+/**
+ * Monotonic work-index dispenser for self-scheduling worker pools.
+ *
+ * Each take() hands out the next index exactly once. Relaxed ordering
+ * suffices because the index only partitions work; the data handoff
+ * happens through thread creation before and join after.
+ */
+class TicketCounter
+{
+  public:
+    [[nodiscard]] std::size_t
+    take()
+    {
+        return _next.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::size_t> _next{0};
+};
+
+/**
+ * The publication index of a single-producer/single-consumer ring.
+ *
+ * The producer advances the sequence with publish() AFTER writing the
+ * slots it covers; release/acquire pairing makes those writes visible
+ * to the consumer by the time read() returns the new value. The
+ * owning side reads its own sequence with ownerRead() (no ordering
+ * needed against itself). This is the only inter-thread edge a
+ * ShardPort needs, which is why the SPSC ring can live outside this
+ * header without touching raw atomics.
+ */
+class SpscSequence
+{
+  public:
+    /** Publish a new sequence value (producer side only). */
+    void publish(std::uint64_t v)
+    {
+        _value.store(v, std::memory_order_release);
+    }
+
+    /** Observe the latest published value (other side). */
+    [[nodiscard]] std::uint64_t read() const
+    {
+        return _value.load(std::memory_order_acquire);
+    }
+
+    /** Re-read a sequence this thread itself publishes. */
+    [[nodiscard]] std::uint64_t ownerRead() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/**
+ * Reusable rendezvous for a fixed party of threads.
+ *
+ * arriveAndWait() blocks until all parties of the current generation
+ * have arrived, then releases them together; the generation counter
+ * makes the barrier immediately reusable for the next epoch. Used by
+ * ShardGroup to separate conservative-lookahead epochs; plain
+ * mutex + condition_variable because epoch boundaries are rare
+ * (one per lookahead window) and correctness beats spin throughput.
+ */
+class Barrier
+{
+  public:
+    explicit Barrier(std::size_t parties)
+        : _parties(parties), _waiting(0), _generation(0)
+    {
+    }
+    Barrier(const Barrier &) = delete;
+    Barrier &operator=(const Barrier &) = delete;
+
+    /** Block until every party has arrived at this generation. */
+    void
+    arriveAndWait()
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        std::uint64_t generation = _generation;
+        if (++_waiting == _parties) {
+            _waiting = 0;
+            ++_generation;
+            _cv.notify_all();
+            return;
+        }
+        _cv.wait(lock, [&] { return _generation != generation; });
+    }
+
+  private:
+    std::mutex _mutex;
+    std::condition_variable _cv;
+    std::size_t _parties;
+    std::size_t _waiting;
+    std::uint64_t _generation;
 };
 
 /** Hardware thread count, never zero. */

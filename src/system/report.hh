@@ -116,6 +116,20 @@ struct SimReport
     {
         return memReads + totalBankWrites();
     }
+
+    /**
+     * Fold another shard's report into this one (post-join only; the
+     * sharded-kernel counterpart of the stats::* merge() ops).
+     * Additive tallies and energies sum; simTicks takes the furthest
+     * shard; capacity takes the worst shard; first-fault ticks take
+     * the earliest nonzero observation. Derived rates (ipc, mpki,
+     * averages, lifetime) are NOT recomputed here — they depend on
+     * model knowledge the report does not carry, so the caller
+     * recomputes them from the merged tallies. Workload/policy labels
+     * must match (panics otherwise): merging unrelated runs is a bug,
+     * not an aggregation.
+     */
+    void merge(const SimReport &other);
 };
 
 /** Render a fixed-precision CSV row set; first row is the header. */

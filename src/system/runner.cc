@@ -1,6 +1,5 @@
 #include "system/runner.hh"
 
-#include <atomic>
 #include <cstdlib>
 #include <limits>
 
@@ -101,11 +100,11 @@ runConfigs(std::vector<SystemConfig> configs, unsigned jobs)
     // preserves bit-identical results in deterministic slots. Workers
     // keep draining after an error so the collector can pick the
     // lowest-index failure rather than the first to arrive.
-    std::atomic<std::size_t> next{0};
+    sync::TicketCounter next;
     ErrorCollector errors;
     auto worker = [&] {
         for (;;) {
-            std::size_t i = next.fetch_add(1);
+            std::size_t i = next.take();
             if (i >= configs.size())
                 return;
             try {

@@ -1,0 +1,31 @@
+// analyze-expect: handler-blocking
+// A scheduled callback reaches a helper that takes a mutex and then
+// blocks on an epoch rendezvous. A handler that blocks mid-epoch
+// stalls its whole shard — or deadlocks the epoch barrier outright —
+// so both sites must be rejected.
+#include "sim/event_queue.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+sync::Mutex g_drainMutex;
+
+void
+drainSideTable()
+{
+    sync::LockGuard guard(g_drainMutex);
+}
+
+} // namespace
+
+void waitForEpoch();
+
+void
+scheduleDrain(EventQueue &eventq)
+{
+    eventq.scheduleIn(50, [] {
+        drainSideTable();
+        waitForEpoch();
+    });
+}

@@ -1,0 +1,32 @@
+// analyze-expect: atomic-order
+// Raw atomic spellings outside the sync.hh wrapper home, plus a
+// RelaxedCounter read steering control flow. Relaxed loads carry no
+// happens-before edge, so the branch below can diverge between runs
+// even when the counter's final value is deterministic.
+#include <atomic>
+#include <cstdint>
+
+#include "sim/sync.hh"
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_spins{0};
+
+sync::RelaxedCounter g_throttleHits;
+
+} // namespace
+
+std::uint64_t
+spinSample()
+{
+    return g_spins.load(std::memory_order_acquire);
+}
+
+bool
+shouldThrottle()
+{
+    if (g_throttleHits.value() > 64)
+        return true;
+    return false;
+}

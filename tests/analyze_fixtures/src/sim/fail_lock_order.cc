@@ -1,0 +1,27 @@
+// analyze-expect: lock-order
+// Two paths acquire the same pair of mutexes in opposite orders: the
+// classic AB/BA inversion. Neither path deadlocks by itself, so only
+// the whole-program lock-acquisition graph can reject it.
+#include "sim/sync.hh"
+
+namespace
+{
+
+sync::Mutex g_tableMutex;
+sync::Mutex g_statsMutex;
+
+} // namespace
+
+void
+flushTable()
+{
+    sync::LockGuard table(g_tableMutex);
+    sync::LockGuard stats(g_statsMutex);
+}
+
+void
+snapshotStats()
+{
+    sync::LockGuard stats(g_statsMutex);
+    sync::LockGuard table(g_tableMutex);
+}

@@ -1,0 +1,26 @@
+// analyze-expect: port-protocol
+// Raw time values pushed straight into port sends plus an explicit
+// SendTime construction outside the mint: every one talks around the
+// `now + Lookahead` discipline that keeps cross-shard messages inside
+// the lookahead window. The properly minted send at the bottom must
+// stay silent.
+#include "sim/event_queue.hh"
+#include "sim/shard_port.hh"
+
+void
+forwardEviction(PortSender &port, EventQueue &queue)
+{
+    Tick deadline = 500;
+    port.send(deadline, 11);
+    port.trySend(42, 7);
+    port.send(queue.curTick(), 3);
+    (void)SendTime{};
+}
+
+void
+forwardWithLookahead(PortSender &port, Tick now)
+{
+    Lookahead horizon(4);
+    SendTime stamp = now + horizon;
+    port.send(stamp, 5);
+}

@@ -1,0 +1,31 @@
+// Minimal ShardPort facade for the mellow-analyze fixtures: only the
+// shapes the port-protocol rule keys on (SendTime/Lookahead
+// declarations and send call sites) matter. This header is the
+// fixture tree's declared mint file (protocol.toml [port_protocol]),
+// mirroring src/sim/strong_types.hh in the real tree.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+
+class Lookahead
+{
+  public:
+    explicit Lookahead(Tick window);
+    Tick window() const;
+};
+
+class SendTime
+{
+  public:
+    Tick tick() const;
+};
+
+SendTime operator+(Tick now, Lookahead la);
+
+struct PortSender
+{
+    bool trySend(SendTime stamp, std::uint64_t payload);
+    void send(SendTime stamp, std::uint64_t payload);
+};

@@ -1,0 +1,12 @@
+// A SendTime must be minted via `now + Lookahead`; its constructor is
+// private, so conjuring one from a raw tick must not compile.
+#include "sim/strong_types.hh"
+
+using namespace mellowsim;
+
+int
+main()
+{
+    SendTime when(100);
+    return static_cast<int>(when.tick());
+}

@@ -1,0 +1,17 @@
+// ShardPort endpoints are move-only: copying a Sender would put two
+// producers on one SPSC ring, so the copy must not compile.
+#include <cstdint>
+
+#include "sim/shard_port.hh"
+
+using namespace mellowsim;
+
+int
+main()
+{
+    ShardPort<std::uint64_t> port(8);
+    ShardPort<std::uint64_t>::Sender original = port.sender();
+    ShardPort<std::uint64_t>::Sender duplicate = original;
+    (void)duplicate;
+    return 0;
+}

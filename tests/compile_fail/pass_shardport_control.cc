@@ -1,0 +1,33 @@
+// Positive control for the ShardPort compile-fail snippets: the
+// sanctioned protocol — mint via `now + Lookahead`, move the
+// endpoints, send, drain — must compile AND run. Without this, a
+// broken include path would make every WILL_FAIL sibling pass
+// vacuously.
+#include <cstdint>
+#include <utility>
+
+#include "sim/shard_port.hh"
+#include "sim/strong_types.hh"
+
+using namespace mellowsim;
+
+int
+main()
+{
+    ShardPort<std::uint64_t> port(8);
+    ShardPort<std::uint64_t>::Sender sender = port.sender();
+    ShardPort<std::uint64_t>::Receiver receiver = port.receiver();
+
+    // Moving an endpoint (the legal transfer) must keep working.
+    ShardPort<std::uint64_t>::Sender owner = std::move(sender);
+
+    Lookahead la(10);
+    owner.send(Tick(0) + la, 41);
+    owner.send((Tick(2) + la) + 3, 42);
+
+    std::uint64_t sum = 0;
+    std::size_t popped = receiver.drainUntil(
+        100, [&](Tick, std::uint64_t payload) { sum += payload; });
+
+    return (popped == 2 && sum == 83 && owner.lastSent() == 15) ? 0 : 1;
+}

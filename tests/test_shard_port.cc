@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit and property tests for the cross-shard seam: SendTime minting,
+ * ShardPort ring semantics, ChannelShard epochs, and the determinism
+ * property the conservative-lookahead protocol promises — a threaded
+ * ShardGroup run is byte-identical to the serial oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/shard.hh"
+#include "sim/shard_port.hh"
+#include "sim/strong_types.hh"
+#include "system/report.hh"
+
+using namespace mellowsim;
+
+namespace
+{
+
+/** Quiet the panic banner for the EXPECT_THROW tests. */
+class ShardPortTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { Logger::setQuiet(true); }
+    void TearDown() override { Logger::setQuiet(false); }
+};
+
+} // namespace
+
+// --- SendTime / Lookahead ------------------------------------------
+
+TEST(SendTimeMint, NowPlusLookaheadIsTheOnlyMint)
+{
+    SendTime when = Tick(100) + Lookahead(10);
+    EXPECT_EQ(when.tick(), 110u);
+
+    // Further delay stays a SendTime and only moves forward.
+    SendTime later = when + 25;
+    EXPECT_EQ(later.tick(), 135u);
+    EXPECT_LT(when, later);
+}
+
+TEST(SendTimeMint, LookaheadClampsToAtLeastOneTick)
+{
+    EXPECT_EQ(Lookahead(0).window(), 1u);
+    EXPECT_EQ(Lookahead(1).window(), 1u);
+    EXPECT_EQ(Lookahead(64).window(), 64u);
+    // So even a degenerate mint strictly advances time.
+    EXPECT_GT((Tick(7) + Lookahead(0)).tick(), 7u);
+}
+
+// --- ShardPort ring semantics --------------------------------------
+
+TEST_F(ShardPortTest, CapacityMustBePowerOfTwo)
+{
+    EXPECT_THROW(ShardPort<std::uint64_t>(3), PanicError);
+    EXPECT_THROW(ShardPort<std::uint64_t>(0), PanicError);
+    EXPECT_NO_THROW(ShardPort<std::uint64_t>(8));
+}
+
+TEST_F(ShardPortTest, EndpointsAreHandedOutOnce)
+{
+    ShardPort<std::uint64_t> port(8);
+    auto sender = port.sender();
+    auto receiver = port.receiver();
+    (void)sender;
+    (void)receiver;
+    EXPECT_THROW((void)port.sender(), PanicError);
+    EXPECT_THROW((void)port.receiver(), PanicError);
+}
+
+TEST_F(ShardPortTest, DrainPopsExactlyTheDeliverablePrefix)
+{
+    ShardPort<std::uint64_t> port(8);
+    auto sender = port.sender();
+    auto receiver = port.receiver();
+
+    Lookahead la(10);
+    sender.send(Tick(0) + la, 100);   // when = 10
+    sender.send(Tick(5) + la, 101);   // when = 15
+    sender.send((Tick(5) + la) + 10, 102); // when = 25
+    EXPECT_EQ(receiver.pending(), 3u);
+
+    std::vector<std::pair<Tick, std::uint64_t>> got;
+    auto record = [&](Tick when, std::uint64_t payload) {
+        got.emplace_back(when, payload);
+    };
+
+    // Horizon 20: only the first two messages are deliverable; the
+    // message at 25 (and anything behind it) stays queued.
+    EXPECT_EQ(receiver.drainUntil(20, record), 2u);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], (std::pair<Tick, std::uint64_t>{10, 100}));
+    EXPECT_EQ(got[1], (std::pair<Tick, std::uint64_t>{15, 101}));
+    EXPECT_EQ(receiver.pending(), 1u);
+
+    // A horizon exactly at a message's tick excludes it (when < end).
+    EXPECT_EQ(receiver.drainUntil(25, record), 0u);
+    EXPECT_EQ(receiver.drainUntil(26, record), 1u);
+    EXPECT_EQ(got.back(),
+              (std::pair<Tick, std::uint64_t>{25, 102}));
+    EXPECT_EQ(receiver.pending(), 0u);
+}
+
+TEST_F(ShardPortTest, TrySendReportsAFullRingAndSendPanics)
+{
+    ShardPort<std::uint64_t> port(4);
+    auto sender = port.sender();
+    auto receiver = port.receiver();
+
+    Lookahead la(1);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(sender.trySend(Tick(i) + la, i));
+    EXPECT_FALSE(sender.trySend(Tick(10) + la, 99));
+    EXPECT_THROW(sender.send(Tick(10) + la, 99), PanicError);
+
+    // Draining frees slots for reuse.
+    EXPECT_EQ(receiver.drainUntil(100, [](Tick, std::uint64_t) {}), 4u);
+    EXPECT_TRUE(sender.trySend(Tick(10) + la, 99));
+}
+
+TEST_F(ShardPortTest, TimestampsMustBeNondecreasing)
+{
+    ShardPort<std::uint64_t> port(8);
+    auto sender = port.sender();
+    auto receiver = port.receiver();
+    (void)receiver;
+
+    sender.send(Tick(50) + Lookahead(10), 1);
+    EXPECT_EQ(sender.lastSent(), 60u);
+    // Equal timestamps are fine; going backwards is a protocol bug.
+    EXPECT_TRUE(sender.trySend(Tick(50) + Lookahead(10), 2));
+    EXPECT_THROW(sender.send(Tick(10) + Lookahead(10), 3), PanicError);
+}
+
+// --- ChannelShard / ShardGroup -------------------------------------
+
+TEST(ChannelShard, EpochDeliveryRespectsLookahead)
+{
+    ShardGroup group{Lookahead(10)};
+    ChannelShard &a = group.addShard();
+    ChannelShard &b = group.addShard();
+    group.connect(a, b);
+
+    std::vector<std::pair<Tick, ShardPayload>> delivered;
+    b.setHandler([&](ChannelShard &, Tick when, ShardPayload payload) {
+        delivered.emplace_back(when, payload);
+    });
+
+    a.send(0, 7);            // minted at curTick 0 -> when = 10
+    a.sendDelayed(0, 8, 5);  // when = 15
+    group.run(30, 1);
+
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0], (std::pair<Tick, ShardPayload>{10, 7}));
+    EXPECT_EQ(delivered[1], (std::pair<Tick, ShardPayload>{15, 8}));
+    EXPECT_EQ(a.stats().messagesSent.value(), 2u);
+    EXPECT_EQ(b.stats().messagesReceived.value(), 2u);
+    EXPECT_EQ(b.stats().deliveries.value(), 2u);
+    EXPECT_EQ(b.stats().deliveryTick.sum(), 25.0);
+}
+
+TEST(ShardStats, MergeFoldsAllTallies)
+{
+    ShardStats a, b;
+    ++a.messagesSent;
+    a.deliveryTick.sample(10.0);
+    ++b.messagesSent;
+    ++b.messagesReceived;
+    b.deliveryTick.sample(30.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.messagesSent.value(), 2u);
+    EXPECT_EQ(a.messagesReceived.value(), 1u);
+    EXPECT_EQ(a.deliveryTick.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.deliveryTick.mean(), 20.0);
+}
+
+namespace
+{
+
+struct GroupResult
+{
+    std::uint64_t checksum = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t deliveries = 0;
+    double tickSum = 0.0;
+    std::uint64_t tickCount = 0;
+
+    bool
+    operator==(const GroupResult &o) const = default;
+};
+
+/**
+ * The randomized two-shard protocol: each shard is pre-seeded with
+ * random hop-count messages (sorted extra delays keep the sender
+ * monotonic), and every delivery of a nonzero payload forwards
+ * payload - 1 back across the channel. Deterministic by construction,
+ * so the result must not depend on @p jobs.
+ */
+GroupResult
+runPingPong(std::uint64_t seed, unsigned jobs)
+{
+    constexpr Tick kLookahead = 16;
+    constexpr Tick kHorizon = 2000;
+    constexpr int kSeeds = 48;
+
+    ShardGroup group{Lookahead(kLookahead)};
+    ChannelShard &a = group.addShard();
+    ChannelShard &b = group.addShard();
+    group.connect(a, b);
+    group.connect(b, a);
+
+    auto bounce = [](ChannelShard &shard, Tick, ShardPayload payload) {
+        if (payload > 0)
+            shard.send(0, payload - 1);
+    };
+    a.setHandler(bounce);
+    b.setHandler(bounce);
+
+    // Pre-seed at curTick 0. Extras stay below the lookahead window
+    // so every pre-seed lands before the first handler-minted reply,
+    // and sorting keeps each sender's timestamps nondecreasing.
+    Rng rng(seed);
+    for (ChannelShard *shard : {&a, &b}) {
+        std::vector<Tick> extras;
+        for (int i = 0; i < kSeeds; ++i)
+            extras.push_back(rng.nextBounded(kLookahead));
+        std::sort(extras.begin(), extras.end());
+        for (Tick extra : extras)
+            shard->sendDelayed(0, rng.nextBounded(12) + 1, extra);
+    }
+
+    group.run(kHorizon, jobs);
+
+    ShardStats merged = group.mergedStats();
+    GroupResult result;
+    result.checksum = group.mergedChecksum();
+    result.sent = merged.messagesSent.value();
+    result.received = merged.messagesReceived.value();
+    result.deliveries = merged.deliveries.value();
+    result.tickSum = merged.deliveryTick.sum();
+    result.tickCount = merged.deliveryTick.count();
+    return result;
+}
+
+} // namespace
+
+TEST(ShardGroupProperty, ThreadedRunMatchesSerialOracle)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xDEADBEEFull, 777ull}) {
+        GroupResult oracle = runPingPong(seed, 1);
+        GroupResult threaded = runPingPong(seed, 4);
+
+        // The protocol actually exercised the channels.
+        EXPECT_GT(oracle.deliveries, 0u) << "seed " << seed;
+        EXPECT_EQ(oracle.received, oracle.deliveries) << "seed " << seed;
+
+        // Fingerprint and every tally bit-identical to the oracle.
+        EXPECT_EQ(threaded, oracle) << "seed " << seed;
+
+        // And re-running either mode reproduces itself exactly.
+        EXPECT_EQ(runPingPong(seed, 4), threaded) << "seed " << seed;
+    }
+}
+
+// --- SimReport::merge ----------------------------------------------
+
+TEST(SimReportMerge, TalliesSumAndWorstCaseFieldsCombine)
+{
+    SimReport a;
+    a.workload = "synthetic";
+    a.policy = "mellow";
+    a.instructions = 1000;
+    a.simTicks = 500;
+    a.memReads = 10;
+    a.issuedSlowWrites = 3;
+    a.readEnergyPj = Picojoules(100.0);
+    a.firstFaultTick = 0;
+    a.effectiveCapacityFraction = 0.9;
+
+    SimReport b;
+    b.workload = "synthetic";
+    b.policy = "mellow";
+    b.status = ReportStatus::CapacityExhausted;
+    b.instructions = 500;
+    b.simTicks = 800;
+    b.memReads = 5;
+    b.issuedSlowWrites = 4;
+    b.readEnergyPj = Picojoules(50.0);
+    b.firstFaultTick = 123;
+    b.firstUncorrectableTick = 200;
+    b.effectiveCapacityFraction = 0.5;
+    b.capacityFloorReached = true;
+
+    a.merge(b);
+    EXPECT_EQ(a.status, ReportStatus::CapacityExhausted);
+    EXPECT_EQ(a.instructions, 1500u);
+    EXPECT_EQ(a.simTicks, 800u);       // furthest shard
+    EXPECT_EQ(a.memReads, 15u);
+    EXPECT_EQ(a.issuedSlowWrites, 7u);
+    EXPECT_DOUBLE_EQ(a.readEnergyPj.value(), 150.0);
+    EXPECT_EQ(a.firstFaultTick, 123u); // earliest nonzero
+    EXPECT_EQ(a.firstUncorrectableTick, 200u);
+    EXPECT_DOUBLE_EQ(a.effectiveCapacityFraction, 0.5);
+    EXPECT_TRUE(a.capacityFloorReached);
+}
+
+TEST(SimReportMerge, EarliestNonzeroFirstFaultWins)
+{
+    SimReport a;
+    a.firstFaultTick = 50;
+    SimReport b;
+    b.firstFaultTick = 20;
+    a.merge(b);
+    EXPECT_EQ(a.firstFaultTick, 20u);
+
+    SimReport c;
+    c.firstFaultTick = 0; // never faulted: must not override
+    a.merge(c);
+    EXPECT_EQ(a.firstFaultTick, 20u);
+}
+
+TEST(SimReportMerge, MismatchedLabelsPanic)
+{
+    Logger::setQuiet(true);
+    SimReport a;
+    a.workload = "gups";
+    SimReport b;
+    b.workload = "stream";
+    EXPECT_THROW(a.merge(b), PanicError);
+    Logger::setQuiet(false);
+}

@@ -189,3 +189,92 @@ TEST(GeoMean, RejectsNonPositive)
     EXPECT_THROW(geoMean({1.0, 0.0}), PanicError);
     EXPECT_THROW(geoMean({1.0, -2.0}), PanicError);
 }
+
+// --- Concurrent shard-merge property -------------------------------
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/sync.hh"
+
+namespace
+{
+
+struct ShardTallies
+{
+    Counter events;
+    Average values{};
+    Histogram spread{1000.0, 16};
+};
+
+} // namespace
+
+/**
+ * Merging per-shard tallies folded by worker threads over randomized
+ * contiguous splits must be bit-identical to a serial fold over the
+ * whole sample stream. Samples are integer-valued, so double sums are
+ * exact and "bit-identical" is meaningful, not a tolerance check.
+ */
+TEST(StatsMergeProperty, RandomShardSplitsMatchSerialFold)
+{
+    constexpr std::size_t kSamples = 10000;
+
+    for (std::uint64_t seed : {3ull, 99ull, 123456789ull}) {
+        Rng rng(seed);
+        std::vector<double> samples;
+        samples.reserve(kSamples);
+        for (std::size_t i = 0; i < kSamples; ++i)
+            samples.push_back(static_cast<double>(rng.nextBounded(1000)));
+
+        // Serial oracle over the whole stream.
+        ShardTallies serial;
+        for (double v : samples) {
+            ++serial.events;
+            serial.values.sample(v);
+            serial.spread.sample(v);
+        }
+
+        // Random contiguous split into 1..8 shards.
+        std::size_t shards = rng.nextBounded(8) + 1;
+        std::set<std::size_t> cuts{0, kSamples};
+        while (cuts.size() < shards + 1)
+            cuts.insert(rng.nextBounded(kSamples));
+        std::vector<std::size_t> bounds(cuts.begin(), cuts.end());
+
+        std::vector<ShardTallies> partial(bounds.size() - 1);
+        {
+            sync::ThreadGroup workers;
+            for (std::size_t s = 0; s + 1 < bounds.size(); ++s) {
+                workers.spawn([&, s] {
+                    for (std::size_t i = bounds[s]; i < bounds[s + 1];
+                         ++i) {
+                        ++partial[s].events;
+                        partial[s].values.sample(samples[i]);
+                        partial[s].spread.sample(samples[i]);
+                    }
+                });
+            }
+            workers.joinAll();
+        }
+
+        // Fold in shard order on the coordinating thread.
+        ShardTallies merged;
+        for (const ShardTallies &p : partial) {
+            merged.events.merge(p.events);
+            merged.values.merge(p.values);
+            merged.spread.merge(p.spread);
+        }
+
+        EXPECT_EQ(merged.events.value(), serial.events.value());
+        EXPECT_EQ(merged.values.count(), serial.values.count());
+        EXPECT_EQ(merged.values.sum(), serial.values.sum());
+        EXPECT_EQ(merged.values.min(), serial.values.min());
+        EXPECT_EQ(merged.values.max(), serial.values.max());
+        EXPECT_EQ(merged.values.mean(), serial.values.mean());
+        EXPECT_EQ(merged.spread.total(), serial.spread.total());
+        EXPECT_EQ(merged.spread.buckets(), serial.spread.buckets());
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """mellow-analyze — semantic static analysis for mellowsim.
 
-Seven rule families the regex lint (tools/mellow_lint.py) cannot
+Eleven rule families the regex lint (tools/mellow_lint.py) cannot
 express:
 
   value-escape      .value() on a strong type outside whitelisted
@@ -24,6 +24,22 @@ against):
   confinement-port    a shard's internal types referenced from a
                       consumer module instead of going through the
                       declared message-port seam headers
+
+and the parallel-protocol family driven by
+tools/analyze/protocol.toml (the sharded-kernel communication
+contract of DESIGN.md §13):
+
+  lock-order        a cycle in the whole-program lock-acquisition
+                    graph built from LockGuard / MELLOW_REQUIRES
+                    sites (a static deadlock)
+  atomic-order      raw std::atomic / std::memory_order spellings
+                    outside src/sim/sync.hh, or a RelaxedCounter
+                    read feeding control flow instead of stats
+  handler-blocking  a mutex acquisition or blocking rendezvous
+                    reachable from an EventQueue::schedule handler
+  port-protocol     a ShardPort send whose time argument is not a
+                    SendTime minted via `now + Lookahead`, or a
+                    SendTime constructed outside the mint
 
 Findings honour the shared `// mlint: allow(<rule>): <reason>`
 suppression syntax (tools/analyze/suppress.py).
@@ -110,11 +126,13 @@ def _build_project(backend: str, files: dict[str, list[str]],
 
 
 def _run_rules(project, layers: dict, whitelists: dict,
-               confinement: dict, enabled: list[str]) -> list[Finding]:
+               confinement: dict, protocol: dict,
+               enabled: list[str]) -> list[Finding]:
     findings: list[Finding] = []
     for rule in enabled:
         findings.extend(
-            RULE_CHECKERS[rule](project, layers, whitelists, confinement))
+            RULE_CHECKERS[rule](project, layers, whitelists, confinement,
+                                protocol))
 
     # Drop suppressed findings.
     sup_cache = {}
@@ -218,6 +236,11 @@ def main(argv: list[str] | None = None) -> int:
                              "confinement.toml in the analyzed tree "
                              "root if present, else "
                              "tools/analyze/confinement.toml)")
+    parser.add_argument("--protocol", default=None,
+                        help="parallel-protocol manifest (default: a "
+                             "protocol.toml in the analyzed tree root "
+                             "if present, else "
+                             "tools/analyze/protocol.toml)")
     parser.add_argument("--sarif", metavar="OUT",
                         help="also write SARIF 2.1.0 to OUT")
     parser.add_argument("--only-rule", action="append", default=[],
@@ -252,6 +275,13 @@ def main(argv: list[str] | None = None) -> int:
                             else os.path.join(ANALYZE_DIR,
                                               "confinement.toml"))
     confinement = _load_toml(confinement_path, "confinement")
+    # Same tree-local override for the parallel-protocol manifest.
+    protocol_path = args.protocol
+    if protocol_path is None:
+        tree_local = os.path.join(root, "protocol.toml")
+        protocol_path = (tree_local if os.path.exists(tree_local)
+                         else os.path.join(ANALYZE_DIR, "protocol.toml"))
+    protocol = _load_toml(protocol_path, "protocol")
 
     # Self-test always runs the textual backend: the fixtures gate the
     # shared rule logic and must work without libclang.
@@ -260,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
         backend, files, args.build_dir, root)
 
     findings = _run_rules(project, layers, whitelists, confinement,
-                          enabled)
+                          protocol, enabled)
 
     if args.sarif:
         from sarif import to_sarif

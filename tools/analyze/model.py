@@ -36,6 +36,11 @@ RULE_REQUEST_LIFETIME = "request-lifetime"
 RULE_CONFINEMENT_GLOBAL = "confinement-global"
 RULE_CONFINEMENT_SHARD = "confinement-shard"
 RULE_CONFINEMENT_PORT = "confinement-port"
+#: Parallel-protocol family (tools/analyze/protocol.toml).
+RULE_LOCK_ORDER = "lock-order"
+RULE_ATOMIC_ORDER = "atomic-order"
+RULE_HANDLER_BLOCKING = "handler-blocking"
+RULE_PORT_PROTOCOL = "port-protocol"
 
 ALL_RULES = (
     RULE_VALUE_ESCAPE,
@@ -45,6 +50,10 @@ ALL_RULES = (
     RULE_CONFINEMENT_GLOBAL,
     RULE_CONFINEMENT_SHARD,
     RULE_CONFINEMENT_PORT,
+    RULE_LOCK_ORDER,
+    RULE_ATOMIC_ORDER,
+    RULE_HANDLER_BLOCKING,
+    RULE_PORT_PROTOCOL,
 )
 
 

@@ -557,23 +557,54 @@ def check_confinement_port(project: Project, confinement: dict,
     return findings
 
 
+# The parallel-protocol family lives in rules_protocol.py; imported
+# here (after the helpers it reuses are defined) so RULE_CHECKERS
+# stays the single dispatch table.
+from rules_protocol import (  # noqa: E402
+    check_atomic_order,
+    check_handler_blocking,
+    check_lock_order,
+    check_port_protocol,
+)
+from model import (  # noqa: E402
+    RULE_ATOMIC_ORDER,
+    RULE_HANDLER_BLOCKING,
+    RULE_LOCK_ORDER,
+    RULE_PORT_PROTOCOL,
+)
+
 RULE_CHECKERS = {
     RULE_VALUE_ESCAPE:
-        lambda project, layers, wl, conf: check_value_escape(project, wl),
+        lambda project, layers, wl, conf, proto:
+            check_value_escape(project, wl),
     RULE_LAYERING:
-        lambda project, layers, wl, conf: check_layering(project, layers),
+        lambda project, layers, wl, conf, proto:
+            check_layering(project, layers),
     RULE_NONDET_HANDLER:
-        lambda project, layers, wl, conf: check_nondet_handler(project, wl),
+        lambda project, layers, wl, conf, proto:
+            check_nondet_handler(project, wl),
     RULE_REQUEST_LIFETIME:
-        lambda project, layers, wl, conf:
+        lambda project, layers, wl, conf, proto:
             check_request_lifetime(project, wl),
     RULE_CONFINEMENT_GLOBAL:
-        lambda project, layers, wl, conf:
+        lambda project, layers, wl, conf, proto:
             check_confinement_global(project, conf),
     RULE_CONFINEMENT_SHARD:
-        lambda project, layers, wl, conf:
+        lambda project, layers, wl, conf, proto:
             check_confinement_shard(project, conf),
     RULE_CONFINEMENT_PORT:
-        lambda project, layers, wl, conf:
+        lambda project, layers, wl, conf, proto:
             check_confinement_port(project, conf),
+    RULE_LOCK_ORDER:
+        lambda project, layers, wl, conf, proto:
+            check_lock_order(project, proto),
+    RULE_ATOMIC_ORDER:
+        lambda project, layers, wl, conf, proto:
+            check_atomic_order(project, proto),
+    RULE_HANDLER_BLOCKING:
+        lambda project, layers, wl, conf, proto:
+            check_handler_blocking(project, proto),
+    RULE_PORT_PROTOCOL:
+        lambda project, layers, wl, conf, proto:
+            check_port_protocol(project, proto),
 }

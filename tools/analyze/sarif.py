@@ -34,6 +34,25 @@ _RULE_DESCRIPTIONS = {
         "module; cross-shard communication must go through the "
         "declared message-port seam headers "
         "(tools/analyze/confinement.toml [[port]]).",
+    "lock-order":
+        "A cycle in the whole-program lock-acquisition graph built "
+        "from LockGuard scopes and MELLOW_REQUIRES annotations: a "
+        "static deadlock (tools/analyze/protocol.toml [lock_order]).",
+    "atomic-order":
+        "A raw std::atomic / std::memory_order spelling outside the "
+        "sync.hh wrapper home, or a RelaxedCounter read feeding "
+        "control flow instead of statistics "
+        "(tools/analyze/protocol.toml [atomic_order]).",
+    "handler-blocking":
+        "A mutex acquisition or blocking rendezvous reachable from an "
+        "EventQueue::schedule handler; a blocking handler stalls its "
+        "shard mid-epoch or deadlocks the epoch barrier "
+        "(tools/analyze/protocol.toml [handler_blocking]).",
+    "port-protocol":
+        "A ShardPort send whose time argument is not a SendTime "
+        "minted via `now + Lookahead`, or an explicit SendTime "
+        "construction outside the mint "
+        "(tools/analyze/protocol.toml [port_protocol]).",
 }
 
 

@@ -23,7 +23,10 @@
  * the --threads sweep grid includes SoftWear and WoLFRaM entries of
  * its own.
  *
- * The --threads mode is the parallel-readiness gate: it builds a
+ * The --threads mode is the parallel-readiness gate: it first runs
+ * the conservative-lookahead shard gate (a four-shard ShardGroup ring
+ * whose threaded epoch run must be byte-identical to the serial
+ * oracle — the DESIGN.md §13 protocol promise), then builds a
  * (workload x policy x seed) sweep grid — fault injection layered on
  * alternate entries so the fault RNG is contended too — runs it once
  * serially as the reference, then again across N worker threads via
@@ -56,6 +59,7 @@
 #include "mellow/policy.hh"
 #include "wear/wear_leveler.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
@@ -273,6 +277,87 @@ layerLeveler(SystemConfig &cfg, WearLevelerKind kind)
 }
 
 /**
+ * Conservative-lookahead shard gate: a four-shard ShardGroup ring,
+ * pre-seeded with deterministic hop-count messages that each delivery
+ * forwards onward, fingerprinted after a serial-oracle run (jobs 1)
+ * and after a threaded run (one worker per shard, sync::Barrier
+ * between epochs). The epoch protocol's promise (shard.hh) is that
+ * the two are byte-identical.
+ */
+std::string
+shardGroupFingerprint(std::uint64_t seed, unsigned jobs)
+{
+    constexpr Tick kLookahead = 16;
+    constexpr unsigned kShards = 4;
+
+    ShardGroup group{Lookahead(kLookahead)};
+    std::vector<ChannelShard *> shards;
+    for (unsigned i = 0; i < kShards; ++i)
+        shards.push_back(&group.addShard());
+    for (unsigned i = 0; i < kShards; ++i)
+        group.connect(*shards[i], *shards[(i + 1) % kShards]);
+
+    for (ChannelShard *shard : shards) {
+        shard->setHandler(
+            [](ChannelShard &self, Tick, ShardPayload payload) {
+                if (payload > 0)
+                    self.send(0, payload - 1);
+            });
+        // Pre-seed at curTick 0 with a splitmix-style per-shard
+        // stream; extras ascend so each sender stays monotonic and
+        // stay below the lookahead so pre-seeds precede every
+        // handler-minted reply.
+        std::uint64_t state = seed * 0x9E3779B97F4A7C15ull +
+                              shard->id() + 1;
+        for (Tick extra = 0; extra < kLookahead; ++extra) {
+            state ^= state >> 27;
+            state *= 0x94D049BB133111EBull;
+            shard->sendDelayed(0, state % 12 + 1, extra);
+        }
+    }
+
+    group.run(2000, jobs);
+
+    std::ostringstream out;
+    ShardStats merged = group.mergedStats();
+    line(out, "shard.checksum", group.mergedChecksum());
+    line(out, "shard.sent", merged.messagesSent.value());
+    line(out, "shard.received", merged.messagesReceived.value());
+    line(out, "shard.deliveries", merged.deliveries.value());
+    line(out, "shard.tickSum", merged.deliveryTick.sum());
+    line(out, "shard.tickCount", merged.deliveryTick.count());
+    for (const ChannelShard *shard : shards) {
+        out << "shard" << shard->id() << ".checksum "
+            << shard->checksum() << '\n';
+    }
+    return out.str();
+}
+
+int
+runShardGate(unsigned jobs)
+{
+    bool ok = true;
+    for (std::uint64_t seed : {1ull, 7ull, 0xC0FFEEull}) {
+        std::string oracle = shardGroupFingerprint(seed, 1);
+        std::string threaded = shardGroupFingerprint(seed, jobs);
+        if (oracle != threaded) {
+            ok = false;
+            std::fprintf(stderr,
+                         "FAIL: ShardGroup seed %" PRIu64
+                         " diverged between the serial oracle and the "
+                         "threaded epoch run (%u jobs)\n",
+                         seed, jobs);
+            reportFirstDiff(oracle, threaded);
+        }
+    }
+    if (ok)
+        std::printf("OK: 4-shard lookahead ring byte-identical "
+                    "between serial oracle and threaded epochs "
+                    "(%u jobs)\n", jobs);
+    return ok ? 0 : 1;
+}
+
+/**
  * Parallel-readiness gate (--threads N): run a sweep grid serially,
  * then across N contended worker threads, and require byte-identical
  * report fingerprints slot by slot.
@@ -316,6 +401,11 @@ runThreadsMode(unsigned jobs, std::uint64_t instructions,
         layerLeveler(cfg, kind);
         configs.push_back(std::move(cfg));
     }
+
+    // The sharded-kernel seam first: cheap, and a protocol break here
+    // explains any sweep divergence below.
+    if (runShardGate(jobs) != 0)
+        return 1;
 
     std::vector<SimReport> serial = runConfigs(configs, 1);
     std::vector<SimReport> threaded = runConfigs(configs, jobs);

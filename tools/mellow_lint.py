@@ -122,12 +122,18 @@ SCHEDULE_LITERAL_RE = re.compile(r"\bschedule\s*\(\s*\d")
 RAW_SYNC_RE = re.compile(
     r"\bstd::(?:mutex|recursive_mutex|timed_mutex|shared_mutex|"
     r"thread|jthread|lock_guard|unique_lock|scoped_lock|shared_lock|"
-    r"condition_variable(?:_any)?)\b"
+    r"condition_variable(?:_any)?|"
+    r"counting_semaphore|binary_semaphore|latch|barrier)\b"
 )
 
 # The one sanctioned home of the raw primitives (see its header
 # comment); everything else goes through its wrappers.
 SYNC_WRAPPER_FILE = "src/sim/sync.hh"
+
+# Lint fixtures mirror the real tree under this prefix; stripping it
+# makes the src/-scoped rules apply to them (tests/lint_fixtures/
+# registers a WILL_FAIL ctest per fixture plus a clean control).
+LINT_FIXTURE_PREFIX = "tests/lint_fixtures/"
 
 # --- missing-nodiscard -----------------------------------------------
 
@@ -156,6 +162,8 @@ class Linter:
 
     def lint_file(self, path: Path) -> None:
         rel = relative_path(path)
+        # Fixture trees self-test the src/-scoped rules.
+        rel = rel.split(LINT_FIXTURE_PREFIX, 1)[-1]
         try:
             text = path.read_text(encoding="utf-8")
         except OSError as err:
@@ -243,7 +251,8 @@ class Linter:
                         path, lineno, "raw-sync-primitive",
                         f"{m.group(0)} outside sim/sync.hh; use the "
                         "capability-annotated wrappers (sync::Mutex, "
-                        "sync::LockGuard, sync::ThreadGroup)",
+                        "sync::LockGuard, sync::ThreadGroup, "
+                        "sync::Barrier)",
                     )
 
             if not allowed("schedule-literal"):
