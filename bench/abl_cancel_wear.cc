@@ -17,8 +17,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_cancel_wear",
            "Cancelled-write wear fraction 0 / 0.5 / 1.0 (default 1.0)",
            "paper: cancellation 'comes at a penalty to memory "

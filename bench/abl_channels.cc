@@ -18,8 +18,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_channels",
            "Channel sweep 1/2/4 under Norm and BE-Mellow+SC",
            "per-channel eager queues (Section IV-E); parallelism "

@@ -37,8 +37,9 @@ runWithSelector(const std::vector<std::string> &wl, EagerSelector sel,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_dead_block",
            "Eager candidate selection: useless-LRU vs dead-block "
            "prediction",

@@ -14,8 +14,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_eager_queue_depth",
            "Eager queue depth 4/8/16/32 (paper default: 16)",
            "a small eager queue suffices; depth mainly moves the "

@@ -102,6 +102,7 @@ firstUeYears(const SimReport &r)
 int
 main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
     benchutil::banner(

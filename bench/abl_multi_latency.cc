@@ -18,8 +18,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_multi_latency",
            "+ML adaptive latency ladder vs the fixed 3x slow write",
            "Section VI-I: 'a possible modification ... is to adopt "

@@ -14,8 +14,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_sample_period",
            "T_sample sweep 100us / 500us / 2ms (paper default: 500us)",
            "Section IV-B1 profiling period sensitivity");

@@ -14,8 +14,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_threshold_ratio",
            "THRESHOLD_RATIO sweep 1/8 .. 1/128 (paper default: 1/32)",
            "the eager-vs-wasted trade-off of Section IV-B1");

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "sim/rng.hh"
 #include "wear/endurance_model.hh"
 #include "wear/wear_leveler.hh"
@@ -57,8 +58,9 @@ nextBlock(Skew s, Rng &rng)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     std::printf("==============================================================\n");
     std::printf("abl_wear_leveling: leveler comparison on skewed writes\n");
     std::printf("paper: Start-Gap reaches ~95%% of ideal lifetime; the\n");

@@ -18,8 +18,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("abl_write_pausing",
            "BE-Mellow with cancellation (+SC) vs pausing (+WP)",
            "pausing preserves pulse time: same read latency relief, "

@@ -11,6 +11,12 @@
  *   MELLOWSIM_INSTRS  detailed instructions per run (default 2e7)
  *   MELLOWSIM_WARMUP  functional warm-up instructions (default 5e6)
  *   MELLOWSIM_JOBS    parallel simulations (default: all cores)
+ *   MELLOWSIM_DEVICE  device config from configs/ (default: the
+ *                     compiled-in reram_paper point)
+ *
+ * Every binary also takes --device <name> / --device=<name> and
+ * --list-devices (see applyBenchArgs), so a figure can be regenerated
+ * for any device in the zoo without touching the environment.
  */
 
 #ifndef MELLOWSIM_BENCH_BENCH_UTIL_HH
@@ -33,13 +39,31 @@ namespace benchutil
 
 using namespace mellowsim;
 
-/** Print the standard experiment banner. */
+/**
+ * Consume the flags shared by every bench binary (--device,
+ * --list-devices), leaving positional arguments compacted in argv.
+ * Call first thing in main().
+ */
+inline void
+applyBenchArgs(int &argc, char **argv)
+{
+    applyDeviceArgs(argc, argv);
+}
+
+/** Print the standard experiment banner, naming any selected device. */
 inline void
 banner(const char *id, const char *title, const char *paperClaim)
 {
     std::printf("==============================================================\n");
     std::printf("%s: %s\n", id, title);
     std::printf("paper: %s\n", paperClaim);
+    // Device provenance goes to stderr: it is a diagnostic, and
+    // keeping it out of the data stream preserves the fidelity
+    // oracle — `--device reram_paper` output is byte-identical to
+    // the default on stdout.
+    const std::string device = activeDeviceName();
+    if (!device.empty())
+        std::fprintf(stderr, "device: %s\n", device.c_str());
     std::printf("==============================================================\n\n");
 }
 

@@ -14,8 +14,9 @@
 using namespace mellowsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     benchutil::banner(
         "fig01", "Endurance vs write latency (Equation 2)",
         "150ns/5e6 baseline; quadratic default gives 1.5x->1.125e7, "

@@ -19,8 +19,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig02",
            "Static write latencies 1x-3x, with/without cancellation",
            "stream: 63.8% IPC loss at 3.0x; lbm/leslie3d die young at "

@@ -16,8 +16,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig03", "Average bank utilization under normal writes",
            "bank utilization is low across the board, leaving idle "
            "slots for slow writes");

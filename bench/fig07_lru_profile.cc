@@ -17,8 +17,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig07", "LLC hit distribution over LRU stack positions",
            "tail positions collect <1/32 of requests and become eager "
            "write-back candidates");

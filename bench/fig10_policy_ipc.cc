@@ -16,8 +16,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig10", "IPC by write policy (Table III matrix)",
            "BE-Mellow+SC ~1.06x Norm geomean; E-Slow+SC ~0.77x "
            "(worst 0.46x on lbm)");

@@ -17,8 +17,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig11", "Lifetime (years) by write policy",
            "BE-Mellow+SC ~2.58x Norm; +WQ lifts every workload to >=8 "
            "years");

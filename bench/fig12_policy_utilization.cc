@@ -17,8 +17,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig12", "Bank utilization by write policy",
            "slow-write policies raise utilization; mellow sometimes "
            "beats E-Slow+SC on lbm due to higher request throughput");

@@ -17,8 +17,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig13", "Write drain time fraction by policy",
            "B-Mellow+SC ~= Norm; BE-Mellow+SC <= ~6%; WQ raises "
            "drains but stays below E-Slow+SC");

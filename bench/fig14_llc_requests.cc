@@ -18,8 +18,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig14", "Memory requests from the LLC",
            "eager write backs replace ~half of demand write backs; "
            "waste (re-dirtied lines) stays ~2% or less");

@@ -16,8 +16,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig15", "Requests issued to memory banks (vs Norm)",
            "BE-Mellow+SC issues more bank writes than Norm, chiefly "
            "because of cancelled-write retries");

@@ -16,8 +16,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig16", "Main memory energy by policy (CellC)",
            "BE-Mellow+SC+WQ ~= 1.39x Norm main-memory energy");
 

@@ -19,8 +19,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig17", "Lifetime vs Expo_Factor",
            "BE-Mellow+SC is useful even at expo=1.0 (~1.47x Norm)");
 

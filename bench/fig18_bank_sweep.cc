@@ -18,8 +18,9 @@ using namespace mellowsim::policies;
 using namespace benchutil;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig18", "GemsFDTD vs number of banks (4/8/16)",
            "mellow benefit shrinks as bank-level parallelism drops");
 

@@ -24,8 +24,9 @@ constexpr double kLifetimeTarget = 8.0;
 }
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     banner("fig19", "BE-Mellow+SC+WQ vs static policies",
            "mellow matches/beats the best 8-year-safe static policy "
            "on ~8/11 workloads");

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hh"
 #include "mellow/policy.hh"
 #include "nvm/queues.hh"
 #include "sim/alloc_counter.hh"
@@ -265,8 +266,9 @@ benchSystemSlice(std::uint64_t instructions)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     Logger::setQuiet(true);
 
     std::uint64_t events =

@@ -12,8 +12,9 @@
 using namespace mellowsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchutil::applyBenchArgs(argc, argv);
     benchutil::banner("tab06", "Tables V/VI energy model",
                       "slow/normal write energy ratio 1.26 (CellA) .. "
                       "2.05 (CellE); buffer read 1503 pJ");

@@ -87,6 +87,7 @@ class LogStructuredWorkload : public Workload
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     std::uint64_t instrs =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12'000'000ull;
 
@@ -97,6 +98,7 @@ main(int argc, char **argv)
          {policies::norm(), policies::beMellow().withSC(),
           policies::beMellow().withSC().withWQ()}) {
         SystemConfig cfg;
+        applyDeviceSelection(cfg);
         cfg.policy = policy;
         cfg.instructions = instrs;
         // A caller-provided workload replaces the named ones.

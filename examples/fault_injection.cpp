@@ -25,6 +25,7 @@
 #include "mellow/policy.hh"
 #include "sim/types.hh"
 #include "system/report.hh"
+#include "system/runner.hh"
 #include "system/system.hh"
 #include "workload/generators.hh"
 
@@ -64,6 +65,7 @@ tickStr(Tick t, char *buf, std::size_t n)
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     std::uint64_t instrs =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000ull;
     double scale = argc > 2 ? std::atof(argv[2]) : 2e-7;
@@ -90,6 +92,7 @@ main(int argc, char **argv)
                 "capacity");
     for (const WritePolicyConfig &p : pols) {
         SystemConfig cfg;
+        applyDeviceSelection(cfg);
         cfg.policy = p;
         cfg.instructions = instrs;
         cfg.warmupInstructions = instrs / 6;

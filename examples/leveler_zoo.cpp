@@ -28,6 +28,7 @@
 #include "mellow/policy.hh"
 #include "sim/types.hh"
 #include "system/report.hh"
+#include "system/runner.hh"
 #include "system/system.hh"
 #include "wear/wear_leveler.hh"
 #include "workload/generators.hh"
@@ -68,6 +69,7 @@ tickStr(Tick t, char *buf, std::size_t n)
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     std::uint64_t instrs =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3'000'000ull;
     double scale = argc > 2 ? std::atof(argv[2]) : 2e-7;
@@ -93,6 +95,7 @@ main(int argc, char **argv)
                 "first_ue", "retired", "dead", "capacity");
     for (WearLevelerKind kind : kinds) {
         SystemConfig cfg;
+        applyDeviceSelection(cfg);
         cfg.policy = policies::beMellow().withSC();
         cfg.instructions = instrs;
         cfg.warmupInstructions = instrs / 6;

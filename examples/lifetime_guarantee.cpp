@@ -23,6 +23,7 @@ using namespace mellowsim;
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     double target = argc > 1 ? std::atof(argv[1]) : 8.0;
     std::uint64_t instrs =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16'000'000ull;

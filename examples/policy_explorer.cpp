@@ -46,6 +46,7 @@ splitCsv(const std::string &arg)
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     bool csv = false;
     std::vector<std::string> workloads = workloadNames();
     std::vector<std::string> policy_names = {"Norm", "B-Mellow+SC",

@@ -22,6 +22,7 @@ using namespace mellowsim;
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     std::string workload = argc > 1 ? argv[1] : "stream";
     std::uint64_t instrs =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10'000'000ull;

@@ -32,6 +32,7 @@ replay(const std::string &path, const WritePolicyConfig &policy,
        std::uint64_t instrs)
 {
     SystemConfig cfg;
+    applyDeviceSelection(cfg);
     cfg.policy = policy;
     cfg.instructions = instrs;
     System sys(cfg, makeTraceWorkload(path));
@@ -43,6 +44,7 @@ replay(const std::string &path, const WritePolicyConfig &policy,
 int
 main(int argc, char **argv)
 {
+    applyDeviceArgs(argc, argv);
     if (argc > 1) {
         std::string path = argv[1];
         WritePolicyConfig policy =

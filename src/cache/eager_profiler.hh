@@ -32,6 +32,8 @@ struct EagerProfilerConfig
     /** THRESHOLD_RATIO: 1/32 in the paper. */
     double thresholdRatio = 1.0 / 32.0;
     /** T_sample: 500,000 ns in the paper. */
+    // mlint: allow(timing-literal): paper Table II constant, not a
+    // device datasheet timing
     Tick samplePeriod = 500 * kMicrosecond;
 };
 

@@ -34,7 +34,11 @@ namespace mellowsim
 /** Configuration of the full hierarchy (Table I defaults). */
 struct HierarchyConfig
 {
+    // mlint: allow(timing-literal): CPU-side SRAM latency (Table I),
+    // not an NVM device timing
     CacheConfig l1{"L1D", 32 * 1024, 4, 1 * kNanosecond};
+    // mlint: allow(timing-literal): CPU-side SRAM latency (Table I),
+    // not an NVM device timing
     CacheConfig l2{"L2", 256 * 1024, 8, 6 * kNanosecond};
     LlcConfig llc;
     /** Outstanding LLC misses (Table I: 32-MSHR LLC). */

@@ -46,6 +46,8 @@ enum class EagerSelector
 /** LLC configuration (Table I defaults). */
 struct LlcConfig
 {
+    // mlint: allow(timing-literal): CPU-side SRAM latency (Table I),
+    // not an NVM device timing
     CacheConfig cache{"LLC", 2ull * 1024 * 1024, 16,
                       Tick(17.5 * kNanosecond)};
     EagerProfilerConfig profiler;
@@ -54,6 +56,8 @@ struct LlcConfig
      * candidate. The paper allows one attempt per idle LLC cycle; a
      * few CPU cycles per attempt is a faithful, cheaper stand-in.
      */
+    // mlint: allow(timing-literal): eager-scan cadence is a simulator
+    // knob, not a device datasheet timing
     Tick scanInterval = 4 * kNanosecond;
     /** Eager write backs enabled (the E- and BE- policies). */
     bool eagerEnabled = false;

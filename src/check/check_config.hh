@@ -48,6 +48,8 @@ struct CheckConfig
      * Interval between periodic audits in ticks. Zero disables the
      * periodic sweep, leaving only the end-of-simulation audit.
      */
+    // mlint: allow(timing-literal): audit cadence is simulator
+    // infrastructure, not a device timing
     Tick interval = 100 * kMicrosecond;
 };
 

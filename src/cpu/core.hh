@@ -42,6 +42,8 @@ namespace mellowsim
 struct CoreConfig
 {
     /** 2 GHz. */
+    // mlint: allow(timing-literal): CPU core clock (Table I), not an
+    // NVM device timing
     Tick clockPeriod = 500 * kPicosecond;
     unsigned issueWidth = 8;
     unsigned robSize = 192;

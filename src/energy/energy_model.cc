@@ -43,7 +43,9 @@ EnergyModel::EnergyModel(const EnergyParams &params) : _params(params)
 Picojoules
 EnergyModel::writeEnergyPj(bool slow) const
 {
-    Picojoules cell = cellEnergyPj(_params.cell);
+    Picojoules cell = _params.cellEnergyOverridePj
+                          ? *_params.cellEnergyOverridePj
+                          : cellEnergyPj(_params.cell);
     Picojoules peripheral = _params.peripheralWritePj;
     if (slow) {
         cell = cell * _params.slowCellEnergyFactor;

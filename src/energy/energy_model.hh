@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "sim/strong_types.hh"
@@ -52,6 +53,14 @@ constexpr std::array<CellType, 5> kAllCellTypes = {
 struct EnergyParams
 {
     CellType cell = CellType::CellC;   ///< paper's Figure 16 choice
+    /**
+     * Explicit per-cell set/reset energy. Unset means "use the Table
+     * V energy of `cell`"; a device config modelling a technology
+     * outside the paper's five ReRAM design points (e.g. the PCM-like
+     * zoo entry, whose RESET energy is an order of magnitude higher)
+     * sets this directly from its datasheet.
+     */
+    std::optional<Picojoules> cellEnergyOverridePj;
     Picojoules peripheralWritePj{197.6};  ///< normal-write peripheral
     Picojoules peripheralSlowWritePj{196.74}; ///< slow-write peripheral
     unsigned bitsPerWrite = 512;       ///< 64-byte line

@@ -36,6 +36,8 @@ namespace mellowsim
 /** Wear Quota configuration (Table II defaults). */
 struct WearQuotaConfig
 {
+    // mlint: allow(timing-literal): paper Table II constant, not a
+    // device datasheet timing
     Tick samplePeriod = 500 * kMicrosecond;
     double targetLifetimeYears = 8.0;
     double ratioQuota = 0.9;

@@ -58,6 +58,8 @@ struct MemControllerConfig
     unsigned busLeadBursts = 8;
 
     /** Latency of a read forwarded from a queued write. */
+    // mlint: allow(timing-literal): compiled-in default mirrored by
+    // the ForwardLatencyNs config key
     Tick forwardLatency = Tick(22.5 * kNanosecond);
 
     /** Scale factor on the proportional wear of a cancelled pulse. */
@@ -82,6 +84,8 @@ struct MemControllerConfig
      * alone would park slow writes right in front of incoming reads.
      * Zero disables the guard.
      */
+    // mlint: allow(timing-literal): compiled-in default mirrored by
+    // the RecentReadWindowNs config key
     Tick recentReadWindow = 300 * kNanosecond;
 
     EnduranceParams endurance;

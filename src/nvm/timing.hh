@@ -12,6 +12,7 @@
 #define MELLOWSIM_NVM_TIMING_HH
 
 #include <cmath>
+#include <limits>
 
 #include "sim/strong_types.hh"
 #include "sim/types.hh"
@@ -38,13 +39,19 @@ struct NvmTimingParams
     /**
      * Slow write pulse time for a latency factor N, rounded to the
      * nearest tick (PulseFactor guarantees N >= 1, so the result is
-     * never shorter than tWP).
+     * never shorter than tWP). An extreme factor whose pulse exceeds
+     * the representable tick range saturates at MaxTick: llround on a
+     * double past LLONG_MAX is undefined behaviour, and a pulse
+     * longer than the simulation clock can count is "forever" anyway.
      */
     [[nodiscard]] Tick
     slowWritePulse(PulseFactor factor) const
     {
-        return Tick(
-            std::llround(static_cast<double>(tWP) * factor));
+        const double scaled = static_cast<double>(tWP) * factor;
+        if (scaled >= static_cast<double>(
+                std::numeric_limits<long long>::max()))
+            return MaxTick;
+        return Tick(std::llround(scaled));
     }
 
     /** Total bank occupancy of a read (array access only). */

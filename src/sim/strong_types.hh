@@ -206,6 +206,9 @@ using ChannelId = StrongOrdinal<struct ChannelIdTag, unsigned>;
 /** Energy in picojoules. */
 using Picojoules = Quantity<struct PicojoulesTag>;
 
+/** Interface/controller clock frequency in megahertz. */
+using Megahertz = Quantity<struct MegahertzTag>;
+
 /**
  * Write-pulse latency multiplier relative to the normal tWP.
  *
@@ -343,6 +346,30 @@ static_assert(std::is_trivially_copyable_v<LogicalAddr>);
 static_assert(std::is_trivially_copyable_v<SendTime>);
 static_assert(std::is_trivially_copyable_v<Picojoules>);
 static_assert(std::is_trivially_copyable_v<PulseFactor>);
+
+// --- Named unit-carrying conversions --------------------------------
+//
+// The ONLY sanctioned entries from external numeric text (device
+// config files, CLI flags) into the tick domain. Each conversion
+// names its source unit, so a mis-scaled datasheet number is visible
+// at the call site; src/config/'s parser exposes nothing but these.
+
+/** A duration given in nanoseconds, rounded to the nearest tick. */
+[[nodiscard]] constexpr Tick
+ticksFromNanoseconds(double ns)
+{
+    return static_cast<Tick>(
+        ns * static_cast<double>(kNanosecond) + 0.5);
+}
+
+/** The period of one cycle of a clock, rounded to the nearest tick. */
+[[nodiscard]] constexpr Tick
+clockPeriodTicks(Megahertz clk)
+{
+    // 1 / MHz = microseconds; one microsecond is 1e6 ticks.
+    return static_cast<Tick>(
+        static_cast<double>(kMicrosecond) / clk.value() + 0.5);
+}
 
 /** Block-align a byte address (stays in the logical space). */
 [[nodiscard]] constexpr LogicalAddr

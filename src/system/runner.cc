@@ -1,8 +1,11 @@
 #include "system/runner.hh"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 
+#include "config/device_config.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/sync.hh"
@@ -65,7 +68,56 @@ class ErrorCollector
     std::exception_ptr _firstError MELLOW_GUARDED_BY(_mutex);
 };
 
+/** Process-wide device selection; set before sweeps, read by
+ * makeConfig on the main thread only. */
+std::string &
+deviceOverrideSlot()
+{
+    // mlint: allow(confinement-global): written only by
+    // setDeviceOverride during argv/env processing, strictly before
+    // any ThreadGroup worker exists; read on the main thread by
+    // makeConfig. No concurrent access is possible.
+    static std::string slot;
+    return slot;
+}
+
 } // namespace
+
+void
+setDeviceOverride(const std::string &nameOrPath)
+{
+    deviceOverrideSlot() = nameOrPath;
+}
+
+std::string
+activeDeviceName()
+{
+    if (!deviceOverrideSlot().empty())
+        return deviceOverrideSlot();
+    const char *env = std::getenv("MELLOWSIM_DEVICE");
+    return (env != nullptr) ? std::string(env) : std::string();
+}
+
+void
+applyDeviceArgs(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-devices") == 0) {
+            for (const std::string &name : deviceConfigNames())
+                std::printf("%s\n", name.c_str());
+            std::exit(0);
+        } else if (std::strcmp(argv[i], "--device") == 0) {
+            fatal_if(i + 1 >= argc, "--device requires a value");
+            setDeviceOverride(argv[++i]);
+        } else if (std::strncmp(argv[i], "--device=", 9) == 0) {
+            setDeviceOverride(argv[i] + 9);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
 
 SystemConfig
 makeConfig(const std::string &workload, const WritePolicyConfig &policy)
@@ -76,7 +128,19 @@ makeConfig(const std::string &workload, const WritePolicyConfig &policy)
     cfg.instructions = envInstrs("MELLOWSIM_INSTRS", cfg.instructions);
     cfg.warmupInstructions =
         envInstrs("MELLOWSIM_WARMUP", cfg.warmupInstructions);
+    applyDeviceSelection(cfg);
     return cfg;
+}
+
+void
+applyDeviceSelection(SystemConfig &cfg)
+{
+    const std::string device = activeDeviceName();
+    if (device.empty())
+        return;
+    DeviceConfig dev = loadDeviceConfig(device);
+    cfg.memory = dev.controller;
+    cfg.numChannels = dev.numChannels;
 }
 
 SimReport

@@ -25,9 +25,53 @@ namespace mellowsim
  * Default configuration for a (workload, policy) pair, honouring the
  * MELLOWSIM_INSTRS and MELLOWSIM_WARMUP environment variables so the
  * whole bench suite can be scaled up or down without recompiling.
+ *
+ * When a device is selected — setDeviceOverride() first, else the
+ * MELLOWSIM_DEVICE environment variable — the memory controller
+ * configuration and channel count are bound from that device file
+ * (configs/<name>.config, see src/config/device_config.hh) instead of
+ * the compiled-in defaults. The defaults are byte-identical to
+ * configs/reram_paper.config, so leaving the device unset and
+ * selecting reram_paper are the same machine.
  */
 SystemConfig makeConfig(const std::string &workload,
                         const WritePolicyConfig &policy);
+
+/**
+ * Select the device config bound by every subsequent makeConfig():
+ * a bare name from configs/ ("reram_isscc2012") or a path to a
+ * .config file. Takes precedence over MELLOWSIM_DEVICE; "" clears the
+ * override. Call before starting a sweep, not concurrently with one.
+ */
+void setDeviceOverride(const std::string &nameOrPath);
+
+/**
+ * The device selection makeConfig() is currently honouring (override,
+ * else MELLOWSIM_DEVICE), or "" when the compiled-in defaults (the
+ * reram_paper point) are in effect.
+ */
+std::string activeDeviceName();
+
+/**
+ * Bind the active device selection (if any) into an already-built
+ * configuration: cfg.memory and cfg.numChannels are replaced from the
+ * device file; everything else is untouched. No-op when no device is
+ * selected. makeConfig() calls this automatically — use it directly
+ * when constructing a SystemConfig by hand (apply before any manual
+ * cfg.memory tweaks, which should win over the datasheet).
+ */
+void applyDeviceSelection(SystemConfig &cfg);
+
+/**
+ * Consume the shared device flags from a command line, compacting
+ * argv so positional arguments keep their place:
+ *
+ *   --device <name|path> | --device=<name|path>   setDeviceOverride()
+ *   --list-devices                                print configs/, exit
+ *
+ * Unrecognised arguments are left for the caller.
+ */
+void applyDeviceArgs(int &argc, char **argv);
 
 /** Run one (workload, policy) pair with the default configuration. */
 SimReport runOne(const std::string &workload,

@@ -62,6 +62,8 @@ struct SystemConfig
     unsigned numChannels = 1;
 
     /** Hard wall on simulated time (safety against pathology). */
+    // mlint: allow(timing-literal): simulation safety wall, not a
+    // device timing
     Tick maxSimTicks = 10 * kSecond;
 
     /**

@@ -25,6 +25,8 @@ namespace mellowsim
 struct EnduranceParams
 {
     /** Baseline (normal) write pulse time, t0. 150 ns for ReRAM. */
+    // mlint: allow(timing-literal): compiled-in default tied to the
+    // tWP config key by the device binding
     Tick baseWriteLatency = 150 * kNanosecond;
     /** Endurance at the baseline latency, in writes. 5e6 for ReRAM. */
     double baseEndurance = 5.0e6;

@@ -144,3 +144,24 @@ TEST(Timing, SlowWritePulseNeverShorterThanBaseline)
         EXPECT_GE(t.slowWritePulse(PulseFactor(f)), t.tWP) << f;
     }
 }
+
+TEST(Timing, SlowWritePulseSaturatesAtMaxTick)
+{
+    // llround on a double past LLONG_MAX is undefined behaviour; the
+    // guard saturates at MaxTick instead (a pulse the simulation
+    // clock cannot count is "forever" either way).
+    NvmTimingParams t;
+    t.tWP = MaxTick / 2;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(8.0)), MaxTick);
+    t.tWP = MaxTick;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(1.0)), MaxTick);
+
+    // Just inside the representable range must NOT saturate (powers
+    // of two are exact in double, so the product is exact too).
+    t.tWP = Tick(1) << 60;
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(2.0)), Tick(1) << 61);
+
+    // Ordinary datasheet values are unaffected by the guard.
+    t = NvmTimingParams{};
+    EXPECT_EQ(t.slowWritePulse(PulseFactor(8.0)), 8 * t.tWP);
+}

@@ -1,4 +1,10 @@
-"""Minimal SARIF 2.1.0 emitter for mellow-analyze findings."""
+"""Minimal SARIF 2.1.0 emitter shared by mellow-analyze and
+mellow-configcheck.
+
+``to_sarif`` defaults to the mellow-analyze driver identity so existing
+callers are unchanged; configcheck passes its own tool name, rule list
+and descriptions.
+"""
 
 from __future__ import annotations
 
@@ -56,14 +62,22 @@ _RULE_DESCRIPTIONS = {
 }
 
 
-def to_sarif(findings: list[Finding], tool_version: str = "1.0.0") -> str:
+def to_sarif(findings: list[Finding], tool_version: str = "1.0.0",
+             tool_name: str = "mellow-analyze",
+             information_uri: str = "tools/analyze/mellow_analyze.py",
+             rule_ids: tuple[str, ...] | None = None,
+             rule_descriptions: dict[str, str] | None = None) -> str:
+    if rule_ids is None:
+        rule_ids = ALL_RULES
+    if rule_descriptions is None:
+        rule_descriptions = _RULE_DESCRIPTIONS
     rules = [
         {
             "id": rule,
-            "shortDescription": {"text": _RULE_DESCRIPTIONS.get(rule, rule)},
+            "shortDescription": {"text": rule_descriptions.get(rule, rule)},
             "defaultConfiguration": {"level": "error"},
         }
-        for rule in ALL_RULES
+        for rule in rule_ids
     ]
     results = [
         {
@@ -92,9 +106,8 @@ def to_sarif(findings: list[Finding], tool_version: str = "1.0.0") -> str:
             {
                 "tool": {
                     "driver": {
-                        "name": "mellow-analyze",
-                        "informationUri":
-                            "tools/analyze/mellow_analyze.py",
+                        "name": tool_name,
+                        "informationUri": information_uri,
                         "version": tool_version,
                         "rules": rules,
                     }

@@ -6,10 +6,10 @@
 #      MELLOWSIM_CHECKS=ON so runtime invariant audits are live)
 #   2. run the whole test suite under that instrumented build
 #   3. run the determinism audit on a representative configuration
-#   4. run the lint passes: mellow_lint.py and mellow-analyze
-#      (always; the analyzer falls back to its textual backend when
-#      libclang is absent) and clang-tidy (skipped gracefully when not
-#      installed)
+#   4. run the lint passes: mellow_lint.py, mellow-configcheck over
+#      the shipped device configs, and mellow-analyze (always; the
+#      analyzer falls back to its textual backend when libclang is
+#      absent) and clang-tidy (skipped gracefully when not installed)
 #
 # Any step failing fails the pipeline.
 
@@ -50,7 +50,7 @@ echo "==> [3/4] determinism audit"
 ./build-asan/tools/determinism_check --threads 2
 ./build-asan/tools/determinism_check --threads 8
 
-echo "==> [4/4] lint (mellow_lint + mellow-analyze + clang-tidy)"
+echo "==> [4/4] lint (mellow_lint + configcheck + mellow-analyze + clang-tidy)"
 tools/lint.sh --build-dir build-asan
 
 echo "CI pipeline passed."

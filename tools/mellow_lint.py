@@ -32,6 +32,17 @@ Checks project conventions that clang-tidy cannot express:
                       be [[nodiscard]]: silently dropping a queried
                       stat or address is always a bug.
 
+  timing-literal      A numeric literal scaled by one of the tick
+                      constants from sim/types.hh (150 * kNanosecond,
+                      Tick(22.5 * kNanosecond), ...) hard-codes a
+                      datasheet timing. Device timings belong in
+                      configs/*.config, bound through src/config/'s
+                      unit-carrying accessors; compiled-in defaults
+                      live only in src/nvm/timing.hh and the other
+                      sanctioned homes, or carry an explicit allow()
+                      annotation naming why the value is not a device
+                      parameter.
+
   raw-sync-primitive  Raw standard-library synchronization primitives
                       (std::mutex, std::thread, std::lock_guard, ...)
                       outside src/sim/sync.hh. The sync.hh wrappers
@@ -116,6 +127,28 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*(?:this->)?(\w+)\s*\)")
 # --- schedule-literal ------------------------------------------------
 
 SCHEDULE_LITERAL_RE = re.compile(r"\bschedule\s*\(\s*\d")
+
+# --- timing-literal --------------------------------------------------
+
+# <literal> * kXxxsecond in either order, or Tick(<literal>).
+TIMING_LITERAL_RE = re.compile(
+    r"\b\d[\d']*(?:\.\d+)?[uUlL]*\s*\*\s*"
+    r"k(?:(?:Pico|Nano|Micro|Milli)second|Second)\b"
+    r"|\bk(?:(?:Pico|Nano|Micro|Milli)second|Second)\s*\*\s*\d"
+    r"|\bTick\s*\(\s*\d"
+)
+
+# The sanctioned homes of hard-coded timings: the config binding layer
+# (whose job is turning datasheet numbers into Ticks), the compiled-in
+# NvmTimingParams defaults that configs/reram_paper.config mirrors,
+# and the files defining the tick constants / named conversions
+# themselves.
+TIMING_LITERAL_HOMES = (
+    "src/config/",
+    "src/nvm/timing.hh",
+    "src/sim/types.hh",
+    "src/sim/strong_types.hh",
+)
 
 # --- raw-sync-primitive ----------------------------------------------
 
@@ -253,6 +286,20 @@ class Linter:
                         "capability-annotated wrappers (sync::Mutex, "
                         "sync::LockGuard, sync::ThreadGroup, "
                         "sync::Barrier)",
+                    )
+
+            if (
+                rel.startswith("src/")
+                and not rel.startswith(TIMING_LITERAL_HOMES)
+                and not allowed("timing-literal")
+            ):
+                if TIMING_LITERAL_RE.search(code):
+                    self.report(
+                        path, lineno, "timing-literal",
+                        "hard-coded timing literal; device timings "
+                        "come from configs/*.config via src/config/, "
+                        "compiled-in defaults live in "
+                        "src/nvm/timing.hh",
                     )
 
             if not allowed("schedule-literal"):
