@@ -1,12 +1,15 @@
 /**
  * @file
- * Extension bench: channel-count sweep (1/2/4 channels).
+ * Extension bench: channel-count sweep (1/2/4/16/32/64 channels).
  *
  * The paper evaluates a single channel but sizes the eager queue per
  * channel (Section IV-E). More channels multiply bus bandwidth, bank
  * count and eager-queue capacity; like the Figure 18 bank sweep, this
  * shows how Mellow Writes' benefit scales with the parallelism
- * available to hide slow writes in.
+ * available to hide slow writes in. The wide points (16+) are also the
+ * shape the sharded runtime targets — pass --shards <n> (or set
+ * MELLOWSIM_SHARDS) to run each simulation on the per-channel
+ * ChannelShard path described in DESIGN.md §15.
  */
 
 #include <cstdio>
@@ -22,7 +25,7 @@ main(int argc, char **argv)
 {
     benchutil::applyBenchArgs(argc, argv);
     banner("abl_channels",
-           "Channel sweep 1/2/4 under Norm and BE-Mellow+SC",
+           "Channel sweep 1/2/4/16/32/64 under Norm and BE-Mellow+SC",
            "per-channel eager queues (Section IV-E); parallelism "
            "feeds the mellow schemes");
 
@@ -31,7 +34,7 @@ main(int argc, char **argv)
     std::printf("%-9s %-14s %-10s %8s %9s %10s %10s\n", "channels",
                 "policy", "workload", "ipc", "life_yrs", "bank_util",
                 "eager");
-    for (unsigned channels : {1u, 2u, 4u}) {
+    for (unsigned channels : {1u, 2u, 4u, 16u, 32u, 64u}) {
         auto reports =
             runGrid(wl, {norm(), beMellow().withSC()},
                     [channels](SystemConfig &cfg) {

@@ -129,6 +129,7 @@ MemoryController::read(LogicalAddr addr, ReadCallback onComplete)
 {
     Tick now = _eventq.curTick();
     ++_stats.demandReads;
+    ++_inFlightReads;
 
     // Read forwarding: a queued (or eager-queued) write to the same
     // block supplies the data from the controller's buffers without
@@ -138,7 +139,10 @@ MemoryController::read(LogicalAddr addr, ReadCallback onComplete)
         ++_stats.forwardedReads;
         _stats.readLatency.sample(
             static_cast<double>(_config.forwardLatency));
-        auto deliver = [cb = std::move(onComplete)] { cb(); };
+        auto deliver = [this, cb = std::move(onComplete)] {
+            --_inFlightReads;
+            cb();
+        };
         static_assert(EventQueue::fitsInline<decltype(deliver)>(),
                       "forwarded-read callback must use the inline "
                       "slot, not the out-of-line pool");
@@ -201,6 +205,22 @@ std::size_t
 MemoryController::pendingReads() const
 {
     return _readQ.size();
+}
+
+bool
+MemoryController::idle() const
+{
+    if (_readQ.size() != 0 || _writeQ.size() != 0 || _eagerQ.size() != 0)
+        return false;
+    if (_inFlightReads != 0 || _pausedBanks.any())
+        return false;
+    // A valid completion handle means a write pulse is running in the
+    // bank (its request lives there, not in any queue).
+    for (const EventHandle &h : _writeCompletion) {
+        if (h != InvalidEventHandle)
+            return false;
+    }
+    return true;
 }
 
 void
@@ -346,6 +366,7 @@ MemoryController::tryIssueRead(BankId bank, Tick now, Tick *nextWake)
     _stats.readLatency.sample(static_cast<double>(done - req.arrival));
 
     auto deliver = [this, cb = std::move(req.onComplete)] {
+        --_inFlightReads;
         if (cb)
             cb();
         requestSchedule(_eventq.curTick());
@@ -612,9 +633,13 @@ MemoryController::onWriteComplete(BankId bank)
         // Ok, Retired (data landed in the fresh spare), and
         // Uncorrectable (data lost, loss recorded) all complete the
         // request — graceful degradation, never an abort.
-        ++(req.type == ReqType::EagerWrite
-               ? _stats.completedEagerWrites
-               : _stats.completedDemandWrites);
+        if (req.type == ReqType::EagerWrite) {
+            ++_stats.completedEagerWrites;
+            if (_onEagerComplete)
+                _onEagerComplete();
+        } else {
+            ++_stats.completedDemandWrites;
+        }
     }
 
     runLevelerMaintenance(bank, logical, now);

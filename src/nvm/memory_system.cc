@@ -8,53 +8,29 @@
 namespace mellowsim
 {
 
+MemControllerConfig
+perChannelConfig(const MemControllerConfig &channel, unsigned numChannels,
+                 unsigned c)
+{
+    MemControllerConfig per_channel = channel;
+    per_channel.geometry.capacityBytes =
+        channel.geometry.capacityBytes / numChannels;
+    // Channels must not share weak-line draws.
+    per_channel.fault.seed +=
+        0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(c);
+    return per_channel;
+}
+
 MemorySystem::MemorySystem(EventQueue &eventq,
                            const MemorySystemConfig &config)
-    : _config(config)
+    : _config(config),
+      _interleave(config.channel.geometry, config.numChannels)
 {
-    fatal_if(config.numChannels == 0, "memory system needs >= 1 channel");
-    const MemGeometry &g = config.channel.geometry;
-    fatal_if(g.capacityBytes % config.numChannels != 0,
-             "capacity must divide evenly across channels");
-    _blocksPerChunk = g.interleaveBytes / kBlockSize;
-    _totalCapacity = g.capacityBytes;
-
     for (unsigned c = 0; c < config.numChannels; ++c) {
-        MemControllerConfig per_channel = config.channel;
-        per_channel.geometry.capacityBytes =
-            g.capacityBytes / config.numChannels;
-        // Channels must not share weak-line draws.
-        per_channel.fault.seed +=
-            0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(c);
-        _channels.push_back(
-            std::make_unique<MemoryController>(eventq, per_channel));
+        _channels.push_back(std::make_unique<MemoryController>(
+            eventq,
+            perChannelConfig(config.channel, config.numChannels, c)));
     }
-}
-
-ChannelId
-MemorySystem::channelOf(LogicalAddr addr) const
-{
-    // mlint: allow(value-escape): channel-interleave decode is modular
-    // arithmetic on the raw byte address (the system-level analogue of
-    // AddressMap::decode).
-    std::uint64_t block = (addr.value() % _totalCapacity) >> kBlockShift;
-    std::uint64_t chunk = block / _blocksPerChunk;
-    return ChannelId(static_cast<unsigned>(chunk % _channels.size()));
-}
-
-LogicalAddr
-MemorySystem::localAddr(LogicalAddr addr) const
-{
-    // mlint: allow(value-escape): channel-interleave decode (see
-    // channelOf); rewrites the address into the channel-local space.
-    std::uint64_t block = (addr.value() % _totalCapacity) >> kBlockShift;
-    std::uint64_t chunk = block / _blocksPerChunk;
-    std::uint64_t offset = block % _blocksPerChunk;
-    std::uint64_t local_chunk = chunk / _channels.size();
-    // mlint: allow(value-escape): see above.
-    return LogicalAddr((local_chunk * _blocksPerChunk + offset) *
-                           kBlockSize +
-                       addr.value() % kBlockSize);
 }
 
 void

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "nvm/controller.hh"
+#include "nvm/interleave.hh"
 #include "nvm/memory_port.hh"
 #include "sim/event_queue.hh"
 #include "sim/indexed.hh"
@@ -90,10 +91,18 @@ class MemorySystem : public MemoryPort
     [[nodiscard]] double drainTimeFraction() const;
 
     /** Which channel serves @p addr. */
-    [[nodiscard]] ChannelId channelOf(LogicalAddr addr) const;
+    [[nodiscard]] ChannelId
+    channelOf(LogicalAddr addr) const
+    {
+        return _interleave.channelOf(addr);
+    }
 
     /** The channel-local address @p addr maps to. */
-    [[nodiscard]] LogicalAddr localAddr(LogicalAddr addr) const;
+    [[nodiscard]] LogicalAddr
+    localAddr(LogicalAddr addr) const
+    {
+        return _interleave.localAddr(addr);
+    }
 
     [[nodiscard]] const MemorySystemConfig &config() const
     {
@@ -102,10 +111,20 @@ class MemorySystem : public MemoryPort
 
   private:
     MemorySystemConfig _config;
-    std::uint64_t _blocksPerChunk;
-    std::uint64_t _totalCapacity;
+    ChannelInterleave _interleave;
     IndexedVector<ChannelId, std::unique_ptr<MemoryController>> _channels;
 };
+
+/**
+ * The per-channel controller configuration a multi-channel system
+ * hands channel @p c: capacity split evenly, fault seed perturbed so
+ * channels never share weak-line draws. MemorySystem and the sharded
+ * ChannelTask both build their controllers through this, which is
+ * what makes a sharded channel bit-identical to its monolithic twin.
+ */
+[[nodiscard]] MemControllerConfig
+perChannelConfig(const MemControllerConfig &channel, unsigned numChannels,
+                 unsigned c);
 
 } // namespace mellowsim
 

@@ -20,7 +20,140 @@ mix(std::uint64_t state, std::uint64_t value)
     return x ^ (x >> 31);
 }
 
+/** Per-task status byte published between the two quiescence barriers. */
+constexpr std::uint8_t kFlagQuiescent = 1u << 0;
+constexpr std::uint8_t kFlagAbort = 1u << 1;
+
+std::uint8_t
+taskFlags(const ShardTask &task)
+{
+    std::uint8_t flags = 0;
+    if (task.quiescent())
+        flags |= kFlagQuiescent;
+    if (task.abortRequested())
+        flags |= kFlagAbort;
+    return flags;
+}
+
+/** Fold the published status bytes into the common stop decision. */
+bool
+stopDecision(const std::vector<std::uint8_t> &flags, bool &aborted)
+{
+    bool allQuiescent = true;
+    for (std::uint8_t f : flags) {
+        if ((f & kFlagAbort) != 0)
+            aborted = true;
+        if ((f & kFlagQuiescent) == 0)
+            allQuiescent = false;
+    }
+    return aborted || allQuiescent;
+}
+
 } // namespace
+
+EpochOutcome
+runShardEpochs(const std::vector<ShardTask *> &tasks, Lookahead lookahead,
+               unsigned jobs, Tick until, Tick maxTick)
+{
+    EpochOutcome outcome;
+    if (tasks.empty())
+        return outcome;
+
+    const Tick la = lookahead.window();
+    const bool fixedHorizon = until > 0;
+    // Every task must execute the same epoch sequence for the barrier
+    // counts (and the oracle equivalence) to line up.
+    const std::uint64_t horizonEpochs =
+        fixedHorizon ? (until + la - 1) / la : 0;
+
+    if (jobs <= 1 || tasks.size() <= 1) {
+        // The serial oracle: epochs outermost, tasks in index order.
+        // This is exactly the schedule the threaded mode produces (the
+        // epoch argument in the file comment proves no message can
+        // tell the difference), so its fingerprints are the reference.
+        std::vector<std::uint8_t> flags(tasks.size(), 0);
+        for (std::uint64_t e = 0;; ++e) {
+            if (fixedHorizon && e >= horizonEpochs)
+                break;
+            const Tick end = (e + 1) * la;
+            if (!fixedHorizon && maxTick != 0 && end > maxTick) {
+                outcome.hitWall = true;
+                break;
+            }
+            const Tick cappedEnd =
+                fixedHorizon ? std::min<Tick>(end, until) : end;
+            for (ShardTask *task : tasks)
+                task->runEpoch(cappedEnd);
+            ++outcome.epochs;
+            outcome.endTick = cappedEnd;
+            if (!fixedHorizon) {
+                for (std::size_t i = 0; i < tasks.size(); ++i)
+                    flags[i] = taskFlags(*tasks[i]);
+                if (stopDecision(flags, outcome.aborted))
+                    break;
+            }
+        }
+        return outcome;
+    }
+
+    const std::size_t workers =
+        std::min<std::size_t>(jobs, tasks.size());
+    sync::SpinBarrier barrier(workers);
+    // Status bytes are double-buffered by epoch parity: epoch e's
+    // bytes live in flags[e % 2], written by each task's owner between
+    // barrier A(e) (all epoch-e sends published, so ring snapshots are
+    // exact) and barrier B(e), and read by every worker after B(e).
+    // The next write to the same buffer happens after A(e + 2), which
+    // every reader's arrival precedes — so plain bytes suffice, the
+    // barriers carry the ordering.
+    std::vector<std::uint8_t> flags[2] = {
+        std::vector<std::uint8_t>(tasks.size(), 0),
+        std::vector<std::uint8_t>(tasks.size(), 0),
+    };
+    // One outcome slot per worker; worker 0's survives. All workers
+    // compute identical stop decisions, so the slots only differ in
+    // being written by different threads.
+    std::vector<EpochOutcome> outcomes(workers);
+
+    auto worker = [&](std::size_t w) {
+        EpochOutcome &mine = outcomes[w];
+        for (std::uint64_t e = 0;; ++e) {
+            if (fixedHorizon && e >= horizonEpochs)
+                break;
+            const Tick end = (e + 1) * la;
+            if (!fixedHorizon && maxTick != 0 && end > maxTick) {
+                mine.hitWall = true;
+                break;
+            }
+            const Tick cappedEnd =
+                fixedHorizon ? std::min<Tick>(end, until) : end;
+            // Static ownership: task i belongs to worker i % workers,
+            // stepped in ascending index order.
+            for (std::size_t i = w; i < tasks.size(); i += workers)
+                tasks[i]->runEpoch(cappedEnd);
+            ++mine.epochs;
+            mine.endTick = cappedEnd;
+            barrier.arriveAndWait(); // A: epoch-e work and sends done
+            if (fixedHorizon)
+                continue;
+            std::vector<std::uint8_t> &epochFlags = flags[e % 2];
+            for (std::size_t i = w; i < tasks.size(); i += workers)
+                epochFlags[i] = taskFlags(*tasks[i]);
+            barrier.arriveAndWait(); // B: status bytes published
+            if (stopDecision(epochFlags, mine.aborted))
+                break;
+        }
+    };
+
+    {
+        sync::ThreadGroup threads(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            threads.spawn([&worker, w] { worker(w); });
+        // ThreadGroup's destructor joins, so an exception from
+        // spawn() cannot leak already-running workers.
+    }
+    return outcomes[0];
+}
 
 void
 ChannelShard::deliver(Tick when, ShardPayload payload)
@@ -46,6 +179,18 @@ ChannelShard::runEpoch(Tick end)
     _queue.run(end);
 }
 
+bool
+ChannelShard::quiescent() const
+{
+    if (!_queue.empty())
+        return false;
+    for (const ShardChannel::Receiver &input : _inputs) {
+        if (input.pending() != 0)
+            return false;
+    }
+    return true;
+}
+
 void
 ShardGroup::connect(ChannelShard &src, ChannelShard &dst,
                     std::size_t capacity)
@@ -61,43 +206,15 @@ ShardGroup::run(Tick until, unsigned jobs)
 {
     if (_shards.empty() || until == 0)
         return;
-
-    const Tick la = _lookahead.window();
-    // Every shard must execute the same epoch sequence for the barrier
-    // counts (and the oracle equivalence) to line up.
-    const std::uint64_t epochs = (until + la - 1) / la;
-
-    auto stepShard = [&](ChannelShard &shard, std::uint64_t epoch) {
-        Tick end = std::min<Tick>((epoch + 1) * la, until);
-        shard.runEpoch(end);
-    };
-
-    if (jobs <= 1 || _shards.size() <= 1) {
-        // The serial oracle: epochs outermost, shards in index order.
-        // This is exactly the schedule the threaded mode produces (the
-        // epoch argument above proves no message can tell the
-        // difference), so its fingerprints are the reference.
-        for (std::uint64_t e = 0; e < epochs; ++e) {
-            for (auto &shard : _shards)
-                stepShard(*shard, e);
-        }
-        return;
-    }
-
-    sync::Barrier barrier(_shards.size());
-    sync::ThreadGroup threads(_shards.size());
-    for (auto &shardPtr : _shards) {
-        // Capture the shard by pointer value: the loop variable dies
-        // while the worker is still running.
-        ChannelShard *shard = shardPtr.get();
-        threads.spawn([shard, epochs, &stepShard, &barrier] {
-            for (std::uint64_t e = 0; e < epochs; ++e) {
-                stepShard(*shard, e);
-                barrier.arriveAndWait();
-            }
-        });
-    }
-    threads.joinAll();
+    std::vector<ShardTask *> tasks;
+    tasks.reserve(_shards.size());
+    for (auto &shard : _shards)
+        tasks.push_back(shard.get());
+    // One worker per shard, as before: the shard count, not jobs, is
+    // the parallelism of the scaffolding group.
+    const unsigned workers =
+        jobs <= 1 ? 1u : static_cast<unsigned>(_shards.size());
+    runShardEpochs(tasks, _lookahead, workers, until);
 }
 
 ShardStats

@@ -48,6 +48,82 @@
 namespace mellowsim
 {
 
+/**
+ * One schedulable partition of a sharded simulation.
+ *
+ * The epoch driver (runShardEpochs) is payload-agnostic: anything that
+ * can run one lookahead-sized epoch and report whether it has drained
+ * to quiescence can be driven — the scaffolding ChannelShard below and
+ * the real per-channel System partitions (system/sharded.cc) both
+ * implement this interface, so the toy ring gate and the production
+ * run exercise the same driver.
+ */
+class ShardTask
+{
+  public:
+    virtual ~ShardTask() = default;
+
+    /**
+     * Run one epoch ending at @p end: drain input ports for messages
+     * with when < end, then run local events to end. Called with the
+     * task confined to one thread; epochs are separated by barriers.
+     */
+    virtual void runEpoch(Tick end) = 0;
+
+    /**
+     * True when this task has no local events pending, its model is
+     * idle, and nothing is waiting in its input rings. Sampled only
+     * between epoch barriers, where ring snapshots are exact: every
+     * in-flight message then shows up in some receiver's pending
+     * count, so "all tasks quiescent" implies global quiescence.
+     */
+    [[nodiscard]] virtual bool quiescent() const = 0;
+
+    /**
+     * True when this task wants the whole group stopped regardless of
+     * pending work (e.g. the memory capacity floor was crossed).
+     */
+    [[nodiscard]] virtual bool abortRequested() const { return false; }
+};
+
+/** Outcome of one runShardEpochs drive. */
+struct EpochOutcome
+{
+    /** Epochs executed (each task ran exactly this many). */
+    std::uint64_t epochs = 0;
+    /** Model time the last epoch ran to. */
+    Tick endTick = 0;
+    /** A task raised abortRequested(). */
+    bool aborted = false;
+    /** Quiescence mode only: maxTick passed without quiescence. */
+    bool hitWall = false;
+};
+
+/**
+ * Drive @p tasks through lookahead-sized epochs.
+ *
+ * Two modes:
+ *  - fixed horizon (@p until > 0): run ceil(until/la) epochs
+ *    unconditionally, one barrier per epoch (the toy-ring/audit mode).
+ *  - quiescence (@p until == 0): after each epoch every owner
+ *    publishes a per-task status byte (quiescent / abort) and a second
+ *    barrier makes the set of bytes common knowledge, so every worker
+ *    computes the identical stop decision; stops when all tasks are
+ *    quiescent or any aborts, or gives up with hitWall once the next
+ *    epoch would cross @p maxTick (> 0).
+ *
+ * jobs <= 1 is the serial oracle: epochs outermost, tasks stepped in
+ * index order — exactly the schedule the threaded mode produces (see
+ * the file comment's one-barrier argument), so its fingerprints are
+ * the reference. With jobs > 1, task i is owned by worker i % W
+ * (W = min(jobs, tasks)) and each worker steps its tasks in ascending
+ * index order; ownership is static for the whole run, so task state
+ * never migrates mid-run.
+ */
+EpochOutcome runShardEpochs(const std::vector<ShardTask *> &tasks,
+                            Lookahead lookahead, unsigned jobs,
+                            Tick until, Tick maxTick = 0);
+
 /** Payload of the scaffolding shard protocol. */
 using ShardPayload = std::uint64_t;
 
@@ -84,7 +160,7 @@ struct ShardStats
  * One shard: an EventQueue plus typed port endpoints, all confined to
  * whichever thread ShardGroup assigns it for the duration of run().
  */
-class ChannelShard
+class ChannelShard : public ShardTask
 {
   public:
     /** Called at a message's delivery tick; may send() replies. */
@@ -152,7 +228,10 @@ class ChannelShard
      * with when < end (attach order, so the schedule is a pure
      * function of the configuration), then run local events to end.
      */
-    void runEpoch(Tick end);
+    void runEpoch(Tick end) override;
+
+    /** No local events and no undrained input messages. */
+    [[nodiscard]] bool quiescent() const override;
 
   private:
     void deliver(Tick when, ShardPayload payload);

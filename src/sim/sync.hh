@@ -324,6 +324,76 @@ class Barrier
     std::uint64_t _generation;
 };
 
+/**
+ * Busy-waiting rendezvous for a fixed party of threads.
+ *
+ * Same contract as Barrier, but arrivals spin on an atomic generation
+ * counter instead of sleeping on a condition variable. Use it when
+ * rendezvous are frequent and the wait is short — the sharded System
+ * crosses an epoch boundary every lookahead window (tens of
+ * nanoseconds of model time, often microseconds of wall time), where
+ * a futex sleep/wake per epoch would dominate the run. The release
+ * store by the last arrival pairs with the acquire loads of the
+ * spinners, so everything written before arriveAndWait() is visible
+ * to every party after it returns.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::size_t parties)
+        : _parties(parties), _arrived(0), _generation(0)
+    {
+    }
+    SpinBarrier(const SpinBarrier &) = delete;
+    SpinBarrier &operator=(const SpinBarrier &) = delete;
+
+    /** Block (spinning) until every party has arrived. */
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t generation =
+            _generation.load(std::memory_order_acquire);
+        if (_arrived.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            _parties) {
+            _arrived.store(0, std::memory_order_relaxed);
+            _generation.store(generation + 1, std::memory_order_release);
+            return;
+        }
+        // Hybrid wait: a short pause-spin covers the common case where
+        // the stragglers are running on other cores, then fall back to
+        // yield so an oversubscribed party (more workers than cores)
+        // cedes the CPU to whoever the barrier is actually waiting on.
+        // Pure pause-spinning convoys catastrophically there: each
+        // crossing burns full scheduler timeslices per descheduled
+        // party.
+        unsigned spins = 0;
+        while (_generation.load(std::memory_order_acquire) == generation) {
+            if (++spins < kSpinsBeforeYield)
+                spinPause();
+            else
+                std::this_thread::yield();
+        }
+    }
+
+  private:
+    static constexpr unsigned kSpinsBeforeYield = 128;
+
+    static void spinPause()
+    {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#else
+        std::this_thread::yield();
+#endif
+    }
+
+    std::size_t _parties;
+    std::atomic<std::size_t> _arrived;
+    std::atomic<std::uint64_t> _generation;
+};
+
 /** Hardware thread count, never zero. */
 [[nodiscard]] inline unsigned
 hardwareConcurrency()

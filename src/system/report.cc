@@ -78,6 +78,82 @@ SimReport::merge(const SimReport &other)
 namespace
 {
 
+/** Append one "name value" fingerprint line; doubles use full
+ * precision. */
+void
+fingerprintLine(std::ostringstream &out, const char *name, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << name << ' ' << buf << '\n';
+}
+
+void
+fingerprintLine(std::ostringstream &out, const char *name,
+                std::uint64_t v)
+{
+    out << name << ' ' << v << '\n';
+}
+
+} // namespace
+
+std::string
+reportFingerprint(const SimReport &r)
+{
+    std::ostringstream out;
+    out << "workload " << r.workload << '\n';
+    out << "policy " << r.policy << '\n';
+    out << "status " << reportStatusName(r.status) << '\n';
+    fingerprintLine(out, "capacityFloorReached",
+                    static_cast<std::uint64_t>(r.capacityFloorReached));
+    fingerprintLine(out, "instructions", r.instructions);
+    fingerprintLine(out, "simTicks",
+                    static_cast<std::uint64_t>(r.simTicks));
+    fingerprintLine(out, "ipc", r.ipc);
+    fingerprintLine(out, "lifetimeYears", r.lifetimeYears);
+    fingerprintLine(out, "avgBankUtilization", r.avgBankUtilization);
+    fingerprintLine(out, "drainTimeFraction", r.drainTimeFraction);
+    fingerprintLine(out, "mpki", r.mpki);
+    fingerprintLine(out, "llcDemandReads", r.llcDemandReads);
+    fingerprintLine(out, "llcDemandWrites", r.llcDemandWrites);
+    fingerprintLine(out, "llcMisses", r.llcMisses);
+    fingerprintLine(out, "writebacksToMem", r.writebacksToMem);
+    fingerprintLine(out, "eagerSent", r.eagerSent);
+    fingerprintLine(out, "eagerWasted", r.eagerWasted);
+    fingerprintLine(out, "memReads", r.memReads);
+    fingerprintLine(out, "forwardedReads", r.forwardedReads);
+    fingerprintLine(out, "issuedNormalWrites", r.issuedNormalWrites);
+    fingerprintLine(out, "issuedSlowWrites", r.issuedSlowWrites);
+    fingerprintLine(out, "issuedEagerNormal", r.issuedEagerNormal);
+    fingerprintLine(out, "issuedEagerSlow", r.issuedEagerSlow);
+    fingerprintLine(out, "cancelledWrites", r.cancelledWrites);
+    fingerprintLine(out, "pausedWrites", r.pausedWrites);
+    fingerprintLine(out, "drainEntries", r.drainEntries);
+    fingerprintLine(out, "avgReadLatencyNs", r.avgReadLatencyNs);
+    fingerprintLine(out, "readEnergyPj", r.readEnergyPj.value());
+    fingerprintLine(out, "writeEnergyPj", r.writeEnergyPj.value());
+    fingerprintLine(out, "totalEnergyPj", r.totalEnergyPj.value());
+    fingerprintLine(out, "quotaPeriods", r.quotaPeriods);
+    fingerprintLine(out, "quotaSlowOnlyPeriods", r.quotaSlowOnlyPeriods);
+    fingerprintLine(out, "writeRetries", r.writeRetries);
+    fingerprintLine(out, "transientWriteFailures",
+                    r.transientWriteFailures);
+    fingerprintLine(out, "permanentFaults", r.permanentFaults);
+    fingerprintLine(out, "faultRepairsUsed", r.faultRepairsUsed);
+    fingerprintLine(out, "retiredLines", r.retiredLines);
+    fingerprintLine(out, "deadLines", r.deadLines);
+    fingerprintLine(out, "firstFaultTick",
+                    static_cast<std::uint64_t>(r.firstFaultTick));
+    fingerprintLine(out, "firstUncorrectableTick",
+                    static_cast<std::uint64_t>(r.firstUncorrectableTick));
+    fingerprintLine(out, "effectiveCapacityFraction",
+                    r.effectiveCapacityFraction);
+    return out.str();
+}
+
+namespace
+{
+
 std::string
 fmt(const char *format, double v)
 {

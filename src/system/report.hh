@@ -132,6 +132,16 @@ struct SimReport
     void merge(const SimReport &other);
 };
 
+/**
+ * Exhaustive textual fingerprint of a report: every field, one
+ * "name value" line each, doubles at full (%.17g) precision. Two
+ * reports fingerprint identically iff every measured quantity is
+ * byte-identical — the currency of the determinism audits
+ * (tools/determinism_check, the sharded serial-vs-threaded gates, the
+ * CI perf-smoke divergence check).
+ */
+std::string reportFingerprint(const SimReport &r);
+
 /** Render a fixed-precision CSV row set; first row is the header. */
 std::string reportsToCsv(const std::vector<SimReport> &reports);
 

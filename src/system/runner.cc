@@ -81,6 +81,30 @@ deviceOverrideSlot()
     return slot;
 }
 
+/** Process-wide shard selection; -1 = unset (fall back to the
+ * MELLOWSIM_SHARDS environment variable). Same confinement story as
+ * deviceOverrideSlot. */
+int &
+shardOverrideSlot()
+{
+    // mlint: allow(confinement-global): written only by
+    // setShardOverride during argv/env processing, strictly before
+    // any ThreadGroup worker exists; read on the main thread by
+    // makeConfig. No concurrent access is possible.
+    static int slot = -1;
+    return slot;
+}
+
+unsigned
+parseShardCount(const char *text, const char *what)
+{
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(text, &end, 10);
+    fatal_if(end == text || *end != '\0',
+             "%s must be a non-negative integer (got '%s')", what, text);
+    return static_cast<unsigned>(parsed);
+}
+
 } // namespace
 
 void
@@ -119,6 +143,52 @@ applyDeviceArgs(int &argc, char **argv)
     argc = out;
 }
 
+void
+setShardOverride(unsigned shards)
+{
+    shardOverrideSlot() = static_cast<int>(shards);
+}
+
+void
+clearShardOverride()
+{
+    shardOverrideSlot() = -1;
+}
+
+unsigned
+activeShards()
+{
+    if (shardOverrideSlot() >= 0)
+        return static_cast<unsigned>(shardOverrideSlot());
+    const char *env = std::getenv("MELLOWSIM_SHARDS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    return parseShardCount(env, "MELLOWSIM_SHARDS");
+}
+
+void
+applyShardSelection(SystemConfig &cfg)
+{
+    cfg.shards = activeShards();
+}
+
+void
+applyShardArgs(int &argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--shards") == 0) {
+            fatal_if(i + 1 >= argc, "--shards requires a value");
+            setShardOverride(parseShardCount(argv[++i], "--shards"));
+        } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+            setShardOverride(parseShardCount(argv[i] + 9, "--shards"));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+}
+
 SystemConfig
 makeConfig(const std::string &workload, const WritePolicyConfig &policy)
 {
@@ -129,6 +199,7 @@ makeConfig(const std::string &workload, const WritePolicyConfig &policy)
     cfg.warmupInstructions =
         envInstrs("MELLOWSIM_WARMUP", cfg.warmupInstructions);
     applyDeviceSelection(cfg);
+    applyShardSelection(cfg);
     return cfg;
 }
 

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sharded parallel simulation of ONE memory system (DESIGN.md §15).
+ *
+ * The monolithic System runs workload, caches and every channel
+ * controller in a single EventQueue. ShardedSystem partitions the same
+ * model across ShardTasks driven by the conservative-lookahead epoch
+ * driver (sim/shard.hh):
+ *
+ *   - a front-end task owning workload + core + cache hierarchy, whose
+ *     MemoryPort is a router that turns LLC misses / write-backs /
+ *     eager writes into POD messages on per-channel ShardPorts;
+ *   - one channel task per memory channel, owning that channel's
+ *     MemoryController (banks, wear, quota, fault state) and its own
+ *     slab-pooled EventQueue.
+ *
+ * Lookahead is derived from the device timing floor (see
+ * channelLookahead), so every request reaches its channel exactly one
+ * epoch after it was sent and responses flow back the same way. The
+ * cross-shard hop adds one lookahead of request latency (two for a
+ * read round trip) relative to the monolithic model — a deliberate,
+ * documented modeling delta. The determinism contract is *within* the
+ * sharded model: `shards = 1` steps the tasks serially in index order
+ * and must produce byte-identical fingerprints and SimReports to any
+ * threaded run (tools/determinism_check --threads audits this).
+ *
+ * Eager write admission crosses the seam as a credit protocol: the
+ * router holds `eagerQueueSize` credits per channel, spends one per
+ * eager send, and the channel returns a credit message each time an
+ * eager write completes. Credits over-approximate occupancy (a credit
+ * in flight still counts as queued), so the channel-side eager queue
+ * can never overflow — the channel task panics if it ever would.
+ */
+
+#ifndef MELLOWSIM_SYSTEM_SHARDED_HH
+#define MELLOWSIM_SYSTEM_SHARDED_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "nvm/timing.hh"
+#include "sim/strong_types.hh"
+#include "system/report.hh"
+#include "system/system.hh"
+
+namespace mellowsim
+{
+
+/**
+ * The conservative-synchronization window of the sharded system,
+ * derived from the device's timing floor: the fastest cross-shard
+ * consequence of a request is bounded below by the data-bus burst and
+ * the array access, so min(tBURST, tRCD + tCAS) is a sound window.
+ * mellow-configcheck's `lookahead` rule verifies the derivation stays
+ * at or above one controller clock (tCK) for every shipped device.
+ */
+[[nodiscard]] inline Lookahead
+channelLookahead(const NvmTimingParams &timing)
+{
+    return Lookahead(
+        std::min<Tick>(timing.tBurst, timing.tRCD + timing.tCAS));
+}
+
+/**
+ * Host-side observability of one sharded run, for the perf harness
+ * (bench/micro_kernel's events-per-host-second and parallel-speedup
+ * metrics). Deliberately not part of SimReport: host throughput is
+ * not model output and must not perturb the fingerprint contract.
+ */
+struct ShardRunInfo
+{
+    /** Events fired across every shard's EventQueue. */
+    std::uint64_t events = 0;
+    /** Lookahead epochs the driver crossed. */
+    std::uint64_t epochs = 0;
+};
+
+/**
+ * Run @p config sharded: front-end + one task per channel, on
+ * `config.shards` worker threads (1 = the serial oracle). Returns the
+ * same SimReport shape as System::run(), assembled by folding
+ * per-shard partial reports through SimReport::merge. When @p info is
+ * non-null it receives the host-side run counters.
+ */
+SimReport runShardedSystem(const SystemConfig &config,
+                           ShardRunInfo *info = nullptr);
+
+} // namespace mellowsim
+
+#endif // MELLOWSIM_SYSTEM_SHARDED_HH

@@ -5,6 +5,7 @@
 #include "check/install.hh"
 #include "check/registry.hh"
 #include "sim/logging.hh"
+#include "system/sharded.hh"
 
 namespace mellowsim
 {
@@ -201,6 +202,8 @@ System::run()
 SimReport
 runSystem(const SystemConfig &config)
 {
+    if (config.shards >= 1)
+        return runShardedSystem(config);
     System sys(config);
     return sys.run();
 }

@@ -272,6 +272,72 @@ TEST(ShardGroupProperty, ThreadedRunMatchesSerialOracle)
     }
 }
 
+namespace
+{
+
+/**
+ * The four-shard forwarding ring that used to gate
+ * tools/determinism_check --threads before the real sharded System
+ * took over that role; kept here as the ShardPort/ShardGroup-level
+ * unit test of the same protocol promise.
+ */
+GroupResult
+runForwardingRing(std::uint64_t seed, unsigned jobs)
+{
+    constexpr Tick kLookahead = 16;
+    constexpr unsigned kShards = 4;
+
+    ShardGroup group{Lookahead(kLookahead)};
+    std::vector<ChannelShard *> shards;
+    for (unsigned i = 0; i < kShards; ++i)
+        shards.push_back(&group.addShard());
+    for (unsigned i = 0; i < kShards; ++i)
+        group.connect(*shards[i], *shards[(i + 1) % kShards]);
+
+    for (ChannelShard *shard : shards) {
+        shard->setHandler(
+            [](ChannelShard &self, Tick, ShardPayload payload) {
+                if (payload > 0)
+                    self.send(0, payload - 1);
+            });
+        // Pre-seed at curTick 0 with a splitmix-style per-shard
+        // stream; extras ascend so each sender stays monotonic and
+        // stay below the lookahead so pre-seeds precede every
+        // handler-minted reply.
+        std::uint64_t state = seed * 0x9E3779B97F4A7C15ull +
+                              shard->id() + 1;
+        for (Tick extra = 0; extra < kLookahead; ++extra) {
+            state ^= state >> 27;
+            state *= 0x94D049BB133111EBull;
+            shard->sendDelayed(0, state % 12 + 1, extra);
+        }
+    }
+
+    group.run(2000, jobs);
+
+    ShardStats merged = group.mergedStats();
+    GroupResult result;
+    result.checksum = group.mergedChecksum();
+    result.sent = merged.messagesSent.value();
+    result.received = merged.messagesReceived.value();
+    result.deliveries = merged.deliveries.value();
+    result.tickSum = merged.deliveryTick.sum();
+    result.tickCount = merged.deliveryTick.count();
+    return result;
+}
+
+} // namespace
+
+TEST(ShardGroupProperty, FourShardRingMatchesSerialOracle)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 0xC0FFEEull}) {
+        GroupResult oracle = runForwardingRing(seed, 1);
+        GroupResult threaded = runForwardingRing(seed, 4);
+        EXPECT_GT(oracle.deliveries, 0u) << "seed " << seed;
+        EXPECT_EQ(threaded, oracle) << "seed " << seed;
+    }
+}
+
 // --- SimReport::merge ----------------------------------------------
 
 TEST(SimReportMerge, TalliesSumAndWorstCaseFieldsCombine)

@@ -14,8 +14,8 @@ express:
 
 plus the shard-confinement family driven by
 tools/analyze/confinement.toml (the concurrency model of DESIGN.md
-§11, which the future sharded per-channel kernel will be written
-against):
+§11, which the sharded per-channel runtime of system/sharded.cc is
+written against — DESIGN.md §15):
 
   confinement-global  mutable static/namespace-scope state that is not
                       atomic, a sync.hh type, thread_local or const

@@ -431,7 +431,8 @@ def check_confinement_global(project: Project, confinement: dict,
     """Mutable static-storage state must be synchronized (atomic, a
     sync.hh type, or a manifest-listed type), thread-local, or const:
     anything else is invisible shared state that a parallel sweep or
-    the future sharded kernel would race on."""
+    the sharded per-channel runtime (system/sharded.cc) would race
+    on."""
     sync_markers = _BUILTIN_SYNC_MARKERS + tuple(
         confinement.get("global", {}).get("synchronized_types", []))
 
@@ -489,8 +490,8 @@ def check_confinement_shard(project: Project, confinement: dict,
                             src_root: str = "src") -> list[Finding]:
     """Calls to declared mutators of shard-owned state from modules
     outside the declared owners. Mutator names in the manifest must be
-    project-unique; the future ChannelShard kernel is written against
-    exactly this ownership map."""
+    project-unique; the ChannelShard runtime (system/sharded.cc) is
+    written against exactly this ownership map."""
     mutators: dict[str, tuple[str, tuple[str, ...]]] = {}
     for entry in confinement.get("shard_owned", []):
         owners = tuple(entry.get("owners", []))

@@ -29,7 +29,7 @@ _RULE_DESCRIPTIONS = {
     "confinement-global":
         "Mutable static-storage state that is not std::atomic, a "
         "sync.hh type, thread_local or const races under the parallel "
-        "sweep and the future sharded kernel "
+        "sweep and the sharded per-channel runtime "
         "(tools/analyze/confinement.toml [global]).",
     "confinement-shard":
         "A declared mutator of shard-owned state is called from a "

@@ -24,12 +24,16 @@
  * its own.
  *
  * The --threads mode is the parallel-readiness gate: it first runs
- * the conservative-lookahead shard gate (a four-shard ShardGroup ring
- * whose threaded epoch run must be byte-identical to the serial
- * oracle — the DESIGN.md §13 protocol promise), then builds a
- * (workload x policy x seed) sweep grid — fault injection layered on
- * alternate entries so the fault RNG is contended too — runs it once
- * serially as the reference, then again across N worker threads via
+ * the sharded-System gate — ONE 16-channel simulation partitioned
+ * across ChannelShard tasks (system/sharded.hh), run with the serial
+ * oracle (shards=1) and with threaded epochs, normal and
+ * fault-injected, whose report fingerprints must be byte-identical
+ * (the DESIGN.md §15 determinism contract; the toy ShardPort ring
+ * that used to gate here lives on as tests/test_shard_port.cc's unit
+ * test of the seam itself) — then builds a (workload x policy x seed)
+ * sweep grid — fault injection layered on alternate entries so the
+ * fault RNG is contended too — runs it once serially as the
+ * reference, then again across N worker threads via
  * runConfigs(configs, N), and byte-compares every report fingerprint.
  * Any cross-thread state leak (a shared RNG, an unsynchronized global
  * tally, allocator-order dependence) shows up as a diff between the
@@ -59,7 +63,6 @@
 #include "mellow/policy.hh"
 #include "wear/wear_leveler.hh"
 #include "sim/logging.hh"
-#include "sim/shard.hh"
 #include "system/report.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
@@ -68,78 +71,6 @@ namespace
 {
 
 using namespace mellowsim;
-
-/** Append one "name value" line; doubles use full precision. */
-void
-line(std::ostringstream &out, const char *name, double v)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    out << name << ' ' << buf << '\n';
-}
-
-void
-line(std::ostringstream &out, const char *name, std::uint64_t v)
-{
-    out << name << ' ' << v << '\n';
-}
-
-/**
- * Textual fingerprint of everything in a SimReport. This is the part
- * of the audit the --threads sweep can apply too, where only the
- * reports survive the worker threads (each System is torn down inside
- * runConfigs()).
- */
-std::string
-reportFingerprint(const SimReport &r)
-{
-    std::ostringstream out;
-    out << "workload " << r.workload << '\n';
-    out << "policy " << r.policy << '\n';
-    out << "status " << reportStatusName(r.status) << '\n';
-    line(out, "capacityFloorReached",
-         static_cast<std::uint64_t>(r.capacityFloorReached));
-    line(out, "instructions", r.instructions);
-    line(out, "simTicks", static_cast<std::uint64_t>(r.simTicks));
-    line(out, "ipc", r.ipc);
-    line(out, "lifetimeYears", r.lifetimeYears);
-    line(out, "avgBankUtilization", r.avgBankUtilization);
-    line(out, "drainTimeFraction", r.drainTimeFraction);
-    line(out, "mpki", r.mpki);
-    line(out, "llcDemandReads", r.llcDemandReads);
-    line(out, "llcDemandWrites", r.llcDemandWrites);
-    line(out, "llcMisses", r.llcMisses);
-    line(out, "writebacksToMem", r.writebacksToMem);
-    line(out, "eagerSent", r.eagerSent);
-    line(out, "eagerWasted", r.eagerWasted);
-    line(out, "memReads", r.memReads);
-    line(out, "forwardedReads", r.forwardedReads);
-    line(out, "issuedNormalWrites", r.issuedNormalWrites);
-    line(out, "issuedSlowWrites", r.issuedSlowWrites);
-    line(out, "issuedEagerNormal", r.issuedEagerNormal);
-    line(out, "issuedEagerSlow", r.issuedEagerSlow);
-    line(out, "cancelledWrites", r.cancelledWrites);
-    line(out, "pausedWrites", r.pausedWrites);
-    line(out, "drainEntries", r.drainEntries);
-    line(out, "avgReadLatencyNs", r.avgReadLatencyNs);
-    line(out, "readEnergyPj", r.readEnergyPj.value());
-    line(out, "writeEnergyPj", r.writeEnergyPj.value());
-    line(out, "totalEnergyPj", r.totalEnergyPj.value());
-    line(out, "quotaPeriods", r.quotaPeriods);
-    line(out, "quotaSlowOnlyPeriods", r.quotaSlowOnlyPeriods);
-    line(out, "writeRetries", r.writeRetries);
-    line(out, "transientWriteFailures", r.transientWriteFailures);
-    line(out, "permanentFaults", r.permanentFaults);
-    line(out, "faultRepairsUsed", r.faultRepairsUsed);
-    line(out, "retiredLines", r.retiredLines);
-    line(out, "deadLines", r.deadLines);
-    line(out, "firstFaultTick",
-         static_cast<std::uint64_t>(r.firstFaultTick));
-    line(out, "firstUncorrectableTick",
-         static_cast<std::uint64_t>(r.firstUncorrectableTick));
-    line(out, "effectiveCapacityFraction", r.effectiveCapacityFraction);
-    return out.str();
-}
 
 /**
  * Exhaustive textual fingerprint of one run: the full SimReport plus
@@ -277,83 +208,67 @@ layerLeveler(SystemConfig &cfg, WearLevelerKind kind)
 }
 
 /**
- * Conservative-lookahead shard gate: a four-shard ShardGroup ring,
- * pre-seeded with deterministic hop-count messages that each delivery
- * forwards onward, fingerprinted after a serial-oracle run (jobs 1)
- * and after a threaded run (one worker per shard, sync::Barrier
- * between epochs). The epoch protocol's promise (shard.hh) is that
- * the two are byte-identical.
+ * A 16-channel configuration for the sharded-System gate, scaled down
+ * so the audit stays cheap: 1 GB total capacity (64 MB per channel)
+ * and small caches so write-backs genuinely reach all 16 channels
+ * inside a short run.
  */
-std::string
-shardGroupFingerprint(std::uint64_t seed, unsigned jobs)
+SystemConfig
+shardedGateConfig(std::uint64_t seed, bool faults,
+                  std::uint64_t instructions, std::uint64_t warmup)
 {
-    constexpr Tick kLookahead = 16;
-    constexpr unsigned kShards = 4;
-
-    ShardGroup group{Lookahead(kLookahead)};
-    std::vector<ChannelShard *> shards;
-    for (unsigned i = 0; i < kShards; ++i)
-        shards.push_back(&group.addShard());
-    for (unsigned i = 0; i < kShards; ++i)
-        group.connect(*shards[i], *shards[(i + 1) % kShards]);
-
-    for (ChannelShard *shard : shards) {
-        shard->setHandler(
-            [](ChannelShard &self, Tick, ShardPayload payload) {
-                if (payload > 0)
-                    self.send(0, payload - 1);
-            });
-        // Pre-seed at curTick 0 with a splitmix-style per-shard
-        // stream; extras ascend so each sender stays monotonic and
-        // stay below the lookahead so pre-seeds precede every
-        // handler-minted reply.
-        std::uint64_t state = seed * 0x9E3779B97F4A7C15ull +
-                              shard->id() + 1;
-        for (Tick extra = 0; extra < kLookahead; ++extra) {
-            state ^= state >> 27;
-            state *= 0x94D049BB133111EBull;
-            shard->sendDelayed(0, state % 12 + 1, extra);
-        }
-    }
-
-    group.run(2000, jobs);
-
-    std::ostringstream out;
-    ShardStats merged = group.mergedStats();
-    line(out, "shard.checksum", group.mergedChecksum());
-    line(out, "shard.sent", merged.messagesSent.value());
-    line(out, "shard.received", merged.messagesReceived.value());
-    line(out, "shard.deliveries", merged.deliveries.value());
-    line(out, "shard.tickSum", merged.deliveryTick.sum());
-    line(out, "shard.tickCount", merged.deliveryTick.count());
-    for (const ChannelShard *shard : shards) {
-        out << "shard" << shard->id() << ".checksum "
-            << shard->checksum() << '\n';
-    }
-    return out.str();
+    SystemConfig cfg;
+    cfg.workloadName = "gups"; // random traffic hits every channel
+    cfg.policy = policies::fromName("BE-Mellow+SC+WQ");
+    cfg.instructions = instructions;
+    cfg.warmupInstructions = warmup;
+    cfg.seed = seed;
+    cfg.numChannels = 16;
+    cfg.memory.geometry.capacityBytes = 1ull << 30;
+    cfg.hierarchy.l1.sizeBytes = 4 * 1024;
+    cfg.hierarchy.l2.sizeBytes = 8 * 1024;
+    cfg.hierarchy.llc.cache.sizeBytes = 16 * 1024;
+    if (faults)
+        layerFaults(cfg);
+    return cfg;
 }
 
+/**
+ * Sharded-System gate: run the real model — front-end plus 16
+ * ChannelShard tasks — under the serial oracle (shards=1) and under
+ * threaded epochs, normal and fault-injected, and require
+ * byte-identical report fingerprints (the DESIGN.md §15 contract any
+ * parallel work must keep).
+ */
 int
-runShardGate(unsigned jobs)
+runShardedGate(unsigned jobs, std::uint64_t instructions,
+               std::uint64_t warmup)
 {
+    // With one worker requested the "threaded" run would be the
+    // oracle again; always exercise the threaded epoch driver.
+    unsigned threaded_jobs = jobs < 2 ? 2 : jobs;
     bool ok = true;
-    for (std::uint64_t seed : {1ull, 7ull, 0xC0FFEEull}) {
-        std::string oracle = shardGroupFingerprint(seed, 1);
-        std::string threaded = shardGroupFingerprint(seed, jobs);
+    for (bool faults : {false, true}) {
+        SystemConfig cfg = shardedGateConfig(faults ? 7 : 1, faults,
+                                             instructions, warmup);
+        cfg.shards = 1;
+        std::string oracle = reportFingerprint(runSystem(cfg));
+        cfg.shards = threaded_jobs;
+        std::string threaded = reportFingerprint(runSystem(cfg));
         if (oracle != threaded) {
             ok = false;
             std::fprintf(stderr,
-                         "FAIL: ShardGroup seed %" PRIu64
-                         " diverged between the serial oracle and the "
-                         "threaded epoch run (%u jobs)\n",
-                         seed, jobs);
+                         "FAIL: sharded 16-channel system (faults=%d) "
+                         "diverged between the serial oracle and "
+                         "threaded epochs (%u jobs)\n",
+                         faults ? 1 : 0, threaded_jobs);
             reportFirstDiff(oracle, threaded);
         }
     }
     if (ok)
-        std::printf("OK: 4-shard lookahead ring byte-identical "
+        std::printf("OK: sharded 16-channel system byte-identical "
                     "between serial oracle and threaded epochs "
-                    "(%u jobs)\n", jobs);
+                    "(%u jobs, normal + faults)\n", threaded_jobs);
     return ok ? 0 : 1;
 }
 
@@ -402,9 +317,13 @@ runThreadsMode(unsigned jobs, std::uint64_t instructions,
         configs.push_back(std::move(cfg));
     }
 
-    // The sharded-kernel seam first: cheap, and a protocol break here
-    // explains any sweep divergence below.
-    if (runShardGate(jobs) != 0)
+    // The sharded System first: a divergence here points at the epoch
+    // protocol or the cross-shard seam, which would also explain any
+    // sweep divergence below. Scaled to a fraction of the sweep's
+    // instruction budget — one sharded run covers 16 channels.
+    if (runShardedGate(jobs, std::max<std::uint64_t>(
+                                 instructions / 4, 50'000),
+                       warmup) != 0)
         return 1;
 
     std::vector<SimReport> serial = runConfigs(configs, 1);

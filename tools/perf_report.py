@@ -128,10 +128,18 @@ def load_trajectory(path):
 
 
 def append_run(runs, run):
-    """Append `run`, replacing any prior entry for the same commit."""
+    """Append `run`, replacing any prior entry for the same commit.
+
+    Anonymous runs (git_sha null — a v1 migration point or a run
+    outside a git checkout) get the same replace-not-duplicate
+    treatment: they are indistinguishable by commit, so at most one
+    survives and the newest wins. Otherwise every re-run outside git
+    would stack an identical-looking point onto the trajectory, and a
+    legacy file that was migrated more than once would carry several
+    null-sha ghosts.
+    """
     sha = run.get("git_sha")
-    if sha is not None:
-        runs = [r for r in runs if r.get("git_sha") != sha]
+    runs = [r for r in runs if r.get("git_sha") != sha]
     runs.append(run)
     return runs
 
